@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"applab/internal/obda"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{0, 0, true},
+		{1, 1 + 1e-9, true},
+		{1, 1.1, false},
+		{1e6, 1e6 + 0.1, true},
+		{-5, -5, true},
+		{1, -1, false},
+	}
+	for _, c := range cases {
+		if got := approxEqual(c.a, c.b); got != c.want {
+			t.Errorf("approxEqual(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestScaleConfig(t *testing.T) {
+	quick := scaleConfig(true)
+	full := scaleConfig(false)
+	if quick.e2Scale >= full.e2Scale {
+		t.Error("quick scale must be smaller")
+	}
+	if quick.repeats < 1 || full.repeats < 1 {
+		t.Error("repeats must be positive")
+	}
+	if len(full.e4Rows) == 0 || len(full.e5Obs) == 0 || len(full.e7Sizes) == 0 {
+		t.Error("full config has empty sweeps")
+	}
+}
+
+func TestMappingWithWindowParses(t *testing.T) {
+	for _, w := range []int{0, 1, 10, 30} {
+		doc := mappingWithWindow(w)
+		ms, err := obda.ParseMappings(doc)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		if len(ms) != 1 || !strings.Contains(ms[0].Source, "WHERE LAI > 0") {
+			t.Errorf("window %d: mapping = %+v", w, ms[0])
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	calls := 0
+	d, err := median(5, func() error {
+		calls++
+		time.Sleep(time.Microsecond)
+		return nil
+	})
+	if err != nil || calls != 5 || d <= 0 {
+		t.Errorf("median = %v, %v (%d calls)", d, err, calls)
+	}
+	// repeats < 1 clamps to 1
+	calls = 0
+	median(0, func() error { calls++; return nil })
+	if calls != 1 {
+		t.Errorf("clamped repeats ran %d times", calls)
+	}
+}
+
+func TestViewportTraceStaysInBounds(t *testing.T) {
+	for _, tl := range viewportTrace(100, 20, 50) {
+		if tl[0] < 0 || tl[0] > 80 || tl[1] < 0 || tl[1] > 80 {
+			t.Fatalf("trace point %v out of bounds", tl)
+		}
+	}
+}

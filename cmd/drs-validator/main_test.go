@@ -1,0 +1,59 @@
+package main
+
+import (
+	"testing"
+
+	"applab/internal/netcdf"
+	"applab/internal/opendap"
+	"applab/internal/workload"
+)
+
+func TestDDSVarsFromRender(t *testing.T) {
+	ds := workload.LAIGrid(workload.DefaultLAIOptions())
+	_, vars, err := opendap.ParseDDS(opendap.RenderDDS(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"time": true, "lat": true, "lon": true, "LAI": true}
+	if len(vars) != len(want) {
+		t.Fatalf("vars = %v", vars)
+	}
+	for _, v := range vars {
+		if !want[v.Name] {
+			t.Errorf("unexpected variable %q", v.Name)
+		}
+	}
+}
+
+func TestMergeDataset(t *testing.T) {
+	a := netcdf.NewDataset("a")
+	a.Attrs["title"] = "original"
+	a.AddDim("x", 2)
+	a.AddVar(&netcdf.Variable{Name: "v1", Dims: []string{"x"}, Data: []float64{1, 2}})
+
+	b := netcdf.NewDataset("b")
+	b.Attrs["title"] = "other"
+	b.Attrs["source"] = "added"
+	b.AddDim("x", 2)
+	b.AddDim("y", 3)
+	b.AddVar(&netcdf.Variable{Name: "v1", Dims: []string{"x"}, Data: []float64{9, 9}})
+	b.AddVar(&netcdf.Variable{Name: "v2", Dims: []string{"y"}, Data: []float64{1, 2, 3}})
+
+	mergeDataset(a, b)
+	if a.Attrs["title"] != "original" {
+		t.Error("merge must not overwrite attributes")
+	}
+	if a.Attrs["source"] != "added" {
+		t.Error("merge must add missing attributes")
+	}
+	v1, _ := a.Var("v1")
+	if v1.Data[0] != 1 {
+		t.Error("merge must not replace existing variables")
+	}
+	if _, ok := a.Var("v2"); !ok {
+		t.Error("merge must add new variables")
+	}
+	if _, ok := a.Dim("y"); !ok {
+		t.Error("merge must carry new dimensions")
+	}
+}

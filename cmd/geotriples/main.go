@@ -1,0 +1,91 @@
+// Command geotriples transforms tabular geospatial data (CSV, GeoJSON, or
+// the repository's NetCDF encoding) into RDF using an R2RML mapping, like
+// the GeoTriples tool of the Copernicus App Lab stack.
+//
+// Usage:
+//
+//	geotriples -mapping map.ttl -input data.csv -format csv [-workers 4] [-out out.nt]
+//	geotriples -mapping map.ttl -input grid.anc -format netcdf -var LAI
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"applab/internal/geotriples"
+	"applab/internal/netcdf"
+	"applab/internal/rdf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("geotriples: ")
+	var (
+		mappingPath = flag.String("mapping", "", "R2RML mapping file (Turtle)")
+		inputPath   = flag.String("input", "", "input data file")
+		format      = flag.String("format", "csv", "input format: csv | geojson | netcdf")
+		varName     = flag.String("var", "LAI", "variable name (netcdf format)")
+		outPath     = flag.String("out", "", "output N-Triples file (default stdout)")
+		workers     = flag.Int("workers", 1, "parallel mapping workers")
+	)
+	flag.Parse()
+	if *mappingPath == "" || *inputPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	mapDoc, err := os.ReadFile(*mappingPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maps, err := geotriples.ParseR2RML(string(mapDoc))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in, err := os.Open(*inputPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer in.Close()
+
+	var table *geotriples.Table
+	switch *format {
+	case "csv":
+		table, err = geotriples.ReadCSV(in)
+	case "geojson":
+		table, err = geotriples.ReadGeoJSON(in)
+	case "netcdf":
+		var ds *netcdf.Dataset
+		ds, err = netcdf.Read(in)
+		if err == nil {
+			table, err = geotriples.FromNetCDF(ds, *varName)
+		}
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	triples, err := geotriples.ProcessParallel(maps, table, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := rdf.WriteNTriples(out, triples); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "geotriples: %d rows -> %d triples\n", len(table.Rows), len(triples))
+}

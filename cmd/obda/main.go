@@ -1,0 +1,69 @@
+// Command obda answers GeoSPARQL queries over virtual RDF graphs defined
+// by Ontop-style mappings, with relational sources served by the MadIS
+// backend and the opendap virtual table — the Ontop-spatial role in the
+// App Lab stack.
+//
+// Usage:
+//
+//	obda -mapping listing2.obda -opendap http://localhost:8080 \
+//	     -query 'SELECT ?s ?lai WHERE { ?s lai:lai ?lai }'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"applab/internal/madis"
+	"applab/internal/obda"
+	"applab/internal/opendap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("obda: ")
+	var (
+		mappingPath = flag.String("mapping", "", "mapping file (Ontop native syntax)")
+		opendapURL  = flag.String("opendap", "", "OPeNDAP server base URL for the opendap virtual table")
+		query       = flag.String("query", "", "GeoSPARQL query")
+	)
+	flag.Parse()
+	if *mappingPath == "" || *query == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	doc, err := os.ReadFile(*mappingPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mappings, err := obda.ParseMappings(string(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db := madis.NewDB()
+	if *opendapURL != "" {
+		adapter := obda.NewOpendapAdapter(opendap.NewClient(*opendapURL))
+		adapter.Register(db)
+	}
+
+	vg := obda.NewVirtualGraph(db, mappings)
+	res, err := vg.Query(*query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(strings.Join(res.Vars, "\t"))
+	for _, b := range res.Bindings {
+		row := make([]string, len(res.Vars))
+		for i, v := range res.Vars {
+			if t, ok := b[v]; ok {
+				row[i] = t.String()
+			}
+		}
+		fmt.Println(strings.Join(row, "\t"))
+	}
+	fmt.Fprintf(os.Stderr, "%d rows\n", len(res.Bindings))
+}

@@ -1,0 +1,87 @@
+// Command opendapd serves datasets over the DAP2-subset OPeNDAP protocol —
+// the VITO deployment of the paper's §3.1, locally.
+//
+// Usage:
+//
+//	opendapd -addr :8080 -demo                  # synthetic LAI/NDVI/BA300
+//	opendapd -addr :8080 -file lai.anc,ndvi.anc # serve encoded datasets
+//	opendapd -addr :8080 -demo -latency 50ms    # simulate a WAN link
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"applab/internal/drs"
+	"applab/internal/netcdf"
+	"applab/internal/opendap"
+	"applab/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("opendapd: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		demo    = flag.Bool("demo", false, "publish synthetic Copernicus datasets (lai, ndvi, ba300)")
+		files   = flag.String("file", "", "comma-separated dataset files (netcdf binary encoding)")
+		latency = flag.Duration("latency", 0, "simulated per-request latency")
+		tokens  = flag.String("tokens", "", "comma-separated user:token pairs; enables data access control")
+	)
+	flag.Parse()
+
+	srv := opendap.NewServer()
+	srv.Latency = *latency
+	if *tokens != "" {
+		ac := opendap.NewAccessControl()
+		for _, pair := range strings.Split(*tokens, ",") {
+			user, token, ok := strings.Cut(strings.TrimSpace(pair), ":")
+			if !ok || user == "" || token == "" {
+				log.Fatalf("bad -tokens entry %q (want user:token)", pair)
+			}
+			ac.Register(token, user)
+			log.Printf("registered user %s", user)
+		}
+		srv.Auth = ac
+	}
+
+	if *demo {
+		for _, spec := range []struct {
+			name, varName string
+			seed          int64
+		}{
+			{"lai", "LAI", 42}, {"ndvi", "NDVI", 43}, {"ba300", "BA", 44},
+		} {
+			opts := workload.DefaultLAIOptions()
+			opts.Name, opts.VarName, opts.Seed = spec.name, spec.varName, spec.seed
+			ds := drs.AutoAugment(workload.LAIGrid(opts))
+			srv.Publish(ds)
+			log.Printf("published synthetic dataset %s (variable %s)", spec.name, spec.varName)
+		}
+	}
+	for _, path := range strings.Split(*files, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := netcdf.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		srv.Publish(ds)
+		log.Printf("published %s from %s", ds.Name, path)
+	}
+
+	log.Printf("OPeNDAP server on %s (try /catalog, /<name>.dds, /<name>.das, /<name>.ncml, /<name>.dods?VAR)", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+// Command strabon loads RDF data into the spatiotemporal store and either
+// answers a single GeoSPARQL query or serves a SPARQL HTTP endpoint. With
+// -federate it evaluates queries over a federation of this store plus
+// remote SPARQL endpoints (the paper's §5 GADM x OSM federation scenario).
+//
+// Usage:
+//
+//	strabon -load data.nt -query 'SELECT ...'
+//	strabon -load data.nt -serve :7860          # GET /sparql?query=...
+//	strabon -load gadm.nt -federate http://other:7860 -query '...'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"applab/internal/endpoint"
+	"applab/internal/federation"
+	"applab/internal/rdf"
+	"applab/internal/sparql"
+	"applab/internal/strabon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("strabon: ")
+	var (
+		loads    = flag.String("load", "", "comma-separated RDF files (Turtle/N-Triples, or .astr store images)")
+		query    = flag.String("query", "", "GeoSPARQL query to answer")
+		serve    = flag.String("serve", "", "address to serve a SPARQL endpoint on (e.g. :7860)")
+		federate = flag.String("federate", "", "comma-separated remote SPARQL endpoints to federate with")
+		shards   = flag.Int("shards", 1, "number of store shards (>1 enables the partitioned store)")
+		save     = flag.String("save", "", "write the loaded store as a binary image (.astr) and exit")
+	)
+	flag.Parse()
+
+	var src sparql.Source
+	var load func([]rdf.Triple)
+	var count func() int
+	if *shards > 1 {
+		st := strabon.NewSharded(*shards)
+		src, load, count = st, st.AddAll, st.Len
+	} else {
+		st := strabon.New()
+		src, load, count = st, st.AddAll, st.Len
+	}
+
+	var allTriples []rdf.Triple
+	for _, path := range strings.Split(*loads, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var triples []rdf.Triple
+		if strings.HasSuffix(path, ".astr") {
+			st, lerr := strabon.Load(f)
+			if lerr != nil {
+				log.Fatalf("%s: %v", path, lerr)
+			}
+			triples = st.Graph().Triples()
+		} else {
+			triples, _, err = rdf.ParseTurtle(f)
+			if err != nil {
+				f.Close()
+				log.Fatalf("%s: %v", path, err)
+			}
+		}
+		f.Close()
+		load(triples)
+		allTriples = append(allTriples, triples...)
+		log.Printf("loaded %s (%d triples total)", path, count())
+	}
+
+	if *save != "" {
+		tmp := strabon.New()
+		tmp.AddAll(allTriples)
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tmp.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved %d triples to %s", tmp.Len(), *save)
+		return
+	}
+
+	if *federate != "" {
+		fed := federation.New(federation.Member{Name: "local", Source: src})
+		for i, u := range strings.Split(*federate, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			remote := endpoint.NewRemoteSource(u)
+			if err := remote.Probe(); err != nil {
+				log.Fatalf("federation member %s: %v", u, err)
+			}
+			fed.AddMember(federation.Member{Name: fmt.Sprintf("remote%d", i+1), Source: remote})
+			log.Printf("federated with %s", u)
+		}
+		src = fed
+	}
+
+	switch {
+	case *query != "":
+		res, err := sparql.Eval(src, *query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResults(res)
+	case *serve != "":
+		log.Printf("serving SPARQL endpoint on %s/sparql", *serve)
+		log.Fatal(http.ListenAndServe(*serve, endpoint.Handler(src)))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printResults(res *sparql.Results) {
+	switch {
+	case res.Graph != nil:
+		rdf.WriteNTriples(os.Stdout, res.Graph)
+	case res.Vars != nil:
+		fmt.Println(strings.Join(res.Vars, "\t"))
+		for _, b := range res.Bindings {
+			row := make([]string, len(res.Vars))
+			for i, v := range res.Vars {
+				if t, ok := b[v]; ok {
+					row[i] = t.String()
+				}
+			}
+			fmt.Println(strings.Join(row, "\t"))
+		}
+		fmt.Fprintf(os.Stderr, "%d rows\n", len(res.Bindings))
+	default:
+		fmt.Println(res.Bool)
+	}
+}

@@ -1,0 +1,3 @@
+module applab
+
+go 1.22

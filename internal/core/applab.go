@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"applab/internal/interlink"
+	"applab/internal/madis"
+	"applab/internal/netcdf"
+	"applab/internal/obda"
+	"applab/internal/opendap"
+	"applab/internal/rdf"
+	"applab/internal/sparql"
+	"applab/internal/strabon"
+	"applab/internal/workload"
+)
+
+// MaterializedStack is the left-hand workflow of the paper's Figure 1:
+// data transformed to RDF (GeoTriples / converters), stored in Strabon,
+// interlinked, and queried with GeoSPARQL.
+type MaterializedStack struct {
+	Store *strabon.Store
+}
+
+// NewMaterializedStack returns a stack with the case-study ontologies
+// preloaded.
+func NewMaterializedStack() *MaterializedStack {
+	s := strabon.New()
+	s.AddAll(AllOntologies())
+	return &MaterializedStack{Store: s}
+}
+
+// LoadFeatures converts features to RDF and stores them.
+func (m *MaterializedStack) LoadFeatures(ns, classProp string, feats []workload.Feature) {
+	m.Store.AddAll(workload.FeaturesToRDF(ns, classProp, feats))
+}
+
+// LoadLAI converts a LAI grid to RDF observations and stores them.
+func (m *MaterializedStack) LoadLAI(ds *netcdf.Dataset, varName string) error {
+	triples, err := workload.LAIGridToRDF(ds, varName)
+	if err != nil {
+		return err
+	}
+	m.Store.AddAll(triples)
+	return nil
+}
+
+// Interlink discovers spatial links between two feature classes already in
+// the store and adds the links as triples, returning how many were found.
+func (m *MaterializedStack) Interlink(linker *interlink.SpatialLinker, srcNameProp, dstNameProp string) int {
+	ents := interlink.EntitiesFromGraph(m.Store.Graph(), srcNameProp)
+	links := linker.Discover(ents, ents)
+	m.Store.AddAll(interlink.LinksToRDF(links))
+	return len(links)
+}
+
+// Query runs a GeoSPARQL query against the store.
+func (m *MaterializedStack) Query(q string) (*sparql.Results, error) {
+	return m.Store.Query(q)
+}
+
+// OnTheFlyStack is the right-hand workflow of Figure 1: an OPeNDAP server
+// (the VITO deployment substitute), the MadIS backend with the opendap
+// virtual table, and an Ontop-spatial virtual graph over mappings.
+type OnTheFlyStack struct {
+	Server  *opendap.Server
+	Client  *opendap.Client
+	DB      *madis.DB
+	Adapter *obda.OpendapAdapter
+	Graph   *obda.VirtualGraph
+
+	httpServer *http.Server
+	listener   net.Listener
+}
+
+// NewOnTheFlyStack starts a loopback OPeNDAP server publishing the given
+// datasets, wires the MadIS opendap adapter over it, and builds a virtual
+// graph from the mapping document (Ontop native syntax, as in the paper's
+// Listing 2). Close must be called to release the listener.
+func NewOnTheFlyStack(mappingDoc string, datasets ...*netcdf.Dataset) (*OnTheFlyStack, error) {
+	srv := opendap.NewServer()
+	for _, d := range datasets {
+		srv.Publish(d)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: %v", err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+
+	client := opendap.NewClient("http://" + ln.Addr().String())
+	adapter := obda.NewOpendapAdapter(client)
+	db := madis.NewDB()
+	adapter.Register(db)
+
+	mappings, err := obda.ParseMappings(mappingDoc)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return &OnTheFlyStack{
+		Server:  srv,
+		Client:  client,
+		DB:      db,
+		Adapter: adapter,
+		Graph:   obda.NewVirtualGraph(db, mappings),
+
+		httpServer: hs,
+		listener:   ln,
+	}, nil
+}
+
+// URL returns the OPeNDAP server base URL.
+func (s *OnTheFlyStack) URL() string { return "http://" + s.listener.Addr().String() }
+
+// SetLatency configures the simulated WAN latency per data request.
+func (s *OnTheFlyStack) SetLatency(d time.Duration) { s.Server.Latency = d }
+
+// Query evaluates a GeoSPARQL query on-the-fly (mapping sources
+// re-executed; OPeNDAP hit unless the adapter cache window covers it).
+func (s *OnTheFlyStack) Query(q string) (*sparql.Results, error) {
+	return s.Graph.Query(q)
+}
+
+// Materialize snapshots the current virtual graph into a Strabon store —
+// the paper's "for more costly operations ... it is better to materialize
+// the data".
+func (s *OnTheFlyStack) Materialize() (*strabon.Store, error) {
+	s.Graph.Invalidate()
+	g, err := s.Graph.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	st := strabon.New()
+	st.AddAll(g.Triples())
+	return st, nil
+}
+
+// Close shuts the OPeNDAP server down.
+func (s *OnTheFlyStack) Close() error {
+	return s.httpServer.Close()
+}
+
+// Listing2Mapping is the paper's Listing 2 mapping over a dataset named
+// "lai" with variable "LAI" and a 10-minute cache window.
+const Listing2Mapping = `
+mappingId	opendap_mapping
+target		lai:{id} rdf:type lai:Observation .
+			lai:{id} lai:lai {LAI}^^xsd:float ;
+			time:hasTime {ts}^^xsd:dateTime .
+			lai:{id} geo:hasGeometry _:g .
+			_:g geo:asWKT {loc}^^geo:wktLiteral .
+source		SELECT id, LAI , ts, loc
+			FROM (ordered opendap
+			url:https://analytics.ramani.ujuizi.com/thredds/dodsC/lai/LAI/, 10)
+			WHERE LAI > 0
+`
+
+// Listing1Query is the paper's Listing 1 GeoSPARQL query (LAI in Bois de
+// Boulogne).
+const Listing1Query = `SELECT DISTINCT ?geoA ?geoB ?lai WHERE
+{ ?areaA osm:poiType osm:park .
+  ?areaA geo:hasGeometry ?geomA .
+  ?geomA geo:asWKT ?geoA .
+  ?areaA osm:hasName "Bois de Boulogne"^^xsd:string .
+  ?areaB lai:lai ?lai .
+  ?areaB geo:hasGeometry ?geomB .
+  ?geomB geo:asWKT ?geoB .
+  FILTER(geof:sfIntersects(?geoA , ?geoB))
+}`
+
+// Listing3Query is the paper's Listing 3 query over the virtual graph.
+const Listing3Query = `SELECT DISTINCT ?s ?wkt ?lai
+WHERE { ?s lai:lai ?lai .
+        ?s geo:hasGeometry ?g .
+        ?g geo:asWKT ?wkt }`
+
+// EnsurePrefixed is a helper for CLIs: the default prefix table.
+func EnsurePrefixed() *rdf.Prefixes { return rdf.DefaultPrefixes() }

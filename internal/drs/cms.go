@@ -1,0 +1,135 @@
+package drs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+
+	"applab/internal/netcdf"
+)
+
+// CMS is the metadata content-management service of the paper's §3.1: "a
+// Content Management System (CMS) was developed and published as a service
+// allowing the CSPs to manage the metadata of their datasets, which allows
+// them to mutate as and when they choose to expose them through the DAP".
+//
+// It holds post-hoc metadata overlays per dataset (never overwriting
+// source attributes — the Augment semantics) and serves:
+//
+//	GET    /metadata/<name>   effective attributes (source + overlay) JSON
+//	PUT    /metadata/<name>   merge a JSON object into the overlay
+//	DELETE /metadata/<name>   drop the overlay
+//	GET    /validate/<name>   DRS validation report (after overlay) JSON
+//
+// DatasetProvider decouples the CMS from the OPeNDAP server type;
+// opendap.Server satisfies it.
+type CMS struct {
+	provider DatasetProvider
+
+	mu       sync.RWMutex
+	overlays map[string]map[string]string
+}
+
+// DatasetProvider resolves dataset names to datasets.
+type DatasetProvider interface {
+	Dataset(name string) (*netcdf.Dataset, bool)
+}
+
+// NewCMS returns a CMS over the provider.
+func NewCMS(provider DatasetProvider) *CMS {
+	return &CMS{provider: provider, overlays: map[string]map[string]string{}}
+}
+
+// SetOverlay merges attributes into a dataset's overlay.
+func (c *CMS) SetOverlay(name string, attrs map[string]string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ov := c.overlays[name]
+	if ov == nil {
+		ov = map[string]string{}
+		c.overlays[name] = ov
+	}
+	for k, v := range attrs {
+		ov[k] = v
+	}
+}
+
+// Effective returns the dataset with the overlay applied (source
+// attributes win, per the post-hoc augmentation rule).
+func (c *CMS) Effective(name string) (*netcdf.Dataset, bool) {
+	ds, ok := c.provider.Dataset(name)
+	if !ok {
+		return nil, false
+	}
+	c.mu.RLock()
+	ov := c.overlays[name]
+	c.mu.RUnlock()
+	if len(ov) == 0 {
+		return ds, true
+	}
+	return Augment(ds, ov), true
+}
+
+// ServeHTTP implements http.Handler.
+func (c *CMS) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/metadata/"):
+		name := strings.TrimPrefix(r.URL.Path, "/metadata/")
+		switch r.Method {
+		case http.MethodGet:
+			ds, ok := c.Effective(name)
+			if !ok {
+				http.Error(w, "cms: no dataset "+name, http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(ds.Attrs)
+		case http.MethodPut, http.MethodPost:
+			if _, ok := c.provider.Dataset(name); !ok {
+				http.Error(w, "cms: no dataset "+name, http.StatusNotFound)
+				return
+			}
+			var attrs map[string]string
+			if err := json.NewDecoder(r.Body).Decode(&attrs); err != nil {
+				http.Error(w, "cms: bad JSON body: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			c.SetOverlay(name, attrs)
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodDelete:
+			c.mu.Lock()
+			delete(c.overlays, name)
+			c.mu.Unlock()
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "cms: method not allowed", http.StatusMethodNotAllowed)
+		}
+	case strings.HasPrefix(r.URL.Path, "/validate/"):
+		name := strings.TrimPrefix(r.URL.Path, "/validate/")
+		ds, ok := c.Effective(name)
+		if !ok {
+			http.Error(w, "cms: no dataset "+name, http.StatusNotFound)
+			return
+		}
+		report := Validate(ds)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"dataset":      report.Dataset,
+			"compliant":    report.Compliant(),
+			"completeness": report.Completeness(),
+			"findings":     findingStrings(report.Findings),
+			"recommend":    Recommend(ds),
+		})
+	default:
+		http.Error(w, "cms: unknown route", http.StatusNotFound)
+	}
+}
+
+func findingStrings(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.String()
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package drs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"applab/internal/netcdf"
+	"applab/internal/opendap"
+	"applab/internal/workload"
+)
+
+func newCMSServer(t *testing.T) (*opendap.Server, *httptest.Server) {
+	t.Helper()
+	srv := opendap.NewServer()
+	ds := workload.LAIGrid(workload.DefaultLAIOptions())
+	srv.Publish(ds)
+
+	bare := netcdf.NewDataset("bare")
+	bare.AddDim("x", 1)
+	bare.AddVar(&netcdf.Variable{Name: "v", Dims: []string{"x"}, Data: []float64{1}})
+	srv.Publish(bare)
+
+	cms := NewCMS(srv)
+	ts := httptest.NewServer(cms)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestCMSGetMetadata(t *testing.T) {
+	_, ts := newCMSServer(t)
+	var attrs map[string]string
+	if code := getJSON(t, ts.URL+"/metadata/lai", &attrs); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if attrs["title"] == "" {
+		t.Errorf("attrs = %v", attrs)
+	}
+	if code := getJSON(t, ts.URL+"/metadata/nosuch", &attrs); code != http.StatusNotFound {
+		t.Errorf("missing dataset status = %d", code)
+	}
+}
+
+func TestCMSOverlayLifecycle(t *testing.T) {
+	_, ts := newCMSServer(t)
+
+	// The bare dataset fails validation.
+	var report struct {
+		Compliant    bool     `json:"compliant"`
+		Completeness float64  `json:"completeness"`
+		Recommend    []string `json:"recommend"`
+	}
+	if code := getJSON(t, ts.URL+"/validate/bare", &report); code != http.StatusOK {
+		t.Fatalf("validate status = %d", code)
+	}
+	if report.Compliant {
+		t.Fatal("bare dataset must not be compliant")
+	}
+	if len(report.Recommend) == 0 {
+		t.Fatal("recommendations missing")
+	}
+
+	// PUT an overlay supplying the required attributes.
+	overlay := map[string]string{
+		"title": "Bare grid", "institution": "applab", "source": "synthetic",
+		"Conventions": "CF-1.6",
+	}
+	body, _ := json.Marshal(overlay)
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/metadata/bare", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT status = %v", resp.Status)
+	}
+
+	// The variable attribute errors remain (units/long_name on v), but
+	// global completeness improved and the effective metadata shows the
+	// overlay.
+	var attrs map[string]string
+	getJSON(t, ts.URL+"/metadata/bare", &attrs)
+	if attrs["title"] != "Bare grid" {
+		t.Errorf("overlay not applied: %v", attrs)
+	}
+	var after struct {
+		Completeness float64 `json:"completeness"`
+	}
+	getJSON(t, ts.URL+"/validate/bare", &after)
+	if after.Completeness <= report.Completeness {
+		t.Errorf("completeness %v -> %v", report.Completeness, after.Completeness)
+	}
+
+	// DELETE the overlay: back to the bare attributes.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/metadata/bare", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	attrs = nil // decoding into a reused map would merge keys
+	getJSON(t, ts.URL+"/metadata/bare", &attrs)
+	if attrs["title"] != "" {
+		t.Errorf("overlay not removed: %v", attrs)
+	}
+}
+
+func TestCMSOverlayNeverOverwritesSource(t *testing.T) {
+	srv, ts := newCMSServer(t)
+	ds, _ := srv.Dataset("lai")
+	orig := ds.Attrs["title"]
+	body, _ := json.Marshal(map[string]string{"title": "HIJACKED"})
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/metadata/lai", bytes.NewReader(body))
+	resp, _ := http.DefaultClient.Do(req)
+	resp.Body.Close()
+	var attrs map[string]string
+	getJSON(t, ts.URL+"/metadata/lai", &attrs)
+	if attrs["title"] != orig {
+		t.Errorf("source attribute overwritten: %q", attrs["title"])
+	}
+}
+
+func TestCMSBadRequests(t *testing.T) {
+	_, ts := newCMSServer(t)
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/metadata/lai",
+		bytes.NewReader([]byte("not json")))
+	resp, _ := http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON status = %v", resp.Status)
+	}
+	resp, _ = http.Get(ts.URL + "/unknown/route")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown route status = %v", resp.Status)
+	}
+}

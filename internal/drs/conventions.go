@@ -1,0 +1,117 @@
+package drs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Convention names a metadata attribute convention. The paper's §3.1:
+// "Given the proliferation of various metadata standards, a tool was
+// developed that can translate between metadata conventions."
+type Convention string
+
+// Supported conventions.
+const (
+	// ConventionACDD is the Attribute Convention for Data Discovery (the
+	// profile Validate checks).
+	ConventionACDD Convention = "ACDD"
+	// ConventionISO19115 is a flat rendering of the ISO 19115 core
+	// metadata elements.
+	ConventionISO19115 Convention = "ISO19115"
+	// ConventionDRS is the project's Data Reference Syntax vocabulary.
+	ConventionDRS Convention = "DRS"
+)
+
+// crosswalk maps canonical (ACDD) attribute names to their names in the
+// other conventions. Attributes without an entry pass through unchanged.
+var crosswalk = map[string]map[Convention]string{
+	"title":               {ConventionISO19115: "MD_DataIdentification.citation.title", ConventionDRS: "drs_title"},
+	"summary":             {ConventionISO19115: "MD_DataIdentification.abstract", ConventionDRS: "drs_description"},
+	"institution":         {ConventionISO19115: "CI_ResponsibleParty.organisationName", ConventionDRS: "drs_institute"},
+	"creator_name":        {ConventionISO19115: "CI_ResponsibleParty.individualName", ConventionDRS: "drs_contact"},
+	"license":             {ConventionISO19115: "MD_Constraints.useLimitation", ConventionDRS: "drs_license"},
+	"keywords":            {ConventionISO19115: "MD_Keywords.keyword", ConventionDRS: "drs_keywords"},
+	"source":              {ConventionISO19115: "LI_Lineage.source", ConventionDRS: "drs_source_id"},
+	"time_coverage_start": {ConventionISO19115: "EX_TemporalExtent.begin", ConventionDRS: "drs_start_time"},
+	"time_coverage_end":   {ConventionISO19115: "EX_TemporalExtent.end", ConventionDRS: "drs_end_time"},
+	"geospatial_lat_min":  {ConventionISO19115: "EX_GeographicBoundingBox.southBoundLatitude", ConventionDRS: "drs_lat_min"},
+	"geospatial_lat_max":  {ConventionISO19115: "EX_GeographicBoundingBox.northBoundLatitude", ConventionDRS: "drs_lat_max"},
+	"geospatial_lon_min":  {ConventionISO19115: "EX_GeographicBoundingBox.westBoundLongitude", ConventionDRS: "drs_lon_min"},
+	"geospatial_lon_max":  {ConventionISO19115: "EX_GeographicBoundingBox.eastBoundLongitude", ConventionDRS: "drs_lon_max"},
+	"Conventions":         {ConventionISO19115: "metadataStandardName", ConventionDRS: "drs_conventions"},
+}
+
+// reverse[conv][foreignName] = canonical ACDD name.
+var reverse = func() map[Convention]map[string]string {
+	out := map[Convention]map[string]string{}
+	for canonical, per := range crosswalk {
+		for conv, name := range per {
+			if out[conv] == nil {
+				out[conv] = map[string]string{}
+			}
+			out[conv][name] = canonical
+		}
+	}
+	return out
+}()
+
+// Conventions lists the supported convention names.
+func Conventions() []Convention {
+	return []Convention{ConventionACDD, ConventionISO19115, ConventionDRS}
+}
+
+// TranslateAttrs renames attribute keys from one convention to another.
+// Unknown keys pass through unchanged; values are never altered. The
+// translation is lossless: translating back restores the original keys
+// for every mapped attribute.
+func TranslateAttrs(attrs map[string]string, from, to Convention) (map[string]string, error) {
+	if !known(from) || !known(to) {
+		return nil, fmt.Errorf("drs: unknown convention %q or %q", from, to)
+	}
+	out := make(map[string]string, len(attrs))
+	for k, v := range attrs {
+		out[translateKey(k, from, to)] = v
+	}
+	return out, nil
+}
+
+func known(c Convention) bool {
+	for _, k := range Conventions() {
+		if k == c {
+			return true
+		}
+	}
+	return false
+}
+
+func translateKey(key string, from, to Convention) string {
+	// Normalize to the canonical (ACDD) name first.
+	canonical := key
+	if from != ConventionACDD {
+		if c, ok := reverse[from][key]; ok {
+			canonical = c
+		} else {
+			return key // unknown foreign key: pass through
+		}
+	} else if _, ok := crosswalk[key]; !ok {
+		return key
+	}
+	if to == ConventionACDD {
+		return canonical
+	}
+	if name, ok := crosswalk[canonical][to]; ok {
+		return name
+	}
+	return canonical
+}
+
+// MappedAttrs returns the canonical attribute names the crosswalk covers,
+// sorted (for documentation and tests).
+func MappedAttrs() []string {
+	out := make([]string, 0, len(crosswalk))
+	for k := range crosswalk {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

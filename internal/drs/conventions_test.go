@@ -1,0 +1,118 @@
+package drs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTranslateAttrsACDDToISO(t *testing.T) {
+	attrs := map[string]string{
+		"title":              "LAI",
+		"institution":        "VITO",
+		"geospatial_lat_min": "48.81",
+		"custom_attr":        "kept",
+	}
+	iso, err := TranslateAttrs(attrs, ConventionACDD, ConventionISO19115)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso["MD_DataIdentification.citation.title"] != "LAI" {
+		t.Errorf("title translation: %v", iso)
+	}
+	if iso["CI_ResponsibleParty.organisationName"] != "VITO" {
+		t.Errorf("institution translation: %v", iso)
+	}
+	if iso["EX_GeographicBoundingBox.southBoundLatitude"] != "48.81" {
+		t.Errorf("lat_min translation: %v", iso)
+	}
+	if iso["custom_attr"] != "kept" {
+		t.Errorf("unknown attrs must pass through: %v", iso)
+	}
+	if _, ok := iso["title"]; ok {
+		t.Error("source key must be renamed")
+	}
+}
+
+func TestTranslateAttrsRoundTrip(t *testing.T) {
+	attrs := map[string]string{}
+	for _, k := range MappedAttrs() {
+		attrs[k] = "v-" + k
+	}
+	for _, via := range []Convention{ConventionISO19115, ConventionDRS} {
+		fwd, err := TranslateAttrs(attrs, ConventionACDD, via)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := TranslateAttrs(fwd, via, ConventionACDD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(attrs) {
+			t.Fatalf("via %s: %d attrs -> %d", via, len(attrs), len(back))
+		}
+		for k, v := range attrs {
+			if back[k] != v {
+				t.Errorf("via %s: %s = %q, want %q", via, k, back[k], v)
+			}
+		}
+	}
+}
+
+func TestTranslateAttrsISOToDRS(t *testing.T) {
+	iso := map[string]string{"MD_DataIdentification.abstract": "10-daily LAI composites"}
+	drsAttrs, err := TranslateAttrs(iso, ConventionISO19115, ConventionDRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drsAttrs["drs_description"] != "10-daily LAI composites" {
+		t.Errorf("cross translation: %v", drsAttrs)
+	}
+}
+
+func TestTranslateAttrsErrors(t *testing.T) {
+	if _, err := TranslateAttrs(nil, "NOPE", ConventionACDD); err == nil {
+		t.Error("unknown source convention must error")
+	}
+	if _, err := TranslateAttrs(nil, ConventionACDD, "NOPE"); err == nil {
+		t.Error("unknown target convention must error")
+	}
+}
+
+func TestIdentityTranslation(t *testing.T) {
+	attrs := map[string]string{"title": "x", "weird": "y"}
+	same, err := TranslateAttrs(attrs, ConventionACDD, ConventionACDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same) != 2 || same["title"] != "x" || same["weird"] != "y" {
+		t.Errorf("identity translation = %v", same)
+	}
+}
+
+// Property: translation never loses or invents attributes, and mapped
+// keys always round-trip.
+func TestTranslationProperty(t *testing.T) {
+	convs := Conventions()
+	f := func(keys []string, fromIdx, toIdx uint8) bool {
+		from := convs[int(fromIdx)%len(convs)]
+		to := convs[int(toIdx)%len(convs)]
+		attrs := map[string]string{}
+		for i, k := range keys {
+			if k == "" {
+				continue
+			}
+			attrs[k] = "v"
+			if i%2 == 0 && i/2 < len(MappedAttrs()) {
+				attrs[MappedAttrs()[i/2]] = "m"
+			}
+		}
+		out, err := TranslateAttrs(attrs, from, to)
+		if err != nil {
+			return false
+		}
+		return len(out) == len(attrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

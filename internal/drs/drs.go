@@ -1,0 +1,232 @@
+// Package drs implements the metadata tooling of the paper's §3.1: the
+// "DRS-validator" command-line tool that checks datasets exposed through
+// an OPeNDAP interface for compliance with a Data Reference Syntax (DRS)
+// metadata profile and ACDD-style completeness, a recommendation engine
+// that suggests attributes improving discoverability, and post-hoc NcML
+// augmentation for sources whose metadata cannot be fixed upstream.
+package drs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"applab/internal/netcdf"
+)
+
+// RequiredGlobalAttrs is the DRS minimum metadata standard for global
+// attributes ("we set a minimum metadata standard which should be followed
+// by interested parties").
+var RequiredGlobalAttrs = []string{
+	"title",
+	"institution",
+	"source",
+	"Conventions",
+}
+
+// RecommendedGlobalAttrs are the ACDD attributes the recommendation tool
+// suggests ("a tool was implemented that provides recommendations for
+// metadata attributes that can be added to datasets exposed through the
+// DAP to facilitate discovery").
+var RecommendedGlobalAttrs = []string{
+	"summary",
+	"keywords",
+	"license",
+	"creator_name",
+	"time_coverage_start",
+	"time_coverage_end",
+	"geospatial_lat_min",
+	"geospatial_lat_max",
+	"geospatial_lon_min",
+	"geospatial_lon_max",
+}
+
+// RequiredVarAttrs must be present on every data (non-coordinate)
+// variable.
+var RequiredVarAttrs = []string{"units", "long_name"}
+
+// Severity grades a finding.
+type Severity string
+
+// Severities.
+const (
+	SeverityError   Severity = "ERROR"
+	SeverityWarning Severity = "WARNING"
+	SeverityInfo    Severity = "INFO"
+)
+
+// Finding is one validation result.
+type Finding struct {
+	Severity Severity
+	// Subject is "global" or the variable name.
+	Subject string
+	// Attribute is the attribute concerned.
+	Attribute string
+	Message   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("[%s] %s.%s: %s", f.Severity, f.Subject, f.Attribute, f.Message)
+}
+
+// Report is the outcome of a validation run.
+type Report struct {
+	Dataset  string
+	Findings []Finding
+}
+
+// Compliant reports whether the dataset passed without errors.
+func (r *Report) Compliant() bool {
+	for _, f := range r.Findings {
+		if f.Severity == SeverityError {
+			return false
+		}
+	}
+	return true
+}
+
+// Completeness returns the fraction of required+recommended attributes
+// present (the paper's "completeness of metadata can be checked globally
+// ... or at an individual dataset level").
+func (r *Report) Completeness() float64 {
+	total := len(RequiredGlobalAttrs) + len(RecommendedGlobalAttrs)
+	missing := 0
+	for _, f := range r.Findings {
+		if f.Subject == "global" && (f.Severity == SeverityError || f.Severity == SeverityWarning) {
+			missing++
+		}
+	}
+	if missing > total {
+		missing = total
+	}
+	return float64(total-missing) / float64(total)
+}
+
+// Validate checks a dataset against the DRS profile.
+func Validate(d *netcdf.Dataset) *Report {
+	r := &Report{Dataset: d.Name}
+	for _, a := range RequiredGlobalAttrs {
+		if strings.TrimSpace(d.Attrs[a]) == "" {
+			r.Findings = append(r.Findings, Finding{
+				Severity: SeverityError, Subject: "global", Attribute: a,
+				Message: "required global attribute missing",
+			})
+		}
+	}
+	for _, a := range RecommendedGlobalAttrs {
+		if strings.TrimSpace(d.Attrs[a]) == "" {
+			r.Findings = append(r.Findings, Finding{
+				Severity: SeverityWarning, Subject: "global", Attribute: a,
+				Message: "recommended (ACDD) attribute missing",
+			})
+		}
+	}
+	coord := map[string]bool{}
+	for _, dim := range d.Dims {
+		coord[dim.Name] = true
+	}
+	for _, v := range d.Vars {
+		if coord[v.Name] {
+			// Coordinate variables need units only.
+			if strings.TrimSpace(v.Attrs["units"]) == "" {
+				r.Findings = append(r.Findings, Finding{
+					Severity: SeverityWarning, Subject: v.Name, Attribute: "units",
+					Message: "coordinate variable lacks units",
+				})
+			}
+			continue
+		}
+		for _, a := range RequiredVarAttrs {
+			if strings.TrimSpace(v.Attrs[a]) == "" {
+				r.Findings = append(r.Findings, Finding{
+					Severity: SeverityError, Subject: v.Name, Attribute: a,
+					Message: "required variable attribute missing",
+				})
+			}
+		}
+	}
+	// Structural checks: a time dimension should come with a decodable
+	// time coordinate.
+	if _, ok := d.Dim("time"); ok {
+		if _, err := d.TimeValues(); err != nil {
+			r.Findings = append(r.Findings, Finding{
+				Severity: SeverityError, Subject: "time", Attribute: "units",
+				Message: fmt.Sprintf("time coordinate undecodable: %v", err),
+			})
+		}
+	}
+	sort.Slice(r.Findings, func(i, j int) bool {
+		if r.Findings[i].Subject != r.Findings[j].Subject {
+			return r.Findings[i].Subject < r.Findings[j].Subject
+		}
+		return r.Findings[i].Attribute < r.Findings[j].Attribute
+	})
+	return r
+}
+
+// Recommend returns the attribute names that, if added, would raise the
+// dataset's completeness.
+func Recommend(d *netcdf.Dataset) []string {
+	var out []string
+	for _, a := range append(append([]string{}, RequiredGlobalAttrs...), RecommendedGlobalAttrs...) {
+		if strings.TrimSpace(d.Attrs[a]) == "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Augment applies post-hoc metadata ("in case metadata at the source
+// cannot be made compliant with ACDD, the CMS will allow for post-hoc
+// augmentation using NcML blending metadata provided by the source and
+// those required as-per the DRS validator"): attrs are merged into the
+// dataset without overwriting source-provided values, and the augmented
+// NcML-ready dataset is returned as a copy.
+func Augment(d *netcdf.Dataset, attrs map[string]string) *netcdf.Dataset {
+	out := netcdf.NewDataset(d.Name)
+	out.Dims = append(out.Dims, d.Dims...)
+	out.Vars = d.Vars
+	for k, v := range d.Attrs {
+		out.Attrs[k] = v
+	}
+	for k, v := range attrs {
+		if strings.TrimSpace(out.Attrs[k]) == "" {
+			out.Attrs[k] = v
+		}
+	}
+	return out
+}
+
+// AutoAugment derives geospatial/temporal ACDD attributes from the data
+// itself (extent from lat/lon coordinates, coverage from the time axis).
+func AutoAugment(d *netcdf.Dataset) *netcdf.Dataset {
+	attrs := map[string]string{}
+	if lat, ok := d.Var("lat"); ok && len(lat.Data) > 0 {
+		mn, mx := minMax(lat.Data)
+		attrs["geospatial_lat_min"] = fmt.Sprintf("%g", mn)
+		attrs["geospatial_lat_max"] = fmt.Sprintf("%g", mx)
+	}
+	if lon, ok := d.Var("lon"); ok && len(lon.Data) > 0 {
+		mn, mx := minMax(lon.Data)
+		attrs["geospatial_lon_min"] = fmt.Sprintf("%g", mn)
+		attrs["geospatial_lon_max"] = fmt.Sprintf("%g", mx)
+	}
+	if times, err := d.TimeValues(); err == nil && len(times) > 0 {
+		attrs["time_coverage_start"] = times[0].Format("2006-01-02T15:04:05Z")
+		attrs["time_coverage_end"] = times[len(times)-1].Format("2006-01-02T15:04:05Z")
+	}
+	return Augment(d, attrs)
+}
+
+func minMax(vals []float64) (mn, mx float64) {
+	mn, mx = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}

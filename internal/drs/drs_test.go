@@ -1,0 +1,126 @@
+package drs
+
+import (
+	"strings"
+	"testing"
+
+	"applab/internal/netcdf"
+	"applab/internal/workload"
+)
+
+func TestValidateCompliantDataset(t *testing.T) {
+	ds := workload.LAIGrid(workload.DefaultLAIOptions())
+	// The generator sets title/Conventions/institution/source and variable
+	// units/long_name, so only recommended ACDD attrs are missing.
+	r := Validate(ds)
+	if !r.Compliant() {
+		t.Fatalf("generator dataset must be DRS-compliant:\n%v", r.Findings)
+	}
+	if r.Completeness() == 1 {
+		t.Error("completeness should be < 1 while ACDD attrs are missing")
+	}
+	for _, f := range r.Findings {
+		if f.Severity == SeverityError {
+			t.Errorf("unexpected error: %v", f)
+		}
+	}
+}
+
+func TestValidateFindsMissing(t *testing.T) {
+	ds := netcdf.NewDataset("bare")
+	ds.AddDim("lat", 2)
+	if err := ds.AddVar(&netcdf.Variable{Name: "NDVI", Dims: []string{"lat"}, Data: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	r := Validate(ds)
+	if r.Compliant() {
+		t.Fatal("bare dataset must fail validation")
+	}
+	subjects := map[string]int{}
+	for _, f := range r.Findings {
+		subjects[f.Subject]++
+	}
+	if subjects["global"] < len(RequiredGlobalAttrs) {
+		t.Errorf("global findings = %d", subjects["global"])
+	}
+	if subjects["NDVI"] != 2 { // units + long_name
+		t.Errorf("NDVI findings = %d", subjects["NDVI"])
+	}
+}
+
+func TestValidateBadTimeAxis(t *testing.T) {
+	ds := netcdf.NewDataset("badtime")
+	for _, a := range RequiredGlobalAttrs {
+		ds.Attrs[a] = "x"
+	}
+	ds.AddDim("time", 2)
+	ds.AddVar(&netcdf.Variable{Name: "time", Dims: []string{"time"}, Data: []float64{0, 1},
+		Attrs: map[string]string{"units": "fortnights since whenever"}})
+	r := Validate(ds)
+	found := false
+	for _, f := range r.Findings {
+		if f.Subject == "time" && f.Severity == SeverityError {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("undecodable time axis must be an error:\n%v", r.Findings)
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	ds := netcdf.NewDataset("x")
+	recs := Recommend(ds)
+	if len(recs) != len(RequiredGlobalAttrs)+len(RecommendedGlobalAttrs) {
+		t.Fatalf("recommendations = %v", recs)
+	}
+	ds.Attrs["title"] = "T"
+	recs = Recommend(ds)
+	for _, a := range recs {
+		if a == "title" {
+			t.Error("present attribute must not be recommended")
+		}
+	}
+}
+
+func TestAugmentDoesNotOverwrite(t *testing.T) {
+	ds := netcdf.NewDataset("x")
+	ds.Attrs["title"] = "original"
+	out := Augment(ds, map[string]string{"title": "replacement", "summary": "added"})
+	if out.Attrs["title"] != "original" {
+		t.Error("augment must not overwrite source metadata")
+	}
+	if out.Attrs["summary"] != "added" {
+		t.Error("augment must add missing metadata")
+	}
+	if _, ok := ds.Attrs["summary"]; ok {
+		t.Error("augment must not mutate the source dataset")
+	}
+}
+
+func TestAutoAugment(t *testing.T) {
+	ds := workload.LAIGrid(workload.DefaultLAIOptions())
+	out := AutoAugment(ds)
+	for _, a := range []string{"geospatial_lat_min", "geospatial_lat_max",
+		"geospatial_lon_min", "geospatial_lon_max", "time_coverage_start", "time_coverage_end"} {
+		if strings.TrimSpace(out.Attrs[a]) == "" {
+			t.Errorf("AutoAugment missing %s", a)
+		}
+	}
+	if out.Attrs["geospatial_lat_min"] != "48.81" {
+		t.Errorf("lat_min = %q", out.Attrs["geospatial_lat_min"])
+	}
+	// Completeness improves.
+	before := Validate(ds).Completeness()
+	after := Validate(out).Completeness()
+	if after <= before {
+		t.Errorf("completeness %v -> %v", before, after)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Severity: SeverityError, Subject: "global", Attribute: "title", Message: "missing"}
+	if !strings.Contains(f.String(), "ERROR") || !strings.Contains(f.String(), "global.title") {
+		t.Errorf("String = %q", f.String())
+	}
+}

@@ -1,0 +1,195 @@
+// Package endpoint provides the HTTP SPARQL protocol glue of the stack: a
+// handler that exposes any sparql.Source as a SPARQL endpoint returning
+// (simplified) SPARQL-results-JSON, and a RemoteSource client that makes a
+// remote endpoint usable as a sparql.Source again — the transport the
+// federation engine (internal/federation) runs on.
+package endpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"applab/internal/rdf"
+	"applab/internal/sparql"
+)
+
+// Handler serves GET/POST /sparql?query=... over src.
+func Handler(src sparql.Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sparql", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("query")
+		if q == "" && r.Method == http.MethodPost {
+			body, _ := io.ReadAll(r.Body)
+			q = string(body)
+		}
+		if q == "" {
+			http.Error(w, "endpoint: missing query parameter", http.StatusBadRequest)
+			return
+		}
+		res, err := sparql.Eval(src, q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		json.NewEncoder(w).Encode(ResultsJSON(res))
+	})
+	return mux
+}
+
+// ResultsJSON renders results in SPARQL-results-JSON form (simplified: no
+// typed boolean vs bindings distinction beyond the fields used).
+func ResultsJSON(res *sparql.Results) map[string]any {
+	bindings := make([]map[string]any, len(res.Bindings))
+	for i, b := range res.Bindings {
+		row := map[string]any{}
+		for v, t := range b {
+			cell := map[string]any{"value": t.Value}
+			switch {
+			case t.IsIRI():
+				cell["type"] = "uri"
+			case t.IsBlank():
+				cell["type"] = "bnode"
+			default:
+				cell["type"] = "literal"
+				if t.Datatype != "" && t.Datatype != rdf.XSDString {
+					cell["datatype"] = t.Datatype
+				}
+				if t.Lang != "" {
+					cell["xml:lang"] = t.Lang
+				}
+			}
+			row[v] = cell
+		}
+		bindings[i] = row
+	}
+	return map[string]any{
+		"head":    map[string]any{"vars": res.Vars},
+		"results": map[string]any{"bindings": bindings},
+		"boolean": res.Bool,
+	}
+}
+
+// parseCell converts one JSON results cell back to a term.
+func parseCell(cell map[string]any) rdf.Term {
+	val, _ := cell["value"].(string)
+	switch cell["type"] {
+	case "uri":
+		return rdf.NewIRI(val)
+	case "bnode":
+		return rdf.NewBlank(val)
+	default:
+		if lang, ok := cell["xml:lang"].(string); ok && lang != "" {
+			return rdf.NewLangLiteral(val, lang)
+		}
+		if dt, ok := cell["datatype"].(string); ok && dt != "" {
+			return rdf.NewTypedLiteral(val, dt)
+		}
+		return rdf.NewLiteral(val)
+	}
+}
+
+// RemoteSource implements sparql.Source against a remote SPARQL endpoint:
+// each Match becomes a SELECT over the corresponding triple pattern. It is
+// the client side of Handler, and the member type used by the federation
+// engine.
+type RemoteSource struct {
+	// URL is the endpoint URL (".../sparql").
+	URL string
+	// HTTP is the transport; http.DefaultClient when nil.
+	HTTP *http.Client
+}
+
+// NewRemoteSource returns a source for the endpoint at base (the handler
+// path "/sparql" is appended when missing).
+func NewRemoteSource(base string) *RemoteSource {
+	if !strings.HasSuffix(base, "/sparql") {
+		base = strings.TrimSuffix(base, "/") + "/sparql"
+	}
+	return &RemoteSource{URL: base}
+}
+
+func (r *RemoteSource) httpClient() *http.Client {
+	if r.HTTP != nil {
+		return r.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Match implements sparql.Source by querying the remote endpoint. Errors
+// surface as empty results (the Source interface has no error channel);
+// use Probe to check connectivity.
+func (r *RemoteSource) Match(s, p, o rdf.Term) []rdf.Triple {
+	q := patternQuery(s, p, o)
+	resp, err := r.httpClient().Get(r.URL + "?query=" + url.QueryEscape(q))
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var doc struct {
+		Results struct {
+			Bindings []map[string]map[string]any `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil
+	}
+	out := make([]rdf.Triple, 0, len(doc.Results.Bindings))
+	for _, row := range doc.Results.Bindings {
+		t := rdf.Triple{S: s, P: p, O: o}
+		if cell, ok := row["s"]; ok {
+			t.S = parseCell(cell)
+		}
+		if cell, ok := row["p"]; ok {
+			t.P = parseCell(cell)
+		}
+		if cell, ok := row["o"]; ok {
+			t.O = parseCell(cell)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Probe checks that the endpoint answers a trivial query.
+func (r *RemoteSource) Probe() error {
+	resp, err := r.httpClient().Get(r.URL + "?query=" + url.QueryEscape("ASK { ?s ?p ?o }"))
+	if err != nil {
+		return fmt.Errorf("endpoint: probe %s: %v", r.URL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("endpoint: probe %s: %s: %s", r.URL, resp.Status, body)
+	}
+	return nil
+}
+
+// patternQuery renders a triple-pattern SELECT for Match.
+func patternQuery(s, p, o rdf.Term) string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	pos := func(t rdf.Term, v string) string {
+		if t.IsZero() {
+			sb.WriteString("?" + v + " ")
+			return "?" + v
+		}
+		return t.String()
+	}
+	ss := pos(s, "s")
+	ps := pos(p, "p")
+	os := pos(o, "o")
+	if ss[0] != '?' && ps[0] != '?' && os[0] != '?' {
+		// Fully bound: project a dummy var via ASK-like SELECT.
+		return fmt.Sprintf("SELECT ?s WHERE { ?s ?p ?o . FILTER(?s = %s && ?p = %s && ?o = %s) } LIMIT 1", ss, ps, os)
+	}
+	sb.WriteString("WHERE { " + ss + " " + ps + " " + os + " }")
+	return sb.String()
+}

@@ -1,0 +1,170 @@
+// Package federation implements a GeoSPARQL federation engine — the
+// paper's §5 open problem: "It will usually be the case that different
+// geospatial RDF datasets (e.g., GADM and OpenStreetMap) will be offered
+// by different GeoSPARQL endpoints that can be considered a federation.
+// There is currently no query engine that can answer GeoSPARQL queries
+// over such a federation."
+//
+// The engine follows the SemaGrow recipe at small scale: a Federation is
+// itself a sparql.Source whose Match fans out to the member endpoints
+// (in-process stores or remote endpoints via internal/endpoint), with
+// predicate-based source selection learned from the members' answers so
+// repeated patterns skip members that cannot contribute. The full query
+// engine — including the geof:* functions — then runs unchanged on top,
+// so cross-endpoint spatial joins (the GADM x OSM case of the paper) just
+// work.
+package federation
+
+import (
+	"sort"
+	"sync"
+
+	"applab/internal/rdf"
+	"applab/internal/sparql"
+)
+
+// Member is one federated endpoint.
+type Member struct {
+	Name   string
+	Source sparql.Source
+}
+
+// Federation is a sparql.Source spanning several endpoints.
+type Federation struct {
+	members []Member
+
+	mu sync.Mutex
+	// capable[predicateKey] lists the member indexes known to answer that
+	// predicate; a missing entry means "unknown, ask everyone".
+	capable map[string][]int
+	// stats counts per-member pattern requests (for tests/diagnostics).
+	stats map[string]int64
+}
+
+// New returns a federation over the given members.
+func New(members ...Member) *Federation {
+	return &Federation{
+		members: members,
+		capable: map[string][]int{},
+		stats:   map[string]int64{},
+	}
+}
+
+// AddMember appends an endpoint and resets source-selection knowledge for
+// safety.
+func (f *Federation) AddMember(m Member) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.members = append(f.members, m)
+	f.capable = map[string][]int{}
+}
+
+// Members returns the member names in order.
+func (f *Federation) Members() []string {
+	out := make([]string, len(f.members))
+	for i, m := range f.members {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// RequestCount reports how many pattern requests a member has served.
+func (f *Federation) RequestCount(name string) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats[name]
+}
+
+// capKey identifies a learnable pattern class: subject-unbound patterns
+// keyed by (predicate, object). Learning from subject-bound patterns would
+// be unsound: a member may hold the predicate but not that subject.
+func capKey(s, p, o rdf.Term) (string, bool) {
+	if !s.IsZero() || p.IsZero() {
+		return "", false
+	}
+	return p.Key() + "|" + o.Key(), true
+}
+
+// Match implements sparql.Source: the pattern is sent to every member
+// that may hold matching triples (all members when the pattern class is
+// unknown), and the union is deduplicated.
+func (f *Federation) Match(s, p, o rdf.Term) []rdf.Triple {
+	targets := f.selectSources(s, p, o)
+	type result struct {
+		idx     int
+		triples []rdf.Triple
+	}
+	results := make([]result, len(targets))
+	var wg sync.WaitGroup
+	for i, idx := range targets {
+		wg.Add(1)
+		go func(i, idx int) {
+			defer wg.Done()
+			results[i] = result{idx, f.members[idx].Source.Match(s, p, o)}
+		}(i, idx)
+	}
+	wg.Wait()
+
+	f.mu.Lock()
+	for _, r := range results {
+		f.stats[f.members[r.idx].Name]++
+	}
+	if key, ok := capKey(s, p, o); ok {
+		if _, known := f.capable[key]; !known {
+			var able []int
+			for _, r := range results {
+				if len(r.triples) > 0 {
+					able = append(able, r.idx)
+				}
+			}
+			f.capable[key] = able
+		}
+	}
+	f.mu.Unlock()
+
+	// Union with dedup, deterministic order (member order then local).
+	sort.Slice(results, func(i, j int) bool { return results[i].idx < results[j].idx })
+	seen := map[string]bool{}
+	var out []rdf.Triple
+	for _, r := range results {
+		for _, t := range r.triples {
+			k := t.S.Key() + "|" + t.P.Key() + "|" + t.O.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// selectSources picks member indexes for a pattern.
+func (f *Federation) selectSources(s, p, o rdf.Term) []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if key, ok := capKey(s, p, o); ok {
+		if able, known := f.capable[key]; known {
+			out := make([]int, len(able))
+			copy(out, able)
+			return out
+		}
+	}
+	out := make([]int, len(f.members))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Query evaluates a (Geo)SPARQL query over the federation.
+func (f *Federation) Query(q string) (*sparql.Results, error) {
+	return sparql.Eval(f, q)
+}
+
+// ForgetCapabilities clears learned source selection (e.g. after member
+// data changes).
+func (f *Federation) ForgetCapabilities() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.capable = map[string][]int{}
+}

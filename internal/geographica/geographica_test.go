@@ -1,0 +1,170 @@
+package geographica
+
+import (
+	"math"
+	"testing"
+
+	"applab/internal/geom"
+	"applab/internal/workload"
+)
+
+func buildSystems(t testing.TB, scale int) (*StrabonSystem, *OBDASystem) {
+	t.Helper()
+	w := NewWorkload(scale, 11)
+	st, err := NewStrabonSystem(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := NewOBDASystem(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, ob
+}
+
+func TestSystemsAgreeOnSelections(t *testing.T) {
+	st, ob := buildSystems(t, 60)
+	center := workload.ParisExtent.Center()
+	sel := geom.NewRect(center.X-0.05, center.Y-0.02, center.X+0.05, center.Y+0.02).WKT()
+	for _, rel := range []Relation{RelIntersects, RelWithin} {
+		for _, ds := range []string{"osm", "clc", "ua", "gadm"} {
+			a, err := st.SpatialSelection(ds, rel, sel)
+			if err != nil {
+				t.Fatalf("strabon %s/%s: %v", ds, rel, err)
+			}
+			b, err := ob.SpatialSelection(ds, rel, sel)
+			if err != nil {
+				t.Fatalf("obda %s/%s: %v", ds, rel, err)
+			}
+			if a != b {
+				t.Errorf("%s/%s: strabon=%d obda=%d", ds, rel, a, b)
+			}
+		}
+	}
+}
+
+func TestSystemsAgreeOnJoin(t *testing.T) {
+	st, ob := buildSystems(t, 40)
+	a, err := st.SpatialJoin("osm", "clc", RelIntersects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ob.SpatialJoin("osm", "clc", RelIntersects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("join: strabon=%d obda=%d", a, b)
+	}
+	if a == 0 {
+		t.Error("join found no pairs; workload too sparse")
+	}
+}
+
+func TestSystemsAgreeOnAggregate(t *testing.T) {
+	st, ob := buildSystems(t, 50)
+	a, err := st.TotalAreaWithin("clc", workload.ParisExtent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ob.TotalAreaWithin("clc", workload.ParisExtent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(a)) {
+		t.Errorf("aggregate: strabon=%v obda=%v", a, b)
+	}
+	if b == 0 {
+		t.Error("no area aggregated")
+	}
+}
+
+func TestNearest(t *testing.T) {
+	_, ob := buildSystems(t, 40)
+	center := workload.ParisExtent.Center()
+	ids, err := ob.Nearest("gadm", center, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("nearest = %v", ids)
+	}
+}
+
+func TestStrabonNearestReturnsNamespaceMatches(t *testing.T) {
+	st, _ := buildSystems(t, 40)
+	center := workload.ParisExtent.Center()
+	ids, err := st.Nearest("gadm", center, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 {
+		t.Fatal("no nearest results")
+	}
+	for _, id := range ids {
+		if len(id) < 10 || id[:len("http://www.app-lab.eu/gadm/")] != "http://www.app-lab.eu/gadm/" {
+			t.Errorf("nearest id %q not in gadm namespace", id)
+		}
+	}
+}
+
+func TestSuiteRunsOnBothSystems(t *testing.T) {
+	st, ob := buildSystems(t, 30)
+	for _, q := range Suite() {
+		a, err := q.Run(st)
+		if err != nil {
+			t.Fatalf("%s on strabon: %v", q.ID, err)
+		}
+		b, err := q.Run(ob)
+		if err != nil {
+			t.Fatalf("%s on obda: %v", q.ID, err)
+		}
+		// Counts and aggregates agree; nearest only checks k.
+		if q.Kind != "nearest" && math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(a)) {
+			t.Errorf("%s: strabon=%v obda=%v", q.ID, a, b)
+		}
+	}
+}
+
+func TestUnknownDatasetErrors(t *testing.T) {
+	st, ob := buildSystems(t, 10)
+	if _, err := st.SpatialSelection("nope", RelIntersects, "POINT (0 0)"); err == nil {
+		t.Error("strabon unknown dataset must error")
+	}
+	if _, err := ob.SpatialSelection("nope", RelIntersects, "POINT (0 0)"); err == nil {
+		t.Error("obda unknown dataset must error")
+	}
+	if _, err := ob.SpatialSelection("osm", RelIntersects, "JUNK"); err == nil {
+		t.Error("bad WKT must error")
+	}
+}
+
+func TestSystemsAgreeOnThematicSelection(t *testing.T) {
+	st, ob := buildSystems(t, 80)
+	center := workload.ParisExtent.Center()
+	viewport := geom.Envelope{MinX: center.X - 0.06, MinY: center.Y - 0.03,
+		MaxX: center.X + 0.06, MaxY: center.Y + 0.03}
+	for _, c := range []struct{ ds, class string }{
+		{"ua", "greenUrbanAreas"},
+		{"clc", "continuousUrbanFabric"},
+		{"osm", "park"},
+	} {
+		a, err := st.ThematicSelection(c.ds, c.class, viewport)
+		if err != nil {
+			t.Fatalf("strabon %v: %v", c, err)
+		}
+		b, err := ob.ThematicSelection(c.ds, c.class, viewport)
+		if err != nil {
+			t.Fatalf("obda %v: %v", c, err)
+		}
+		if a != b {
+			t.Errorf("%v: strabon=%d obda=%d", c, a, b)
+		}
+	}
+	if _, err := ob.ThematicSelection("nope", "x", viewport); err == nil {
+		t.Error("unknown dataset must error")
+	}
+	if _, err := st.ThematicSelection("nope", "x", viewport); err == nil {
+		t.Error("unknown dataset must error")
+	}
+}

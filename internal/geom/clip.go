@@ -1,0 +1,265 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// IsConvexRing reports whether a closed ring is convex (no interior angle
+// exceeding 180°). Collinear runs are allowed.
+func IsConvexRing(ring []Point) bool {
+	n := len(ring)
+	if n < 4 {
+		return false
+	}
+	sign := 0.0
+	for i := 0; i < n-1; i++ {
+		a := ring[i]
+		b := ring[(i+1)%(n-1)]
+		c := ring[(i+2)%(n-1)]
+		cross := orient(a, b, c)
+		if math.Abs(cross) <= eps {
+			continue
+		}
+		if sign == 0 {
+			sign = cross
+		} else if sign*cross < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConvex reports whether g is a convex polygon without holes.
+func IsConvex(g Geometry) bool {
+	p, ok := g.(*Polygon)
+	return ok && len(p.Rings) == 1 && IsConvexRing(p.Rings[0])
+}
+
+// ClipToConvex computes the geometric intersection of subject with a
+// convex, hole-free clip polygon:
+//
+//   - polygons are clipped with Sutherland–Hodgman (holes are clipped
+//     independently and re-attached when non-empty),
+//   - linestrings are clipped segment-wise with Cyrus–Beck parametric
+//     clipping (producing a multilinestring of the inside parts),
+//   - points are kept when inside or on the boundary.
+//
+// An error is returned when clip is not a convex polygon.
+func ClipToConvex(subject Geometry, clip *Polygon) (Geometry, error) {
+	if !IsConvex(clip) {
+		return nil, fmt.Errorf("geom: clip polygon must be convex without holes")
+	}
+	ring := orientCCW(clip.Rings[0])
+	switch t := subject.(type) {
+	case *PointGeom:
+		if pointInPolygon(t.P, clip) >= 0 {
+			return t, nil
+		}
+		return &MultiPoint{}, nil
+	case *MultiPoint:
+		var kept []Point
+		for _, p := range t.Points {
+			if pointInPolygon(p, clip) >= 0 {
+				kept = append(kept, p)
+			}
+		}
+		return &MultiPoint{Points: kept}, nil
+	case *LineString:
+		return clipLine(t, ring), nil
+	case *MultiLineString:
+		out := &MultiLineString{}
+		for _, l := range t.Lines {
+			clipped := clipLine(l, ring)
+			out.Lines = append(out.Lines, clipped.Lines...)
+		}
+		return out, nil
+	case *Polygon:
+		return clipPolygon(t, ring), nil
+	case *MultiPolygon:
+		out := &MultiPolygon{}
+		for _, p := range t.Polygons {
+			c := clipPolygon(p, ring)
+			if !c.IsEmpty() {
+				out.Polygons = append(out.Polygons, c)
+			}
+		}
+		return out, nil
+	case *Collection:
+		out := &Collection{}
+		for _, m := range t.Members {
+			c, err := ClipToConvex(m, clip)
+			if err != nil {
+				return nil, err
+			}
+			if !c.IsEmpty() {
+				out.Members = append(out.Members, c)
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("geom: cannot clip %T", subject)
+}
+
+// orientCCW returns the ring in counter-clockwise order.
+func orientCCW(ring []Point) []Point {
+	if ringArea(ring) >= 0 {
+		return ring
+	}
+	out := make([]Point, len(ring))
+	for i, p := range ring {
+		out[len(ring)-1-i] = p
+	}
+	return out
+}
+
+// clipPolygon runs Sutherland–Hodgman on every ring of subject.
+func clipPolygon(subject *Polygon, clipRing []Point) *Polygon {
+	if len(subject.Rings) == 0 {
+		return &Polygon{}
+	}
+	outer := sutherlandHodgman(subject.Rings[0], clipRing)
+	if len(outer) < 4 {
+		return &Polygon{}
+	}
+	out := &Polygon{Rings: [][]Point{outer}}
+	for _, hole := range subject.Rings[1:] {
+		clipped := sutherlandHodgman(hole, clipRing)
+		if len(clipped) >= 4 {
+			out.Rings = append(out.Rings, clipped)
+		}
+	}
+	return out
+}
+
+// sutherlandHodgman clips a closed subject ring against a CCW convex
+// clip ring, returning a closed ring (or nil when fully outside).
+func sutherlandHodgman(subject, clip []Point) []Point {
+	// Work with open rings.
+	poly := subject
+	if len(poly) > 1 && poly[0] == poly[len(poly)-1] {
+		poly = poly[:len(poly)-1]
+	}
+	for i := 0; i+1 < len(clip); i++ {
+		a, b := clip[i], clip[i+1]
+		if len(poly) == 0 {
+			return nil
+		}
+		var next []Point
+		for j := 0; j < len(poly); j++ {
+			cur := poly[j]
+			prev := poly[(j+len(poly)-1)%len(poly)]
+			curIn := orient(a, b, cur) >= -eps
+			prevIn := orient(a, b, prev) >= -eps
+			switch {
+			case curIn && prevIn:
+				next = append(next, cur)
+			case curIn && !prevIn:
+				next = append(next, lineIntersection(prev, cur, a, b), cur)
+			case !curIn && prevIn:
+				next = append(next, lineIntersection(prev, cur, a, b))
+			}
+		}
+		poly = dedupConsecutive(next)
+	}
+	if len(poly) < 3 {
+		return nil
+	}
+	return append(poly, poly[0])
+}
+
+// lineIntersection returns the intersection point of lines pq and ab
+// (assumed non-parallel by construction in the clipper).
+func lineIntersection(p, q, a, b Point) Point {
+	d1 := Point{q.X - p.X, q.Y - p.Y}
+	d2 := Point{b.X - a.X, b.Y - a.Y}
+	denom := d1.X*d2.Y - d1.Y*d2.X
+	if math.Abs(denom) < eps {
+		return q // parallel: degenerate, return an endpoint
+	}
+	t := ((a.X-p.X)*d2.Y - (a.Y-p.Y)*d2.X) / denom
+	return Point{p.X + t*d1.X, p.Y + t*d1.Y}
+}
+
+func dedupConsecutive(pts []Point) []Point {
+	var out []Point
+	for _, p := range pts {
+		if len(out) > 0 && samePoint(out[len(out)-1], p) {
+			continue
+		}
+		out = append(out, p)
+	}
+	if len(out) > 1 && samePoint(out[0], out[len(out)-1]) {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// clipLine clips a polyline to a CCW convex ring with Cyrus–Beck,
+// returning the inside pieces.
+func clipLine(l *LineString, clip []Point) *MultiLineString {
+	out := &MultiLineString{}
+	var cur []Point
+	flush := func() {
+		if len(cur) >= 2 {
+			out.Lines = append(out.Lines, &LineString{Points: cur})
+		}
+		cur = nil
+	}
+	for i := 0; i+1 < len(l.Points); i++ {
+		p0, p1 := l.Points[i], l.Points[i+1]
+		c0, c1, ok := cyrusBeck(p0, p1, clip)
+		if !ok {
+			flush()
+			continue
+		}
+		if len(cur) == 0 || !samePoint(cur[len(cur)-1], c0) {
+			flush()
+			cur = []Point{c0}
+		}
+		cur = append(cur, c1)
+		if !samePoint(c1, p1) {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// cyrusBeck clips segment p0-p1 to the CCW convex ring, returning the
+// clipped endpoints, or ok=false when the segment is entirely outside.
+func cyrusBeck(p0, p1 Point, clip []Point) (Point, Point, bool) {
+	d := Point{p1.X - p0.X, p1.Y - p0.Y}
+	tEnter, tLeave := 0.0, 1.0
+	for i := 0; i+1 < len(clip); i++ {
+		a, b := clip[i], clip[i+1]
+		// Inward normal of CCW edge (a, b).
+		n := Point{-(b.Y - a.Y), b.X - a.X}
+		w := Point{p0.X - a.X, p0.Y - a.Y}
+		num := n.X*w.X + n.Y*w.Y // >= 0 when p0 inside this half-plane
+		den := n.X*d.X + n.Y*d.Y // direction alignment
+		if math.Abs(den) < eps {
+			if num < -eps {
+				return Point{}, Point{}, false // parallel and outside
+			}
+			continue
+		}
+		t := -num / den
+		if den > 0 {
+			// entering
+			if t > tEnter {
+				tEnter = t
+			}
+		} else {
+			// leaving
+			if t < tLeave {
+				tLeave = t
+			}
+		}
+		if tEnter > tLeave+eps {
+			return Point{}, Point{}, false
+		}
+	}
+	at := func(t float64) Point { return Point{p0.X + t*d.X, p0.Y + t*d.Y} }
+	return at(tEnter), at(tLeave), true
+}

@@ -1,0 +1,164 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func clipRect(t *testing.T, subject Geometry, minX, minY, maxX, maxY float64) Geometry {
+	t.Helper()
+	out, err := ClipToConvex(subject, NewRect(minX, minY, maxX, maxY))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestIsConvex(t *testing.T) {
+	if !IsConvex(MustParseWKT("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")) {
+		t.Error("rectangle must be convex")
+	}
+	if !IsConvex(MustParseWKT("POLYGON ((0 0, 4 0, 6 3, 3 6, 0 4, 0 0))")) {
+		t.Error("convex pentagon must be convex")
+	}
+	if IsConvex(MustParseWKT("POLYGON ((0 0, 10 0, 10 10, 7 10, 7 3, 3 3, 3 10, 0 10, 0 0))")) {
+		t.Error("U-shape must not be convex")
+	}
+	if IsConvex(holed) {
+		t.Error("polygon with hole must not qualify")
+	}
+	if IsConvex(NewPoint(1, 1)) {
+		t.Error("point must not qualify")
+	}
+	// Clockwise rectangles are convex too.
+	if !IsConvex(MustParseWKT("POLYGON ((0 0, 0 4, 4 4, 4 0, 0 0))")) {
+		t.Error("CW rectangle must be convex")
+	}
+}
+
+func TestClipPolygonBasic(t *testing.T) {
+	// Unit square clipped to its right half.
+	got := clipRect(t, unitSquare, 5, 0, 15, 10)
+	if a := Area(got); math.Abs(a-50) > 1e-9 {
+		t.Fatalf("clipped area = %v, want 50 (%s)", a, got.WKT())
+	}
+	// Fully inside: unchanged area.
+	got = clipRect(t, innerSquare, -100, -100, 100, 100)
+	if a := Area(got); math.Abs(a-36) > 1e-9 {
+		t.Fatalf("inside clip area = %v, want 36", a)
+	}
+	// Fully outside: empty.
+	got = clipRect(t, unitSquare, 100, 100, 110, 110)
+	if !got.IsEmpty() {
+		t.Fatalf("outside clip = %s", got.WKT())
+	}
+	// Corner overlap.
+	got = clipRect(t, unitSquare, 8, 8, 20, 20)
+	if a := Area(got); math.Abs(a-4) > 1e-9 {
+		t.Fatalf("corner clip area = %v, want 4", a)
+	}
+}
+
+func TestClipPolygonWithHole(t *testing.T) {
+	// Clip the holed polygon to its left half: the hole (4..6) straddles
+	// the cut at x=5, contributing a 1x2 notch.
+	got := clipRect(t, holed, 0, 0, 5, 10)
+	want := 50.0 - 2.0 // half shell minus half hole
+	if a := Area(got); math.Abs(a-want) > 1e-9 {
+		t.Fatalf("holed clip area = %v, want %v (%s)", a, want, got.WKT())
+	}
+}
+
+func TestClipNonRectangularConvex(t *testing.T) {
+	tri := MustParseWKT("POLYGON ((0 0, 10 0, 5 10, 0 0))").(*Polygon)
+	got, err := ClipToConvex(unitSquare, tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Area(got)
+	if a <= 0 || a >= 100 {
+		t.Fatalf("triangle clip area = %v", a)
+	}
+	// The clipped region lies within both inputs.
+	if !Within(got, unitSquare) {
+		t.Error("clip result must lie within the subject")
+	}
+	if !Within(got, tri) {
+		t.Error("clip result must lie within the clip polygon")
+	}
+}
+
+func TestClipLineString(t *testing.T) {
+	l := MustParseWKT("LINESTRING (-5 5, 15 5)")
+	got := clipRect(t, l, 0, 0, 10, 10)
+	ml, ok := got.(*MultiLineString)
+	if !ok || len(ml.Lines) != 1 {
+		t.Fatalf("clip = %s", got.WKT())
+	}
+	seg := ml.Lines[0]
+	if math.Abs(seg.Length()-10) > 1e-9 {
+		t.Errorf("clipped length = %v", seg.Length())
+	}
+	// A polyline that exits and re-enters produces two pieces.
+	zig := MustParseWKT("LINESTRING (1 1, 1 15, 9 15, 9 1)")
+	got = clipRect(t, zig, 0, 0, 10, 10)
+	ml = got.(*MultiLineString)
+	if len(ml.Lines) != 2 {
+		t.Fatalf("re-entering polyline pieces = %d (%s)", len(ml.Lines), got.WKT())
+	}
+	// Fully outside line.
+	got = clipRect(t, MustParseWKT("LINESTRING (20 20, 30 30)"), 0, 0, 10, 10)
+	if !got.IsEmpty() {
+		t.Errorf("outside line clip = %s", got.WKT())
+	}
+}
+
+func TestClipPoints(t *testing.T) {
+	got := clipRect(t, NewPoint(5, 5), 0, 0, 10, 10)
+	if got.Kind() != KindPoint {
+		t.Errorf("inside point clip = %s", got.WKT())
+	}
+	got = clipRect(t, NewPoint(50, 50), 0, 0, 10, 10)
+	if !got.IsEmpty() {
+		t.Errorf("outside point clip = %s", got.WKT())
+	}
+	mp := &MultiPoint{Points: []Point{{1, 1}, {50, 50}, {9, 9}}}
+	got = clipRect(t, mp, 0, 0, 10, 10)
+	if len(got.(*MultiPoint).Points) != 2 {
+		t.Errorf("multipoint clip = %s", got.WKT())
+	}
+}
+
+func TestClipErrors(t *testing.T) {
+	u := MustParseWKT("POLYGON ((0 0, 10 0, 10 10, 7 10, 7 3, 3 3, 3 10, 0 10, 0 0))").(*Polygon)
+	if _, err := ClipToConvex(unitSquare, u); err == nil {
+		t.Error("concave clip polygon must error")
+	}
+	if _, err := ClipToConvex(unitSquare, holed.(*Polygon)); err == nil {
+		t.Error("holed clip polygon must error")
+	}
+}
+
+// Property: clipping a rectangle by a rectangle gives exactly the envelope
+// intersection area.
+func TestClipRectRectProperty(t *testing.T) {
+	f := func(x1, y1, x2, y2 int8, w1, w2, h1, h2 uint8) bool {
+		a := NewRect(float64(x1), float64(y1),
+			float64(x1)+1+float64(w1%20), float64(y1)+1+float64(h1%20))
+		b := NewRect(float64(x2), float64(y2),
+			float64(x2)+1+float64(w2%20), float64(y2)+1+float64(h2%20))
+		got, err := ClipToConvex(a, b)
+		if err != nil {
+			return false
+		}
+		ea, eb := a.Envelope(), b.Envelope()
+		ix := math.Max(0, math.Min(ea.MaxX, eb.MaxX)-math.Max(ea.MinX, eb.MinX))
+		iy := math.Max(0, math.Min(ea.MaxY, eb.MaxY)-math.Max(ea.MinY, eb.MinY))
+		want := ix * iy
+		return math.Abs(Area(got)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,520 @@
+// Package geom implements the planar geometry model used by the GeoSPARQL
+// layer: points, multipoints, linestrings, polygons (with holes), their
+// multi-variants, envelopes, WKT I/O, and the OGC simple-feature predicates
+// (intersects, contains, within, touches, disjoint, overlaps, crosses,
+// equals) plus distance, area, length, centroid and convex hull.
+//
+// Coordinates are interpreted as planar (lon/lat treated as x/y), matching
+// how the paper's case-study datasets are queried at city scale.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2-D coordinate.
+type Point struct {
+	X, Y float64
+}
+
+// Envelope is an axis-aligned bounding box.
+type Envelope struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyEnvelope returns an inverted envelope that expands from nothing.
+func EmptyEnvelope() Envelope {
+	return Envelope{math.Inf(1), math.Inf(1), math.Inf(-1), math.Inf(-1)}
+}
+
+// IsEmpty reports whether the envelope covers no area (never extended).
+func (e Envelope) IsEmpty() bool { return e.MinX > e.MaxX || e.MinY > e.MaxY }
+
+// ExtendPoint grows the envelope to include p.
+func (e Envelope) ExtendPoint(p Point) Envelope {
+	return Envelope{
+		math.Min(e.MinX, p.X), math.Min(e.MinY, p.Y),
+		math.Max(e.MaxX, p.X), math.Max(e.MaxY, p.Y),
+	}
+}
+
+// Extend grows the envelope to include o.
+func (e Envelope) Extend(o Envelope) Envelope {
+	if o.IsEmpty() {
+		return e
+	}
+	if e.IsEmpty() {
+		return o
+	}
+	return Envelope{
+		math.Min(e.MinX, o.MinX), math.Min(e.MinY, o.MinY),
+		math.Max(e.MaxX, o.MaxX), math.Max(e.MaxY, o.MaxY),
+	}
+}
+
+// Intersects reports whether the two envelopes share any point.
+func (e Envelope) Intersects(o Envelope) bool {
+	return !(e.IsEmpty() || o.IsEmpty() ||
+		o.MinX > e.MaxX || o.MaxX < e.MinX || o.MinY > e.MaxY || o.MaxY < e.MinY)
+}
+
+// ContainsEnvelope reports whether o lies entirely inside e.
+func (e Envelope) ContainsEnvelope(o Envelope) bool {
+	return !e.IsEmpty() && !o.IsEmpty() &&
+		o.MinX >= e.MinX && o.MaxX <= e.MaxX && o.MinY >= e.MinY && o.MaxY <= e.MaxY
+}
+
+// ContainsPoint reports whether p lies inside or on the boundary of e.
+func (e Envelope) ContainsPoint(p Point) bool {
+	return p.X >= e.MinX && p.X <= e.MaxX && p.Y >= e.MinY && p.Y <= e.MaxY
+}
+
+// Area returns the envelope's area (0 when empty).
+func (e Envelope) Area() float64 {
+	if e.IsEmpty() {
+		return 0
+	}
+	return (e.MaxX - e.MinX) * (e.MaxY - e.MinY)
+}
+
+// Center returns the envelope's center point.
+func (e Envelope) Center() Point { return Point{(e.MinX + e.MaxX) / 2, (e.MinY + e.MaxY) / 2} }
+
+// ToPolygon converts the envelope to a closed rectangle polygon.
+func (e Envelope) ToPolygon() *Polygon {
+	return &Polygon{Rings: [][]Point{{
+		{e.MinX, e.MinY}, {e.MaxX, e.MinY}, {e.MaxX, e.MaxY}, {e.MinX, e.MaxY}, {e.MinX, e.MinY},
+	}}}
+}
+
+// Kind enumerates the geometry types.
+type Kind uint8
+
+// Geometry kinds.
+const (
+	KindPoint Kind = iota
+	KindMultiPoint
+	KindLineString
+	KindMultiLineString
+	KindPolygon
+	KindMultiPolygon
+	KindGeometryCollection
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPoint:
+		return "Point"
+	case KindMultiPoint:
+		return "MultiPoint"
+	case KindLineString:
+		return "LineString"
+	case KindMultiLineString:
+		return "MultiLineString"
+	case KindPolygon:
+		return "Polygon"
+	case KindMultiPolygon:
+		return "MultiPolygon"
+	default:
+		return "GeometryCollection"
+	}
+}
+
+// Geometry is the interface satisfied by all geometry types.
+type Geometry interface {
+	// Kind returns the geometry's type tag.
+	Kind() Kind
+	// Envelope returns the geometry's bounding box.
+	Envelope() Envelope
+	// WKT returns the well-known-text encoding.
+	WKT() string
+	// IsEmpty reports whether the geometry has no coordinates.
+	IsEmpty() bool
+}
+
+// PointGeom is a Point as a Geometry.
+type PointGeom struct{ P Point }
+
+// NewPoint returns a point geometry at (x, y).
+func NewPoint(x, y float64) *PointGeom { return &PointGeom{Point{x, y}} }
+
+// Kind implements Geometry.
+func (g *PointGeom) Kind() Kind { return KindPoint }
+
+// Envelope implements Geometry.
+func (g *PointGeom) Envelope() Envelope { return Envelope{g.P.X, g.P.Y, g.P.X, g.P.Y} }
+
+// WKT implements Geometry.
+func (g *PointGeom) WKT() string { return fmt.Sprintf("POINT (%s %s)", fnum(g.P.X), fnum(g.P.Y)) }
+
+// IsEmpty implements Geometry.
+func (g *PointGeom) IsEmpty() bool { return false }
+
+// MultiPoint is a collection of points.
+type MultiPoint struct{ Points []Point }
+
+// Kind implements Geometry.
+func (g *MultiPoint) Kind() Kind { return KindMultiPoint }
+
+// Envelope implements Geometry.
+func (g *MultiPoint) Envelope() Envelope {
+	e := EmptyEnvelope()
+	for _, p := range g.Points {
+		e = e.ExtendPoint(p)
+	}
+	return e
+}
+
+// WKT implements Geometry.
+func (g *MultiPoint) WKT() string {
+	if len(g.Points) == 0 {
+		return "MULTIPOINT EMPTY"
+	}
+	s := "MULTIPOINT ("
+	for i, p := range g.Points {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("(%s %s)", fnum(p.X), fnum(p.Y))
+	}
+	return s + ")"
+}
+
+// IsEmpty implements Geometry.
+func (g *MultiPoint) IsEmpty() bool { return len(g.Points) == 0 }
+
+// LineString is an open polyline of two or more points.
+type LineString struct{ Points []Point }
+
+// Kind implements Geometry.
+func (g *LineString) Kind() Kind { return KindLineString }
+
+// Envelope implements Geometry.
+func (g *LineString) Envelope() Envelope {
+	e := EmptyEnvelope()
+	for _, p := range g.Points {
+		e = e.ExtendPoint(p)
+	}
+	return e
+}
+
+// WKT implements Geometry.
+func (g *LineString) WKT() string {
+	if len(g.Points) == 0 {
+		return "LINESTRING EMPTY"
+	}
+	return "LINESTRING " + coordsWKT(g.Points)
+}
+
+// IsEmpty implements Geometry.
+func (g *LineString) IsEmpty() bool { return len(g.Points) == 0 }
+
+// Length returns the polyline's total length.
+func (g *LineString) Length() float64 {
+	sum := 0.0
+	for i := 1; i < len(g.Points); i++ {
+		sum += dist(g.Points[i-1], g.Points[i])
+	}
+	return sum
+}
+
+// MultiLineString is a collection of linestrings.
+type MultiLineString struct{ Lines []*LineString }
+
+// Kind implements Geometry.
+func (g *MultiLineString) Kind() Kind { return KindMultiLineString }
+
+// Envelope implements Geometry.
+func (g *MultiLineString) Envelope() Envelope {
+	e := EmptyEnvelope()
+	for _, l := range g.Lines {
+		e = e.Extend(l.Envelope())
+	}
+	return e
+}
+
+// WKT implements Geometry.
+func (g *MultiLineString) WKT() string {
+	if len(g.Lines) == 0 {
+		return "MULTILINESTRING EMPTY"
+	}
+	s := "MULTILINESTRING ("
+	for i, l := range g.Lines {
+		if i > 0 {
+			s += ", "
+		}
+		s += coordsWKT(l.Points)
+	}
+	return s + ")"
+}
+
+// IsEmpty implements Geometry.
+func (g *MultiLineString) IsEmpty() bool { return len(g.Lines) == 0 }
+
+// Polygon is an outer ring plus optional interior rings (holes). Rings are
+// stored closed (first point == last point).
+type Polygon struct{ Rings [][]Point }
+
+// NewRect returns a rectangle polygon covering the given extent.
+func NewRect(minX, minY, maxX, maxY float64) *Polygon {
+	return Envelope{minX, minY, maxX, maxY}.ToPolygon()
+}
+
+// Kind implements Geometry.
+func (g *Polygon) Kind() Kind { return KindPolygon }
+
+// Envelope implements Geometry.
+func (g *Polygon) Envelope() Envelope {
+	e := EmptyEnvelope()
+	if len(g.Rings) > 0 {
+		for _, p := range g.Rings[0] {
+			e = e.ExtendPoint(p)
+		}
+	}
+	return e
+}
+
+// WKT implements Geometry.
+func (g *Polygon) WKT() string {
+	if len(g.Rings) == 0 {
+		return "POLYGON EMPTY"
+	}
+	s := "POLYGON ("
+	for i, ring := range g.Rings {
+		if i > 0 {
+			s += ", "
+		}
+		s += coordsWKT(ring)
+	}
+	return s + ")"
+}
+
+// IsEmpty implements Geometry.
+func (g *Polygon) IsEmpty() bool { return len(g.Rings) == 0 }
+
+// Outer returns the exterior ring (nil when empty).
+func (g *Polygon) Outer() []Point {
+	if len(g.Rings) == 0 {
+		return nil
+	}
+	return g.Rings[0]
+}
+
+// Area returns the polygon's area (outer ring minus holes), via the
+// shoelace formula.
+func (g *Polygon) Area() float64 {
+	if len(g.Rings) == 0 {
+		return 0
+	}
+	a := math.Abs(ringArea(g.Rings[0]))
+	for _, hole := range g.Rings[1:] {
+		a -= math.Abs(ringArea(hole))
+	}
+	return a
+}
+
+// MultiPolygon is a collection of polygons.
+type MultiPolygon struct{ Polygons []*Polygon }
+
+// Kind implements Geometry.
+func (g *MultiPolygon) Kind() Kind { return KindMultiPolygon }
+
+// Envelope implements Geometry.
+func (g *MultiPolygon) Envelope() Envelope {
+	e := EmptyEnvelope()
+	for _, p := range g.Polygons {
+		e = e.Extend(p.Envelope())
+	}
+	return e
+}
+
+// WKT implements Geometry.
+func (g *MultiPolygon) WKT() string {
+	if len(g.Polygons) == 0 {
+		return "MULTIPOLYGON EMPTY"
+	}
+	s := "MULTIPOLYGON ("
+	for i, p := range g.Polygons {
+		if i > 0 {
+			s += ", "
+		}
+		s += "("
+		for j, ring := range p.Rings {
+			if j > 0 {
+				s += ", "
+			}
+			s += coordsWKT(ring)
+		}
+		s += ")"
+	}
+	return s + ")"
+}
+
+// IsEmpty implements Geometry.
+func (g *MultiPolygon) IsEmpty() bool { return len(g.Polygons) == 0 }
+
+// Area returns the summed area of the member polygons.
+func (g *MultiPolygon) Area() float64 {
+	a := 0.0
+	for _, p := range g.Polygons {
+		a += p.Area()
+	}
+	return a
+}
+
+// Collection is a heterogeneous geometry collection.
+type Collection struct{ Members []Geometry }
+
+// Kind implements Geometry.
+func (g *Collection) Kind() Kind { return KindGeometryCollection }
+
+// Envelope implements Geometry.
+func (g *Collection) Envelope() Envelope {
+	e := EmptyEnvelope()
+	for _, m := range g.Members {
+		e = e.Extend(m.Envelope())
+	}
+	return e
+}
+
+// WKT implements Geometry.
+func (g *Collection) WKT() string {
+	if len(g.Members) == 0 {
+		return "GEOMETRYCOLLECTION EMPTY"
+	}
+	s := "GEOMETRYCOLLECTION ("
+	for i, m := range g.Members {
+		if i > 0 {
+			s += ", "
+		}
+		s += m.WKT()
+	}
+	return s + ")"
+}
+
+// IsEmpty implements Geometry.
+func (g *Collection) IsEmpty() bool { return len(g.Members) == 0 }
+
+// ---- helpers ----
+
+func coordsWKT(pts []Point) string {
+	s := "("
+	for i, p := range pts {
+		if i > 0 {
+			s += ", "
+		}
+		s += fnum(p.X) + " " + fnum(p.Y)
+	}
+	return s + ")"
+}
+
+func fnum(f float64) string {
+	return trimFloat(fmt.Sprintf("%.10g", f))
+}
+
+func trimFloat(s string) string { return s }
+
+func dist(a, b Point) float64 { return math.Hypot(a.X-b.X, a.Y-b.Y) }
+
+// ringArea returns the signed shoelace area of a closed ring.
+func ringArea(ring []Point) float64 {
+	if len(ring) < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < len(ring)-1; i++ {
+		sum += ring[i].X*ring[i+1].Y - ring[i+1].X*ring[i].Y
+	}
+	return sum / 2
+}
+
+// Area returns the area of any geometry (0 for points and lines).
+func Area(g Geometry) float64 {
+	switch t := g.(type) {
+	case *Polygon:
+		return t.Area()
+	case *MultiPolygon:
+		return t.Area()
+	case *Collection:
+		a := 0.0
+		for _, m := range t.Members {
+			a += Area(m)
+		}
+		return a
+	}
+	return 0
+}
+
+// Centroid returns the centroid of a geometry. For polygons it is the true
+// area-weighted centroid of the outer ring; for points/lines it is the mean
+// of the vertices.
+func Centroid(g Geometry) Point {
+	switch t := g.(type) {
+	case *PointGeom:
+		return t.P
+	case *MultiPoint:
+		return meanPoint(t.Points)
+	case *LineString:
+		return meanPoint(t.Points)
+	case *MultiLineString:
+		var all []Point
+		for _, l := range t.Lines {
+			all = append(all, l.Points...)
+		}
+		return meanPoint(all)
+	case *Polygon:
+		return polygonCentroid(t)
+	case *MultiPolygon:
+		// Area-weighted average of the member centroids.
+		var cx, cy, aSum float64
+		for _, p := range t.Polygons {
+			c := polygonCentroid(p)
+			a := p.Area()
+			cx += c.X * a
+			cy += c.Y * a
+			aSum += a
+		}
+		if aSum == 0 {
+			return Point{}
+		}
+		return Point{cx / aSum, cy / aSum}
+	case *Collection:
+		var all []Point
+		for _, m := range t.Members {
+			all = append(all, Centroid(m))
+		}
+		return meanPoint(all)
+	}
+	return Point{}
+}
+
+func meanPoint(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var sx, sy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	return Point{sx / float64(len(pts)), sy / float64(len(pts))}
+}
+
+func polygonCentroid(g *Polygon) Point {
+	ring := g.Outer()
+	if len(ring) < 4 {
+		return meanPoint(ring)
+	}
+	var cx, cy float64
+	a := ringArea(ring)
+	if a == 0 {
+		return meanPoint(ring)
+	}
+	for i := 0; i < len(ring)-1; i++ {
+		cross := ring[i].X*ring[i+1].Y - ring[i+1].X*ring[i].Y
+		cx += (ring[i].X + ring[i+1].X) * cross
+		cy += (ring[i].Y + ring[i+1].Y) * cross
+	}
+	return Point{cx / (6 * a), cy / (6 * a)}
+}

@@ -1,0 +1,726 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// eps is the coordinate tolerance used by the predicate implementations.
+const eps = 1e-12
+
+// ---- low-level primitives ----
+
+// orient returns >0 when c is left of ab, <0 when right, 0 when collinear.
+func orient(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// onSegment reports whether p lies on the closed segment ab.
+func onSegment(p, a, b Point) bool {
+	if math.Abs(orient(a, b, p)) > eps*(1+math.Abs(a.X)+math.Abs(b.X)+math.Abs(a.Y)+math.Abs(b.Y)) {
+		return false
+	}
+	return p.X >= math.Min(a.X, b.X)-eps && p.X <= math.Max(a.X, b.X)+eps &&
+		p.Y >= math.Min(a.Y, b.Y)-eps && p.Y <= math.Max(a.Y, b.Y)+eps
+}
+
+// segmentsIntersect reports whether the closed segments ab and cd share any
+// point.
+func segmentsIntersect(a, b, c, d Point) bool {
+	o1 := orient(a, b, c)
+	o2 := orient(a, b, d)
+	o3 := orient(c, d, a)
+	o4 := orient(c, d, b)
+	if ((o1 > 0 && o2 < 0) || (o1 < 0 && o2 > 0)) &&
+		((o3 > 0 && o4 < 0) || (o3 < 0 && o4 > 0)) {
+		return true
+	}
+	return onSegment(c, a, b) || onSegment(d, a, b) || onSegment(a, c, d) || onSegment(b, c, d)
+}
+
+// segmentsProperCross reports whether ab and cd cross at a single interior
+// point of both.
+func segmentsProperCross(a, b, c, d Point) bool {
+	o1 := orient(a, b, c)
+	o2 := orient(a, b, d)
+	o3 := orient(c, d, a)
+	o4 := orient(c, d, b)
+	return ((o1 > eps && o2 < -eps) || (o1 < -eps && o2 > eps)) &&
+		((o3 > eps && o4 < -eps) || (o3 < -eps && o4 > eps))
+}
+
+// pointInRing reports the even-odd containment of p in the closed ring.
+// Returns +1 inside, 0 on boundary, -1 outside.
+func pointInRing(p Point, ring []Point) int {
+	n := len(ring)
+	if n < 4 {
+		return -1
+	}
+	inside := false
+	for i := 0; i < n-1; i++ {
+		a, b := ring[i], ring[i+1]
+		if onSegment(p, a, b) {
+			return 0
+		}
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			x := a.X + (p.Y-a.Y)/(b.Y-a.Y)*(b.X-a.X)
+			if x > p.X {
+				inside = !inside
+			}
+		}
+	}
+	if inside {
+		return 1
+	}
+	return -1
+}
+
+// pointInPolygon returns +1 when p is strictly inside g (inside outer ring
+// and outside all holes), 0 on any ring boundary, -1 outside.
+func pointInPolygon(p Point, g *Polygon) int {
+	if len(g.Rings) == 0 {
+		return -1
+	}
+	r := pointInRing(p, g.Rings[0])
+	if r <= 0 {
+		return r
+	}
+	for _, hole := range g.Rings[1:] {
+		hr := pointInRing(p, hole)
+		if hr == 0 {
+			return 0
+		}
+		if hr > 0 {
+			return -1
+		}
+	}
+	return 1
+}
+
+// ---- decomposition ----
+
+// segments returns all line segments of the geometry (polygon ring edges and
+// polyline edges).
+func segments(g Geometry) [][2]Point {
+	var out [][2]Point
+	addRing := func(ring []Point) {
+		for i := 0; i+1 < len(ring); i++ {
+			out = append(out, [2]Point{ring[i], ring[i+1]})
+		}
+	}
+	switch t := g.(type) {
+	case *LineString:
+		addRing(t.Points)
+	case *MultiLineString:
+		for _, l := range t.Lines {
+			addRing(l.Points)
+		}
+	case *Polygon:
+		for _, r := range t.Rings {
+			addRing(r)
+		}
+	case *MultiPolygon:
+		for _, p := range t.Polygons {
+			for _, r := range p.Rings {
+				addRing(r)
+			}
+		}
+	case *Collection:
+		for _, m := range t.Members {
+			out = append(out, segments(m)...)
+		}
+	}
+	return out
+}
+
+// vertices returns all coordinates of the geometry.
+func vertices(g Geometry) []Point {
+	var out []Point
+	switch t := g.(type) {
+	case *PointGeom:
+		out = append(out, t.P)
+	case *MultiPoint:
+		out = append(out, t.Points...)
+	case *LineString:
+		out = append(out, t.Points...)
+	case *MultiLineString:
+		for _, l := range t.Lines {
+			out = append(out, l.Points...)
+		}
+	case *Polygon:
+		for _, r := range t.Rings {
+			out = append(out, r...)
+		}
+	case *MultiPolygon:
+		for _, p := range t.Polygons {
+			for _, r := range p.Rings {
+				out = append(out, r...)
+			}
+		}
+	case *Collection:
+		for _, m := range t.Members {
+			out = append(out, vertices(m)...)
+		}
+	}
+	return out
+}
+
+// polygons returns the areal components of the geometry.
+func polygons(g Geometry) []*Polygon {
+	switch t := g.(type) {
+	case *Polygon:
+		return []*Polygon{t}
+	case *MultiPolygon:
+		return t.Polygons
+	case *Collection:
+		var out []*Polygon
+		for _, m := range t.Members {
+			out = append(out, polygons(m)...)
+		}
+		return out
+	}
+	return nil
+}
+
+// pointInAny returns the max containment value of p over the polygons:
+// +1 strictly inside some polygon, 0 on some boundary, -1 outside all.
+func pointInAny(p Point, polys []*Polygon) int {
+	best := -1
+	for _, pg := range polys {
+		r := pointInPolygon(p, pg)
+		if r > best {
+			best = r
+		}
+		if best == 1 {
+			return 1
+		}
+	}
+	return best
+}
+
+// ---- OGC simple feature predicates ----
+
+// Intersects reports whether a and b share at least one point.
+func Intersects(a, b Geometry) bool {
+	if a.IsEmpty() || b.IsEmpty() {
+		return false
+	}
+	if !a.Envelope().Intersects(b.Envelope()) {
+		return false
+	}
+	pa, pb := polygons(a), polygons(b)
+	// Any vertex of one inside/on the other's areal part.
+	if len(pb) > 0 {
+		for _, v := range vertices(a) {
+			if pointInAny(v, pb) >= 0 {
+				return true
+			}
+		}
+	}
+	if len(pa) > 0 {
+		for _, v := range vertices(b) {
+			if pointInAny(v, pa) >= 0 {
+				return true
+			}
+		}
+	}
+	// Point-only geometries against point/line parts.
+	sa, sb := segments(a), segments(b)
+	for _, v := range pointsOnly(a) {
+		for _, s := range sb {
+			if onSegment(v, s[0], s[1]) {
+				return true
+			}
+		}
+		for _, w := range pointsOnly(b) {
+			if samePoint(v, w) {
+				return true
+			}
+		}
+	}
+	for _, v := range pointsOnly(b) {
+		for _, s := range sa {
+			if onSegment(v, s[0], s[1]) {
+				return true
+			}
+		}
+	}
+	// Segment-segment intersection (covers line/line, line/polygon edge,
+	// polygon/polygon edge cases).
+	for _, s1 := range sa {
+		for _, s2 := range sb {
+			if segmentsIntersect(s1[0], s1[1], s2[0], s2[1]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pointsOnly returns the point components of the geometry (point and
+// multipoint members).
+func pointsOnly(g Geometry) []Point {
+	switch t := g.(type) {
+	case *PointGeom:
+		return []Point{t.P}
+	case *MultiPoint:
+		return t.Points
+	case *Collection:
+		var out []Point
+		for _, m := range t.Members {
+			out = append(out, pointsOnly(m)...)
+		}
+		return out
+	}
+	return nil
+}
+
+func samePoint(a, b Point) bool {
+	return math.Abs(a.X-b.X) <= eps && math.Abs(a.Y-b.Y) <= eps
+}
+
+// Disjoint reports whether a and b share no point.
+func Disjoint(a, b Geometry) bool { return !Intersects(a, b) }
+
+// Contains reports whether a contains b: every point of b is in a, and at
+// least one point of b is in a's interior.
+func Contains(a, b Geometry) bool {
+	if a.IsEmpty() || b.IsEmpty() {
+		return false
+	}
+	if !a.Envelope().ContainsEnvelope(b.Envelope()) {
+		return false
+	}
+	pa := polygons(a)
+	if len(pa) > 0 {
+		// Areal container: all of b's vertices inside or on boundary, at
+		// least one strictly inside, and no segment of b crossing out.
+		vb := vertices(b)
+		interior := false
+		for _, v := range vb {
+			r := pointInAny(v, pa)
+			if r < 0 {
+				return false
+			}
+			if r > 0 {
+				interior = true
+			}
+		}
+		for _, s := range segments(b) {
+			for _, sa := range segments(a) {
+				if segmentsProperCross(s[0], s[1], sa[0], sa[1]) {
+					return false
+				}
+			}
+			// Midpoint must not fall outside (handles b's edge passing
+			// through a hole or a concavity without proper crossings).
+			mid := Point{(s[0].X + s[1].X) / 2, (s[0].Y + s[1].Y) / 2}
+			r := pointInAny(mid, pa)
+			if r < 0 {
+				return false
+			}
+			if r > 0 {
+				interior = true
+			}
+		}
+		if !interior {
+			// All sampled points sit on a's boundary. For an areal b this
+			// happens when the boundaries coincide (Contains(A, A) must
+			// hold): probe interior points of b's polygons.
+			for _, pb := range polygons(b) {
+				c := polygonCentroid(pb)
+				if pointInPolygon(c, pb) > 0 && pointInAny(c, pa) > 0 {
+					interior = true
+					break
+				}
+			}
+		}
+		if !interior {
+			// b (a point/line) lies entirely on a's boundary.
+			return false
+		}
+		return true
+	}
+	switch ta := a.(type) {
+	case *LineString, *MultiLineString:
+		// Line contains points / sub-lines: every vertex and midpoint of b
+		// must lie on some segment of a.
+		sa := segments(a)
+		check := func(p Point) bool {
+			for _, s := range sa {
+				if onSegment(p, s[0], s[1]) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, v := range vertices(b) {
+			if !check(v) {
+				return false
+			}
+		}
+		for _, s := range segments(b) {
+			mid := Point{(s[0].X + s[1].X) / 2, (s[0].Y + s[1].Y) / 2}
+			if !check(mid) {
+				return false
+			}
+		}
+		if _, isPt := b.(*PointGeom); isPt {
+			// A line contains a point only in its interior; endpoints are
+			// boundary. Accept boundary too (pragmatic covers semantics).
+			return true
+		}
+		return true
+	case *PointGeom:
+		for _, v := range vertices(b) {
+			if !samePoint(ta.P, v) {
+				return false
+			}
+		}
+		return true
+	case *MultiPoint:
+		for _, v := range vertices(b) {
+			found := false
+			for _, p := range ta.Points {
+				if samePoint(p, v) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Within reports whether a is within b (the converse of Contains).
+func Within(a, b Geometry) bool { return Contains(b, a) }
+
+// interiorsIntersect reports whether the interiors of a and b share a point
+// (approximated by strict containment of vertices/midpoints and proper
+// segment crossings).
+func interiorsIntersect(a, b Geometry) bool {
+	pa, pb := polygons(a), polygons(b)
+	if len(pa) > 0 && len(pb) > 0 {
+		for _, v := range vertices(b) {
+			if pointInAny(v, pa) > 0 {
+				return true
+			}
+		}
+		for _, v := range vertices(a) {
+			if pointInAny(v, pb) > 0 {
+				return true
+			}
+		}
+		for _, s1 := range segments(a) {
+			for _, s2 := range segments(b) {
+				if segmentsProperCross(s1[0], s1[1], s2[0], s2[1]) {
+					return true
+				}
+			}
+		}
+		// One polygon entirely inside the other with no vertex strictly
+		// inside is impossible once envelopes overlap and edges don't
+		// cross, except identical boundaries — treat midpoints.
+		for _, s := range segments(b) {
+			mid := Point{(s[0].X + s[1].X) / 2, (s[0].Y + s[1].Y) / 2}
+			if pointInAny(mid, pa) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if len(pa) > 0 {
+		// b is line/point: interior intersection means some point of b
+		// strictly inside a.
+		for _, v := range vertices(b) {
+			if pointInAny(v, pa) > 0 {
+				return true
+			}
+		}
+		for _, s := range segments(b) {
+			mid := Point{(s[0].X + s[1].X) / 2, (s[0].Y + s[1].Y) / 2}
+			if pointInAny(mid, pa) > 0 {
+				return true
+			}
+		}
+		for _, s1 := range segments(a) {
+			for _, s2 := range segments(b) {
+				if segmentsProperCross(s1[0], s1[1], s2[0], s2[1]) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if len(pb) > 0 {
+		return interiorsIntersect(b, a)
+	}
+	// line/line: proper crossing or collinear overlap.
+	for _, s1 := range segments(a) {
+		for _, s2 := range segments(b) {
+			if segmentsProperCross(s1[0], s1[1], s2[0], s2[1]) {
+				return true
+			}
+			// collinear overlap of positive length
+			if collinearOverlap(s1, s2) {
+				return true
+			}
+		}
+	}
+	// point against line/point interiors
+	for _, v := range pointsOnly(a) {
+		for _, s := range segments(b) {
+			if onSegment(v, s[0], s[1]) && !samePoint(v, s[0]) && !samePoint(v, s[1]) {
+				return true
+			}
+		}
+		for _, w := range pointsOnly(b) {
+			if samePoint(v, w) {
+				return true
+			}
+		}
+	}
+	for _, v := range pointsOnly(b) {
+		for _, s := range segments(a) {
+			if onSegment(v, s[0], s[1]) && !samePoint(v, s[0]) && !samePoint(v, s[1]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func collinearOverlap(s1, s2 [2]Point) bool {
+	if math.Abs(orient(s1[0], s1[1], s2[0])) > eps || math.Abs(orient(s1[0], s1[1], s2[1])) > eps {
+		return false
+	}
+	// Project onto the dominant axis and check interval overlap length.
+	ax := math.Abs(s1[1].X - s1[0].X)
+	ay := math.Abs(s1[1].Y - s1[0].Y)
+	var a1, a2, b1, b2 float64
+	if ax >= ay {
+		a1, a2 = math.Min(s1[0].X, s1[1].X), math.Max(s1[0].X, s1[1].X)
+		b1, b2 = math.Min(s2[0].X, s2[1].X), math.Max(s2[0].X, s2[1].X)
+	} else {
+		a1, a2 = math.Min(s1[0].Y, s1[1].Y), math.Max(s1[0].Y, s1[1].Y)
+		b1, b2 = math.Min(s2[0].Y, s2[1].Y), math.Max(s2[0].Y, s2[1].Y)
+	}
+	return math.Min(a2, b2)-math.Max(a1, b1) > eps
+}
+
+// Touches reports whether a and b intersect only at their boundaries.
+func Touches(a, b Geometry) bool {
+	return Intersects(a, b) && !interiorsIntersect(a, b)
+}
+
+// Overlaps reports whether a and b have the same dimension, their interiors
+// intersect, and neither contains the other.
+func Overlaps(a, b Geometry) bool {
+	if dimension(a) != dimension(b) {
+		return false
+	}
+	return interiorsIntersect(a, b) && !Contains(a, b) && !Contains(b, a)
+}
+
+// Crosses reports whether the interiors intersect and the geometries have
+// different dimensions (or two lines crossing at a point).
+func Crosses(a, b Geometry) bool {
+	da, db := dimension(a), dimension(b)
+	if da == db {
+		if da != 1 {
+			return false
+		}
+		// Two lines cross when they properly cross at points.
+		for _, s1 := range segments(a) {
+			for _, s2 := range segments(b) {
+				if segmentsProperCross(s1[0], s1[1], s2[0], s2[1]) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return interiorsIntersect(a, b) && !Contains(a, b) && !Contains(b, a)
+}
+
+// Equals reports geometric equality: mutual containment.
+func Equals(a, b Geometry) bool {
+	if a.IsEmpty() && b.IsEmpty() {
+		return true
+	}
+	da, db := dimension(a), dimension(b)
+	if da != db {
+		return false
+	}
+	if da == 0 {
+		return Contains(a, b) && Contains(b, a)
+	}
+	// For lines and areas mutual "every point inside" is sufficient at our
+	// tolerance: check all vertices and midpoints mutually.
+	return coveredBy(a, b) && coveredBy(b, a)
+}
+
+// coveredBy reports whether every sampled point of a lies on/in b.
+func coveredBy(a, b Geometry) bool {
+	pb := polygons(b)
+	checkPoly := func(p Point) bool { return pointInAny(p, pb) >= 0 }
+	sb := segments(b)
+	checkLine := func(p Point) bool {
+		for _, s := range sb {
+			if onSegment(p, s[0], s[1]) {
+				return true
+			}
+		}
+		return false
+	}
+	check := checkLine
+	if len(pb) > 0 {
+		check = checkPoly
+	}
+	for _, v := range vertices(a) {
+		if !check(v) {
+			return false
+		}
+	}
+	for _, s := range segments(a) {
+		mid := Point{(s[0].X + s[1].X) / 2, (s[0].Y + s[1].Y) / 2}
+		if !check(mid) {
+			return false
+		}
+	}
+	return true
+}
+
+func dimension(g Geometry) int {
+	switch t := g.(type) {
+	case *PointGeom, *MultiPoint:
+		return 0
+	case *LineString, *MultiLineString:
+		return 1
+	case *Polygon, *MultiPolygon:
+		return 2
+	case *Collection:
+		d := 0
+		for _, m := range t.Members {
+			if md := dimension(m); md > d {
+				d = md
+			}
+		}
+		return d
+	}
+	return 0
+}
+
+// Distance returns the minimum planar distance between a and b (0 when they
+// intersect).
+func Distance(a, b Geometry) float64 {
+	if Intersects(a, b) {
+		return 0
+	}
+	best := math.Inf(1)
+	va, vb := vertices(a), vertices(b)
+	sa, sb := segments(a), segments(b)
+	for _, p := range va {
+		for _, s := range sb {
+			best = math.Min(best, pointSegDist(p, s[0], s[1]))
+		}
+		if len(sb) == 0 {
+			for _, q := range vb {
+				best = math.Min(best, dist(p, q))
+			}
+		}
+	}
+	for _, p := range vb {
+		for _, s := range sa {
+			best = math.Min(best, pointSegDist(p, s[0], s[1]))
+		}
+		if len(sa) == 0 {
+			for _, q := range va {
+				best = math.Min(best, dist(p, q))
+			}
+		}
+	}
+	return best
+}
+
+func pointSegDist(p, a, b Point) float64 {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	l2 := dx*dx + dy*dy
+	if l2 == 0 {
+		return dist(p, a)
+	}
+	t := ((p.X-a.X)*dx + (p.Y-a.Y)*dy) / l2
+	t = math.Max(0, math.Min(1, t))
+	return dist(p, Point{a.X + t*dx, a.Y + t*dy})
+}
+
+// ConvexHull returns the convex hull of the geometry's vertices as a
+// Polygon (Andrew's monotone chain). Degenerate inputs (fewer than three
+// distinct points) yield a point or line wrapped in a collection-friendly
+// geometry.
+func ConvexHull(g Geometry) Geometry {
+	pts := dedupPoints(vertices(g))
+	if len(pts) == 0 {
+		return &MultiPoint{}
+	}
+	if len(pts) == 1 {
+		return &PointGeom{pts[0]}
+	}
+	if len(pts) == 2 {
+		return &LineString{pts}
+	}
+	sortPoints(pts)
+	var lower, upper []Point
+	for _, p := range pts {
+		for len(lower) >= 2 && orient(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(pts) - 1; i >= 0; i-- {
+		p := pts[i]
+		for len(upper) >= 2 && orient(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	if len(hull) < 3 {
+		return &LineString{pts}
+	}
+	hull = append(hull, hull[0])
+	return &Polygon{Rings: [][]Point{hull}}
+}
+
+func dedupPoints(pts []Point) []Point {
+	seen := map[Point]bool{}
+	var out []Point
+	for _, p := range pts {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sortPoints(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+}
+
+// Buffer returns a crude polygonal buffer: the envelope of g expanded by d
+// on every side, converted to a polygon. (The paper's workloads use buffers
+// only for coarse proximity filtering; a rounded buffer is unnecessary.)
+func Buffer(g Geometry, d float64) *Polygon {
+	e := g.Envelope()
+	return NewRect(e.MinX-d, e.MinY-d, e.MaxX+d, e.MaxY+d)
+}

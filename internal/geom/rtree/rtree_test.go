@@ -1,0 +1,224 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"applab/internal/geom"
+)
+
+func ptEnv(x, y float64) geom.Envelope { return geom.Envelope{MinX: x, MinY: y, MaxX: x, MaxY: y} }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("empty tree Len != 0")
+	}
+	if got := tr.SearchAll(geom.Envelope{MinX: -1e9, MinY: -1e9, MaxX: 1e9, MaxY: 1e9}); len(got) != 0 {
+		t.Fatalf("empty tree returned %v", got)
+	}
+	if got := tr.Nearest(geom.Point{}, 3); got != nil {
+		t.Fatalf("empty tree Nearest = %v", got)
+	}
+}
+
+func TestInsertAndSearch(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		x, y := float64(i%10), float64(i/10)
+		tr.Insert(ptEnv(x, y), i)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.SearchAll(geom.Envelope{MinX: 2.5, MinY: 2.5, MaxX: 5.5, MaxY: 5.5})
+	if len(got) != 9 { // x,y in {3,4,5}
+		t.Fatalf("window query returned %d items, want 9", len(got))
+	}
+	// point query
+	hit := tr.SearchAll(ptEnv(7, 3))
+	if len(hit) != 1 || hit[0].Data.(int) != 37 {
+		t.Fatalf("point query = %v", hit)
+	}
+	// miss
+	if m := tr.SearchAll(geom.Envelope{MinX: 100, MinY: 100, MaxX: 101, MaxY: 101}); len(m) != 0 {
+		t.Fatalf("miss query = %v", m)
+	}
+}
+
+func TestBulkMatchesInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var items []Item
+	ins := New()
+	for i := 0; i < 500; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		w, h := rng.Float64()*10, rng.Float64()*10
+		e := geom.Envelope{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+		items = append(items, Item{e, i})
+		ins.Insert(e, i)
+	}
+	bulk := Bulk(items)
+	if bulk.Len() != 500 || ins.Len() != 500 {
+		t.Fatalf("sizes: bulk=%d ins=%d", bulk.Len(), ins.Len())
+	}
+	for q := 0; q < 50; q++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		query := geom.Envelope{MinX: x, MinY: y, MaxX: x + 50, MaxY: y + 50}
+		a := idsOf(bulk.SearchAll(query))
+		b := idsOf(ins.SearchAll(query))
+		c := bruteForce(items, query)
+		if !equalInts(a, c) {
+			t.Fatalf("bulk query %d: got %v want %v", q, a, c)
+		}
+		if !equalInts(b, c) {
+			t.Fatalf("insert query %d: got %v want %v", q, b, c)
+		}
+	}
+}
+
+func idsOf(items []Item) []int {
+	out := make([]int, len(items))
+	for i, it := range items {
+		out[i] = it.Data.(int)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func bruteForce(items []Item, q geom.Envelope) []int {
+	var out []int
+	for _, it := range items {
+		if it.Env.Intersects(q) {
+			out = append(out, it.Data.(int))
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr.Insert(ptEnv(float64(i), 0), i)
+	}
+	count := 0
+	tr.Search(geom.Envelope{MinX: -1, MinY: -1, MaxX: 100, MaxY: 1}, func(Item) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Insert(ptEnv(float64(i*10), 0), i)
+	}
+	got := tr.Nearest(geom.Point{X: 34, Y: 0}, 3)
+	if len(got) != 3 {
+		t.Fatalf("Nearest returned %d", len(got))
+	}
+	// nearest to x=34 are 30 (d=4), 40 (d=6), 20 (d=14)
+	want := []int{3, 4, 2}
+	for i, it := range got {
+		if it.Data.(int) != want[i] {
+			t.Fatalf("Nearest order = %v, want %v", idsRaw(got), want)
+		}
+	}
+	// k larger than size
+	all := tr.Nearest(geom.Point{}, 100)
+	if len(all) != 10 {
+		t.Fatalf("Nearest k>size returned %d", len(all))
+	}
+}
+
+func idsRaw(items []Item) []int {
+	out := make([]int, len(items))
+	for i, it := range items {
+		out[i] = it.Data.(int)
+	}
+	return out
+}
+
+func TestHeightGrows(t *testing.T) {
+	tr := New()
+	if tr.Height() != 1 {
+		t.Fatal("fresh tree height != 1")
+	}
+	for i := 0; i < 1000; i++ {
+		tr.Insert(ptEnv(float64(i%37), float64(i%53)), i)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height after 1000 inserts = %d", tr.Height())
+	}
+}
+
+// Property: tree search is exactly brute force for random rectangles.
+func TestSearchEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + int(nRaw)%200
+		var items []Item
+		tr := New()
+		for i := 0; i < n; i++ {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			e := geom.Envelope{MinX: x, MinY: y, MaxX: x + rng.Float64()*5, MaxY: y + rng.Float64()*5}
+			items = append(items, Item{e, i})
+			tr.Insert(e, i)
+		}
+		q := geom.Envelope{MinX: rng.Float64() * 80, MinY: rng.Float64() * 80, MaxX: 0, MaxY: 0}
+		q.MaxX = q.MinX + rng.Float64()*30
+		q.MaxY = q.MinY + rng.Float64()*30
+		return equalInts(idsOf(tr.SearchAll(q)), bruteForce(items, q))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Nearest(k=1) agrees with brute-force minimum distance.
+func TestNearestProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		var pts []geom.Point
+		for i := 0; i < 100; i++ {
+			p := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			pts = append(pts, p)
+			tr.Insert(ptEnv(p.X, p.Y), i)
+		}
+		q := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		got := tr.Nearest(q, 1)
+		if len(got) != 1 {
+			return false
+		}
+		gotP := pts[got[0].Data.(int)]
+		gotD := math.Hypot(gotP.X-q.X, gotP.Y-q.Y)
+		for _, p := range pts {
+			if math.Hypot(p.X-q.X, p.Y-q.Y) < gotD-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

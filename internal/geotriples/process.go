@@ -1,0 +1,131 @@
+package geotriples
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"applab/internal/rdf"
+)
+
+// Process applies the triples maps to every row of the table, returning
+// the generated triples in row order.
+func Process(maps []TriplesMap, t *Table) ([]rdf.Triple, error) {
+	cols := colIndex(t)
+	var out []rdf.Triple
+	for ri, row := range t.Rows {
+		ts, err := processRow(maps, cols, row)
+		if err != nil {
+			return nil, fmt.Errorf("geotriples: row %d: %v", ri, err)
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+// ProcessParallel applies the triples maps with a pool of workers over row
+// chunks — the laptop-scale analogue of GeoTriples' Hadoop mapping
+// processor. Output order matches Process.
+func ProcessParallel(maps []TriplesMap, t *Table, workers int) ([]rdf.Triple, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 || len(t.Rows) < 2*workers {
+		return Process(maps, t)
+	}
+	cols := colIndex(t)
+	chunk := (len(t.Rows) + workers - 1) / workers
+	results := make([][]rdf.Triple, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > len(t.Rows) {
+			end = len(t.Rows)
+		}
+		if start >= end {
+			continue
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			var acc []rdf.Triple
+			for ri := start; ri < end; ri++ {
+				ts, err := processRow(maps, cols, t.Rows[ri])
+				if err != nil {
+					errs[w] = fmt.Errorf("geotriples: row %d: %v", ri, err)
+					return
+				}
+				acc = append(acc, ts...)
+			}
+			results[w] = acc
+		}(w, start, end)
+	}
+	wg.Wait()
+	var out []rdf.Triple
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		out = append(out, results[w]...)
+	}
+	return out, nil
+}
+
+func colIndex(t *Table) map[string]int {
+	cols := make(map[string]int, len(t.Cols))
+	for i, c := range t.Cols {
+		cols[strings.ToLower(c)] = i
+	}
+	return cols
+}
+
+// processRow instantiates every triples map for one row. Rows with empty
+// placeholder values skip the affected triples (R2RML NULL semantics).
+func processRow(maps []TriplesMap, cols map[string]int, row []string) ([]rdf.Triple, error) {
+	var out []rdf.Triple
+	for _, m := range maps {
+		subjIRI, ok := expandTemplate(m.SubjectTemplate, cols, row, true)
+		if !ok {
+			continue
+		}
+		subj := rdf.NewIRI(subjIRI)
+		for _, cls := range m.Classes {
+			out = append(out, rdf.NewTriple(subj, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(cls)))
+		}
+		for _, pom := range m.POMs {
+			pred := rdf.NewIRI(pom.Predicate)
+			var obj rdf.Term
+			switch {
+			case pom.Constant != nil:
+				obj = *pom.Constant
+			case pom.Template != "":
+				v, ok := expandTemplate(pom.Template, cols, row, true)
+				if !ok {
+					continue
+				}
+				obj = rdf.NewIRI(v)
+			default:
+				ci, ok := cols[strings.ToLower(pom.Column)]
+				if !ok {
+					return nil, fmt.Errorf("mapping %s references unknown column %q", m.Name, pom.Column)
+				}
+				v := row[ci]
+				if v == "" {
+					continue
+				}
+				switch {
+				case pom.TermIRI:
+					obj = rdf.NewIRI(iriSafe(v))
+				case pom.Datatype != "":
+					obj = rdf.NewTypedLiteral(v, pom.Datatype)
+				default:
+					obj = rdf.NewLiteral(v)
+				}
+			}
+			out = append(out, rdf.NewTriple(subj, pred, obj))
+		}
+	}
+	return out, nil
+}

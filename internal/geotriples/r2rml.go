@@ -1,0 +1,164 @@
+package geotriples
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"applab/internal/rdf"
+)
+
+// NSRR is the W3C R2RML namespace.
+const NSRR = "http://www.w3.org/ns/r2rml#"
+
+// TriplesMap is one parsed R2RML triples map.
+type TriplesMap struct {
+	// Name is the triples map node (for diagnostics).
+	Name string
+	// SubjectTemplate is an IRI template with {column} placeholders.
+	SubjectTemplate string
+	// Classes are rr:class IRIs asserted for every subject.
+	Classes []string
+	// POMs are the predicate-object maps.
+	POMs []PredicateObjectMap
+}
+
+// PredicateObjectMap maps one predicate to an object produced from a
+// column, template or constant.
+type PredicateObjectMap struct {
+	Predicate string
+	// Column produces a literal from a source column (rr:column).
+	Column string
+	// Template produces an IRI from a template (rr:template on object).
+	Template string
+	// Constant produces a fixed term (rr:constant).
+	Constant *rdf.Term
+	// Datatype is the literal datatype IRI (rr:datatype).
+	Datatype string
+	// TermIRI forces the object to be an IRI even for column values.
+	TermIRI bool
+}
+
+// ParseR2RML parses an R2RML mapping document written in Turtle. The
+// supported subset uses labeled blank nodes (our Turtle reader does not
+// support anonymous property lists):
+//
+//	@prefix rr: <http://www.w3.org/ns/r2rml#> .
+//	<#ParkMap> rr:subjectMap _:sm .
+//	_:sm rr:template "http://www.app-lab.eu/osm/{id}" ; rr:class osm:Park .
+//	<#ParkMap> rr:predicateObjectMap _:pom1 .
+//	_:pom1 rr:predicate osm:hasName ; rr:objectMap _:om1 .
+//	_:om1 rr:column "name" .
+func ParseR2RML(doc string) ([]TriplesMap, error) {
+	triples, _, err := rdf.ParseTurtleString(doc)
+	if err != nil {
+		return nil, fmt.Errorf("geotriples: r2rml: %v", err)
+	}
+	g := rdf.NewGraph()
+	g.AddAll(triples)
+
+	rr := func(local string) rdf.Term { return rdf.NewIRI(NSRR + local) }
+
+	// Triples maps are subjects with rr:subjectMap.
+	tmNodes := g.Subjects(rr("subjectMap"), rdf.Term{})
+	if len(tmNodes) == 0 {
+		return nil, fmt.Errorf("geotriples: r2rml: no triples maps (rr:subjectMap) found")
+	}
+	var out []TriplesMap
+	for _, tmNode := range tmNodes {
+		tm := TriplesMap{Name: tmNode.Value}
+		smNode, _ := g.FirstObject(tmNode, rr("subjectMap"))
+		tmpl, ok := g.FirstObject(smNode, rr("template"))
+		if !ok {
+			return nil, fmt.Errorf("geotriples: r2rml: %s subject map lacks rr:template", tm.Name)
+		}
+		tm.SubjectTemplate = tmpl.Value
+		for _, cls := range g.Objects(smNode, rr("class")) {
+			tm.Classes = append(tm.Classes, cls.Value)
+		}
+		for _, pomNode := range g.Objects(tmNode, rr("predicateObjectMap")) {
+			var pom PredicateObjectMap
+			pred, ok := g.FirstObject(pomNode, rr("predicate"))
+			if !ok {
+				return nil, fmt.Errorf("geotriples: r2rml: %s pom lacks rr:predicate", tm.Name)
+			}
+			pom.Predicate = pred.Value
+			omNode, ok := g.FirstObject(pomNode, rr("objectMap"))
+			if !ok {
+				return nil, fmt.Errorf("geotriples: r2rml: %s pom lacks rr:objectMap", tm.Name)
+			}
+			if col, ok := g.FirstObject(omNode, rr("column")); ok {
+				pom.Column = col.Value
+			}
+			if t, ok := g.FirstObject(omNode, rr("template")); ok {
+				pom.Template = t.Value
+			}
+			if c, ok := g.FirstObject(omNode, rr("constant")); ok {
+				cc := c
+				pom.Constant = &cc
+			}
+			if dt, ok := g.FirstObject(omNode, rr("datatype")); ok {
+				pom.Datatype = dt.Value
+			}
+			if tt, ok := g.FirstObject(omNode, rr("termType")); ok && tt.Value == NSRR+"IRI" {
+				pom.TermIRI = true
+			}
+			if pom.Column == "" && pom.Template == "" && pom.Constant == nil {
+				return nil, fmt.Errorf("geotriples: r2rml: %s object map needs rr:column, rr:template or rr:constant", tm.Name)
+			}
+			tm.POMs = append(tm.POMs, pom)
+		}
+		sort.Slice(tm.POMs, func(i, j int) bool { return tm.POMs[i].Predicate < tm.POMs[j].Predicate })
+		out = append(out, tm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// expandTemplate substitutes {col} placeholders with row values.
+// IRI-unsafe characters in substituted values are percent-encoded when
+// asIRI is set.
+func expandTemplate(tmpl string, cols map[string]int, row []string, asIRI bool) (string, bool) {
+	var b strings.Builder
+	s := tmpl
+	for {
+		i := strings.IndexByte(s, '{')
+		if i < 0 {
+			b.WriteString(s)
+			return b.String(), true
+		}
+		j := strings.IndexByte(s[i:], '}')
+		if j < 0 {
+			b.WriteString(s)
+			return b.String(), true
+		}
+		b.WriteString(s[:i])
+		col := s[i+1 : i+j]
+		ci, ok := cols[strings.ToLower(col)]
+		if !ok || row[ci] == "" {
+			return "", false
+		}
+		v := row[ci]
+		if asIRI {
+			v = iriSafe(v)
+		}
+		b.WriteString(v)
+		s = s[i+j+1:]
+	}
+}
+
+func iriSafe(s string) string {
+	if !strings.ContainsAny(s, " <>\"{}|\\^`") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range []byte(s) {
+		switch c {
+		case ' ', '<', '>', '"', '{', '}', '|', '\\', '^', '`':
+			fmt.Fprintf(&b, "%%%02X", c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

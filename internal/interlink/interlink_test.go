@@ -1,0 +1,228 @@
+package interlink
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"applab/internal/geom"
+	"applab/internal/rdf"
+	"applab/internal/workload"
+)
+
+func ent(id string, g geom.Geometry) Entity {
+	return Entity{ID: rdf.NewIRI("http://ex.org/" + id), Geom: g}
+}
+
+func TestSpatialLinkerMatchesNaive(t *testing.T) {
+	parks := workload.OSMParks(workload.VectorOptions{Extent: workload.ParisExtent, N: 60, Seed: 3})
+	clc := workload.CorineLandCover(workload.VectorOptions{Extent: workload.ParisExtent, N: 80, Seed: 4})
+	var src, dst []Entity
+	for _, f := range parks {
+		src = append(src, ent("osm/"+f.ID, f.Geom))
+	}
+	for _, f := range clc {
+		dst = append(dst, ent("clc/"+f.ID, f.Geom))
+	}
+	naive := DiscoverNaive(src, dst, geom.Intersects, rdf.NSGeo+"sfIntersects")
+	if len(naive) == 0 {
+		t.Fatal("naive discovery found nothing; bad workload")
+	}
+	for _, workers := range []int{1, 4} {
+		l := &SpatialLinker{Relation: geom.Intersects, Predicate: rdf.NSGeo + "sfIntersects", Workers: workers}
+		got := l.Discover(src, dst)
+		if len(got) != len(naive) {
+			t.Fatalf("workers=%d: %d links, naive %d", workers, len(got), len(naive))
+		}
+		for i := range got {
+			if got[i] != naive[i] {
+				t.Fatalf("workers=%d: link %d differs: %+v vs %+v", workers, i, got[i], naive[i])
+			}
+		}
+	}
+}
+
+func TestSpatialLinkerExplicitCellSize(t *testing.T) {
+	a := []Entity{ent("a", geom.NewRect(0, 0, 1, 1))}
+	b := []Entity{
+		ent("b1", geom.NewRect(0.5, 0.5, 2, 2)), // intersects
+		ent("b2", geom.NewRect(10, 10, 11, 11)), // disjoint
+		ent("b3", geom.NewRect(0.9, 0.9, 5, 5)), // intersects
+	}
+	l := &SpatialLinker{Relation: geom.Intersects, Predicate: "p", CellSize: 0.5}
+	links := l.Discover(a, b)
+	if len(links) != 2 {
+		t.Fatalf("links = %+v", links)
+	}
+}
+
+func TestSpatialLinkerEmptyInputs(t *testing.T) {
+	l := &SpatialLinker{Relation: geom.Intersects, Predicate: "p"}
+	if got := l.Discover(nil, nil); got != nil {
+		t.Errorf("empty discover = %v", got)
+	}
+}
+
+func TestEntitiesFromGraph(t *testing.T) {
+	parks := workload.OSMParks(workload.VectorOptions{Extent: workload.ParisExtent, N: 5, Seed: 1})
+	g := rdf.NewGraph()
+	g.AddAll(workload.FeaturesToRDF(rdf.NSOSM, rdf.NSOSM+"poiType", parks))
+	// Add an unparseable geometry that must be skipped.
+	g.Add(rdf.NewTriple(rdf.NewIRI("bad"), rdf.NewIRI(rdf.NSGeo+"hasGeometry"), rdf.NewIRI("badg")))
+	g.Add(rdf.NewTriple(rdf.NewIRI("badg"), rdf.NewIRI(rdf.NSGeo+"asWKT"), rdf.NewWKT("JUNK")))
+
+	ents := EntitiesFromGraph(g, rdf.NSOSM+"hasName")
+	if len(ents) != 5 {
+		t.Fatalf("entities = %d", len(ents))
+	}
+	foundBois := false
+	for _, e := range ents {
+		if e.Name == "Bois de Boulogne" {
+			foundBois = true
+		}
+		if e.Geom == nil {
+			t.Errorf("entity %v lacks geometry", e.ID)
+		}
+	}
+	if !foundBois {
+		t.Error("named entity missing")
+	}
+}
+
+func TestResolveEntities(t *testing.T) {
+	a := []Entity{
+		{ID: rdf.NewIRI("a1"), Name: "Bois de Boulogne"},
+		{ID: rdf.NewIRI("a2"), Name: "Parc Monceau"},
+		{ID: rdf.NewIRI("a3"), Name: "Jardin du Luxembourg"},
+	}
+	b := []Entity{
+		{ID: rdf.NewIRI("b1"), Name: "bois de boulogne"}, // same, case differs
+		{ID: rdf.NewIRI("b2"), Name: "Parc de Monceau"},  // near
+		{ID: rdf.NewIRI("b3"), Name: "Tour Eiffel"},      // unrelated
+	}
+	links := ResolveEntities(a, b, 0.6, 2)
+	if len(links) != 2 {
+		t.Fatalf("links = %+v", links)
+	}
+	if links[0].Source.Value != "a1" || links[0].Target.Value != "b1" {
+		t.Errorf("first link = %+v", links[0])
+	}
+	if links[0].Score != 1 {
+		t.Errorf("identical names score = %v", links[0].Score)
+	}
+	if links[0].Predicate != rdf.OWLSameAs {
+		t.Errorf("predicate = %q", links[0].Predicate)
+	}
+	// Threshold 1.0 keeps only the exact match.
+	strict := ResolveEntities(a, b, 1.0, 1)
+	if len(strict) != 1 {
+		t.Fatalf("strict links = %+v", strict)
+	}
+	// Workers must not change results.
+	for _, w := range []int{1, 2, 8} {
+		got := ResolveEntities(a, b, 0.6, w)
+		if len(got) != 2 {
+			t.Errorf("workers=%d links=%d", w, len(got))
+		}
+	}
+}
+
+func TestTemporalLinks(t *testing.T) {
+	d := func(m time.Month, day int) time.Time {
+		return time.Date(2018, m, day, 0, 0, 0, 0, time.UTC)
+	}
+	a := []Entity{
+		{ID: rdf.NewIRI("jan"), From: d(1, 1), To: d(1, 31)},
+		{ID: rdf.NewIRI("jun"), From: d(6, 1), To: d(6, 30)},
+	}
+	b := []Entity{
+		{ID: rdf.NewIRI("spring"), From: d(3, 1), To: d(5, 31)},
+		{ID: rdf.NewIRI("h1"), From: d(1, 1), To: d(6, 30)},
+		{ID: rdf.NewIRI("notime")},
+	}
+	before := TemporalLinks(a, b, RelBefore)
+	if len(before) != 1 || before[0].Source.Value != "jan" || before[0].Target.Value != "spring" {
+		t.Errorf("before = %+v", before)
+	}
+	during := TemporalLinks(a, b, RelDuring)
+	if len(during) != 2 { // jan during h1, jun during h1
+		t.Errorf("during = %+v", during)
+	}
+	overlaps := TemporalLinks(a, b, RelOverlaps)
+	if len(overlaps) != 2 { // jan-h1, jun-h1 (jan/spring disjoint)
+		t.Errorf("overlaps = %+v", overlaps)
+	}
+	after := TemporalLinks(b, a, RelAfter)
+	if len(after) != 1 || after[0].Source.Value != "spring" {
+		t.Errorf("after = %+v", after)
+	}
+}
+
+func TestLinksToRDF(t *testing.T) {
+	links := []Link{{Source: rdf.NewIRI("a"), Target: rdf.NewIRI("b"), Predicate: rdf.OWLSameAs, Score: 1}}
+	triples := LinksToRDF(links)
+	if len(triples) != 1 || triples[0].P.Value != rdf.OWLSameAs {
+		t.Errorf("triples = %v", triples)
+	}
+}
+
+func TestBlockingScalesBetterThanNaive(t *testing.T) {
+	// Not a benchmark, just a sanity check that blocking visits far fewer
+	// pairs: compare verified-pair counts via instrumented relations.
+	n := 300
+	var src, dst []Entity
+	for i := 0; i < n; i++ {
+		x := float64(i%20) * 10
+		y := float64(i/20) * 10
+		src = append(src, ent(fmt.Sprintf("s%d", i), geom.NewRect(x, y, x+1, y+1)))
+		dst = append(dst, ent(fmt.Sprintf("d%d", i), geom.NewRect(x+0.5, y+0.5, x+1.5, y+1.5)))
+	}
+	naiveCalls := 0
+	DiscoverNaive(src, dst, func(a, b geom.Geometry) bool {
+		naiveCalls++
+		return geom.Intersects(a, b)
+	}, "p")
+	blockedCalls := 0
+	l := &SpatialLinker{Relation: func(a, b geom.Geometry) bool {
+		blockedCalls++
+		return geom.Intersects(a, b)
+	}, Predicate: "p", CellSize: 10}
+	l.Discover(src, dst)
+	if blockedCalls*10 > naiveCalls {
+		t.Errorf("blocking visited %d pairs, naive %d — expected >=10x reduction", blockedCalls, naiveCalls)
+	}
+}
+
+func TestObservationEntitiesFromGraph(t *testing.T) {
+	g := rdf.NewGraph()
+	hasTime := rdf.NewIRI(rdf.NSTime + "hasTime")
+	hasGeom := rdf.NewIRI(rdf.NSGeo + "hasGeometry")
+	asWKT := rdf.NewIRI(rdf.NSGeo + "asWKT")
+	add := func(id, when, wkt string) {
+		s := rdf.NewIRI("http://ex.org/" + id)
+		gn := rdf.NewIRI("http://ex.org/" + id + "/g")
+		g.Add(rdf.NewTriple(s, hasTime, rdf.NewTypedLiteral(when, rdf.XSDDateTime)))
+		g.Add(rdf.NewTriple(s, hasGeom, gn))
+		g.Add(rdf.NewTriple(gn, asWKT, rdf.NewWKT(wkt)))
+	}
+	add("o2", "2018-06-01T00:00:00Z", "POINT (2 2)")
+	add("o1", "2018-03-01T00:00:00Z", "POINT (1 1)")
+	// Subject with time but no geometry: skipped.
+	g.Add(rdf.NewTriple(rdf.NewIRI("http://ex.org/nogeo"), hasTime,
+		rdf.NewTypedLiteral("2018-01-01T00:00:00Z", rdf.XSDDateTime)))
+
+	ents := ObservationEntitiesFromGraph(g)
+	if len(ents) != 2 {
+		t.Fatalf("entities = %d", len(ents))
+	}
+	// Sorted by time.
+	if !strings.HasSuffix(ents[0].ID.Value, "o1") || !strings.HasSuffix(ents[1].ID.Value, "o2") {
+		t.Errorf("order = %v, %v", ents[0].ID, ents[1].ID)
+	}
+	// Usable with TemporalLinks.
+	links := TemporalLinks(ents[:1], ents[1:], RelBefore)
+	if len(links) != 1 {
+		t.Errorf("temporal links = %v", links)
+	}
+}

@@ -1,0 +1,268 @@
+package madis
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// selectStmt is a parsed SELECT statement.
+type selectStmt struct {
+	cols       []string
+	fromTable  string
+	fromVTable string
+	vtableArgs []string
+	where      []cond
+	orderBy    string
+	orderDesc  bool
+	limit      int
+}
+
+// cond is "col op (value | rhsCol)".
+type cond struct {
+	col    string
+	op     string
+	value  Value
+	rhsCol string
+}
+
+// parseSQL parses the supported SELECT form. The grammar is intentionally
+// whitespace-tolerant because mapping sources in the paper's Listing 2 are
+// wrapped over multiple lines.
+func parseSQL(sql string) (*selectStmt, error) {
+	s := strings.TrimSpace(sql)
+	up := strings.ToUpper(s)
+	if !strings.HasPrefix(up, "SELECT") {
+		return nil, fmt.Errorf("madis: only SELECT is supported")
+	}
+	rest := strings.TrimSpace(s[len("SELECT"):])
+	fromIdx := indexKeywordTopLevel(rest, "FROM")
+	if fromIdx < 0 {
+		return nil, fmt.Errorf("madis: missing FROM")
+	}
+	colPart := strings.TrimSpace(rest[:fromIdx])
+	rest = strings.TrimSpace(rest[fromIdx+len("FROM"):])
+
+	stmt := &selectStmt{limit: -1}
+	for _, c := range strings.Split(colPart, ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			return nil, fmt.Errorf("madis: empty column in projection")
+		}
+		stmt.cols = append(stmt.cols, c)
+	}
+
+	// FROM: either identifier or "(ordered? name arg, arg, ...)".
+	if strings.HasPrefix(rest, "(") {
+		close := matchParen(rest)
+		if close < 0 {
+			return nil, fmt.Errorf("madis: unbalanced ( in FROM")
+		}
+		inner := strings.TrimSpace(rest[1:close])
+		rest = strings.TrimSpace(rest[close+1:])
+		fields := strings.Fields(inner)
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("madis: empty virtual table call")
+		}
+		i := 0
+		if strings.EqualFold(fields[i], "ordered") {
+			i++
+		}
+		if i >= len(fields) {
+			return nil, fmt.Errorf("madis: virtual table name missing")
+		}
+		stmt.fromVTable = fields[i]
+		argStr := strings.TrimSpace(strings.Join(fields[i+1:], " "))
+		if argStr != "" {
+			for _, a := range strings.Split(argStr, ",") {
+				a = strings.TrimSpace(a)
+				// strip "url:" style prefixes used in Listing 2
+				if idx := strings.Index(a, "url:"); idx == 0 {
+					a = strings.TrimSpace(a[4:])
+				}
+				if a != "" {
+					stmt.vtableArgs = append(stmt.vtableArgs, a)
+				}
+			}
+		}
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("madis: missing table name after FROM")
+		}
+		stmt.fromTable = fields[0]
+		rest = strings.TrimSpace(rest[len(fields[0]):])
+	}
+
+	// WHERE
+	if idx := indexKeywordTopLevel(rest, "WHERE"); idx >= 0 {
+		after := rest[idx+len("WHERE"):]
+		end := len(after)
+		if oi := indexKeywordTopLevel(after, "ORDER"); oi >= 0 && oi < end {
+			end = oi
+		}
+		if li := indexKeywordTopLevel(after, "LIMIT"); li >= 0 && li < end {
+			end = li
+		}
+		wherePart := strings.TrimSpace(after[:end])
+		conds, err := parseConds(wherePart)
+		if err != nil {
+			return nil, err
+		}
+		stmt.where = conds
+		rest = strings.TrimSpace(rest[:idx]) + " " + strings.TrimSpace(after[end:])
+		rest = strings.TrimSpace(rest)
+	}
+
+	// ORDER BY
+	if idx := indexKeywordTopLevel(rest, "ORDER"); idx >= 0 {
+		after := strings.TrimSpace(rest[idx+len("ORDER"):])
+		if !strings.HasPrefix(strings.ToUpper(after), "BY") {
+			return nil, fmt.Errorf("madis: ORDER without BY")
+		}
+		after = strings.TrimSpace(after[2:])
+		fields := strings.Fields(after)
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("madis: ORDER BY missing column")
+		}
+		stmt.orderBy = fields[0]
+		consumed := len(fields[0])
+		if len(fields) > 1 && strings.EqualFold(fields[1], "DESC") {
+			stmt.orderDesc = true
+			consumed = strings.Index(after, fields[1]) + len(fields[1])
+		} else if len(fields) > 1 && strings.EqualFold(fields[1], "ASC") {
+			consumed = strings.Index(after, fields[1]) + len(fields[1])
+		}
+		rest = strings.TrimSpace(rest[:idx]) + " " + strings.TrimSpace(after[consumed:])
+		rest = strings.TrimSpace(rest)
+	}
+
+	// LIMIT
+	if idx := indexKeywordTopLevel(rest, "LIMIT"); idx >= 0 {
+		after := strings.TrimSpace(rest[idx+len("LIMIT"):])
+		fields := strings.Fields(after)
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("madis: LIMIT missing count")
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("madis: bad LIMIT %q", fields[0])
+		}
+		stmt.limit = n
+		rest = strings.TrimSpace(rest[:idx]) + " " + strings.TrimSpace(after[len(fields[0]):])
+		rest = strings.TrimSpace(rest)
+	}
+
+	if rest != "" {
+		return nil, fmt.Errorf("madis: trailing SQL %q", rest)
+	}
+	return stmt, nil
+}
+
+func parseConds(s string) ([]cond, error) {
+	if s == "" {
+		return nil, fmt.Errorf("madis: empty WHERE")
+	}
+	var out []cond
+	parts := splitKeywordTopLevel(s, "AND")
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		c, err := parseCond(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func parseCond(s string) (cond, error) {
+	for _, op := range []string{"<=", ">=", "!=", "<>", "=", "<", ">"} {
+		if idx := strings.Index(s, op); idx > 0 {
+			lhs := strings.TrimSpace(s[:idx])
+			rhs := strings.TrimSpace(s[idx+len(op):])
+			if lhs == "" || rhs == "" {
+				return cond{}, fmt.Errorf("madis: bad condition %q", s)
+			}
+			c := cond{col: lhs, op: op}
+			switch {
+			case strings.HasPrefix(rhs, "'") && strings.HasSuffix(rhs, "'") && len(rhs) >= 2:
+				c.value = rhs[1 : len(rhs)-1]
+			default:
+				if f, err := strconv.ParseFloat(rhs, 64); err == nil {
+					c.value = f
+				} else {
+					c.rhsCol = rhs
+				}
+			}
+			return c, nil
+		}
+	}
+	return cond{}, fmt.Errorf("madis: no operator in condition %q", s)
+}
+
+// indexKeywordTopLevel finds a keyword outside parentheses and quotes,
+// matched case-insensitively on word boundaries.
+func indexKeywordTopLevel(s, kw string) int {
+	depth := 0
+	inQuote := false
+	up := strings.ToUpper(s)
+	ukw := strings.ToUpper(kw)
+	for i := 0; i+len(kw) <= len(s); i++ {
+		switch s[i] {
+		case '(':
+			if !inQuote {
+				depth++
+			}
+		case ')':
+			if !inQuote {
+				depth--
+			}
+		case '\'':
+			inQuote = !inQuote
+		}
+		if depth != 0 || inQuote {
+			continue
+		}
+		if up[i:i+len(kw)] == ukw {
+			beforeOK := i == 0 || isSpaceByte(s[i-1])
+			afterOK := i+len(kw) == len(s) || isSpaceByte(s[i+len(kw)])
+			if beforeOK && afterOK {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func splitKeywordTopLevel(s, kw string) []string {
+	var out []string
+	for {
+		idx := indexKeywordTopLevel(s, kw)
+		if idx < 0 {
+			out = append(out, s)
+			return out
+		}
+		out = append(out, s[:idx])
+		s = s[idx+len(kw):]
+	}
+}
+
+// matchParen returns the index of the ')' matching the '(' at s[0].
+func matchParen(s string) int {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func isSpaceByte(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }

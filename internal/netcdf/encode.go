@@ -1,0 +1,216 @@
+package netcdf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Binary format (all integers big-endian uint32 unless noted):
+//
+//	magic "ANC1"
+//	nameLen, name
+//	nGlobalAttrs, then per attr: keyLen, key, valLen, val
+//	nDims, then per dim: nameLen, name, size
+//	nVars, then per var:
+//	    nameLen, name
+//	    nDims, then per dim: nameLen, name
+//	    nAttrs, then per attr: keyLen, key, valLen, val
+//	    nValues (uint64), then values as float64 bits
+//
+// It is a simplified stand-in for the on-disk NetCDF classic format: enough
+// to persist and stream the synthetic Copernicus products.
+const magic = "ANC1"
+
+// Write encodes the dataset to w.
+func Write(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	writeStr := func(s string) error {
+		if err := binary.Write(bw, binary.BigEndian, uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	writeAttrs := func(attrs map[string]string) error {
+		if err := binary.Write(bw, binary.BigEndian, uint32(len(attrs))); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(attrs))
+		for k := range attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := writeStr(k); err != nil {
+				return err
+			}
+			if err := writeStr(attrs[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeStr(d.Name); err != nil {
+		return err
+	}
+	if err := writeAttrs(d.Attrs); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint32(len(d.Dims))); err != nil {
+		return err
+	}
+	for _, dim := range d.Dims {
+		if err := writeStr(dim.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.BigEndian, uint32(dim.Size)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint32(len(d.Vars))); err != nil {
+		return err
+	}
+	for _, v := range d.Vars {
+		if err := writeStr(v.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.BigEndian, uint32(len(v.Dims))); err != nil {
+			return err
+		}
+		for _, dn := range v.Dims {
+			if err := writeStr(dn); err != nil {
+				return err
+			}
+		}
+		if err := writeAttrs(v.Attrs); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.BigEndian, uint64(len(v.Data))); err != nil {
+			return err
+		}
+		for _, f := range v.Data {
+			if err := binary.Write(bw, binary.BigEndian, math.Float64bits(f)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a dataset from r.
+func Read(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("netcdf: short header: %v", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("netcdf: bad magic %q", head)
+	}
+	readStr := func() (string, error) {
+		var n uint32
+		if err := binary.Read(br, binary.BigEndian, &n); err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("netcdf: string length %d too large", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	readAttrs := func() (map[string]string, error) {
+		var n uint32
+		if err := binary.Read(br, binary.BigEndian, &n); err != nil {
+			return nil, err
+		}
+		attrs := make(map[string]string, n)
+		for i := uint32(0); i < n; i++ {
+			k, err := readStr()
+			if err != nil {
+				return nil, err
+			}
+			v, err := readStr()
+			if err != nil {
+				return nil, err
+			}
+			attrs[k] = v
+		}
+		return attrs, nil
+	}
+	name, err := readStr()
+	if err != nil {
+		return nil, err
+	}
+	d := NewDataset(name)
+	if d.Attrs, err = readAttrs(); err != nil {
+		return nil, err
+	}
+	var nDims uint32
+	if err := binary.Read(br, binary.BigEndian, &nDims); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nDims; i++ {
+		dn, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		var size uint32
+		if err := binary.Read(br, binary.BigEndian, &size); err != nil {
+			return nil, err
+		}
+		d.AddDim(dn, int(size))
+	}
+	var nVars uint32
+	if err := binary.Read(br, binary.BigEndian, &nVars); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nVars; i++ {
+		vn, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		var nd uint32
+		if err := binary.Read(br, binary.BigEndian, &nd); err != nil {
+			return nil, err
+		}
+		dims := make([]string, nd)
+		for j := range dims {
+			if dims[j], err = readStr(); err != nil {
+				return nil, err
+			}
+		}
+		attrs, err := readAttrs()
+		if err != nil {
+			return nil, err
+		}
+		var nv uint64
+		if err := binary.Read(br, binary.BigEndian, &nv); err != nil {
+			return nil, err
+		}
+		if nv > 1<<28 {
+			return nil, fmt.Errorf("netcdf: variable %s too large (%d values)", vn, nv)
+		}
+		data := make([]float64, nv)
+		for j := range data {
+			var bits uint64
+			if err := binary.Read(br, binary.BigEndian, &bits); err != nil {
+				return nil, err
+			}
+			data[j] = math.Float64frombits(bits)
+		}
+		if err := d.AddVar(&Variable{Name: vn, Dims: dims, Attrs: attrs, Data: data}); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,124 @@
+package obda
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"applab/internal/geosparql"
+	"applab/internal/madis"
+	"applab/internal/rdf"
+	"applab/internal/sparql"
+)
+
+// VirtualGraph exposes a set of mappings over a MadIS database as a
+// sparql.Source. No triples are stored: each query evaluation (or explicit
+// Snapshot call) runs the mapping sources against the backend — when a
+// source uses the opendap virtual table, that means live calls to the
+// OPeNDAP server, moderated only by the adapter's window cache, exactly the
+// behaviour the paper measures in §5 ("when the data gets downloaded at
+// query-time...").
+type VirtualGraph struct {
+	db       *madis.DB
+	mappings []Mapping
+
+	mu   sync.Mutex
+	snap *rdf.Graph // per-query transient view; nil = stale
+}
+
+// NewVirtualGraph builds a virtual graph over db with the given mappings.
+func NewVirtualGraph(db *madis.DB, mappings []Mapping) *VirtualGraph {
+	geosparql.Register()
+	return &VirtualGraph{db: db, mappings: mappings}
+}
+
+// Invalidate drops the transient view so the next query re-executes the
+// mapping sources.
+func (vg *VirtualGraph) Invalidate() {
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+	vg.snap = nil
+}
+
+// Snapshot executes every mapping source and returns the resulting
+// (transient) RDF view.
+func (vg *VirtualGraph) Snapshot() (*rdf.Graph, error) {
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+	if vg.snap != nil {
+		return vg.snap, nil
+	}
+	g := rdf.NewGraph()
+	seq := 0
+	for _, m := range vg.mappings {
+		table, err := vg.db.Query(m.Source)
+		if err != nil {
+			return nil, fmt.Errorf("obda: mapping %s: %v", m.ID, err)
+		}
+		cols := make([]string, len(table.Cols))
+		for i, c := range table.Cols {
+			cols[i] = strings.ToLower(c)
+		}
+		for _, row := range table.Rows {
+			seq++
+			vals := make(map[string]string, len(cols))
+			skip := false
+			for i, c := range cols {
+				switch v := row[i].(type) {
+				case nil:
+					// leave missing; templates referencing it drop
+				case string:
+					vals[c] = v
+				case float64:
+					vals[c] = strconv.FormatFloat(v, 'g', -1, 64)
+				default:
+					vals[c] = fmt.Sprintf("%v", v)
+				}
+			}
+			if skip {
+				continue
+			}
+			for _, tt := range m.Target {
+				s, okS := tt.S.Instantiate(vals, seq)
+				p, okP := tt.P.Instantiate(vals, seq)
+				o, okO := tt.O.Instantiate(vals, seq)
+				if okS && okP && okO {
+					g.Add(rdf.NewTriple(s, p, o))
+				}
+			}
+		}
+	}
+	vg.snap = g
+	return g, nil
+}
+
+// Match implements sparql.Source over the current snapshot (building it on
+// first use).
+func (vg *VirtualGraph) Match(s, p, o rdf.Term) []rdf.Triple {
+	g, err := vg.Snapshot()
+	if err != nil {
+		return nil
+	}
+	return g.Match(s, p, o)
+}
+
+// Query evaluates a GeoSPARQL query on-the-fly: the mapping sources are
+// re-executed (subject to any adapter caches below the SQL layer), then the
+// query runs over the transient view.
+func (vg *VirtualGraph) Query(q string) (*sparql.Results, error) {
+	vg.Invalidate()
+	if _, err := vg.Snapshot(); err != nil {
+		return nil, err
+	}
+	return sparql.Eval(vg, q)
+}
+
+// QueryCached evaluates a query against the existing snapshot without
+// re-executing mapping sources (the materialized-comparison mode).
+func (vg *VirtualGraph) QueryCached(q string) (*sparql.Results, error) {
+	if _, err := vg.Snapshot(); err != nil {
+		return nil, err
+	}
+	return sparql.Eval(vg, q)
+}

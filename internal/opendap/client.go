@@ -1,0 +1,114 @@
+package opendap
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"applab/internal/netcdf"
+)
+
+// Client talks to an OPeNDAP server.
+type Client struct {
+	// Base is the server base URL, e.g. "http://host:port".
+	Base string
+	// HTTP is the transport; http.DefaultClient when nil.
+	HTTP *http.Client
+	// Token, when set, authenticates data requests against a server with
+	// access control enabled.
+	Token string
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) get(path, query string) ([]byte, error) {
+	u := c.Base + path
+	if query != "" {
+		u += "?" + query
+	}
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("opendap: GET %s: %v", u, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("opendap: read %s: %v", u, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("opendap: %s: %s: %s", u, resp.Status, string(body))
+	}
+	return body, nil
+}
+
+// Catalog lists the datasets published by the server.
+func (c *Client) Catalog() ([]string, error) {
+	body, err := c.get("/catalog", "")
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		return nil, nil
+	}
+	return splitLines(string(body)), nil
+}
+
+// DDS fetches the structure document of a dataset.
+func (c *Client) DDS(name string) (string, error) {
+	body, err := c.get("/"+name+".dds", "")
+	return string(body), err
+}
+
+// DAS fetches the attribute document of a dataset.
+func (c *Client) DAS(name string) (string, error) {
+	body, err := c.get("/"+name+".das", "")
+	return string(body), err
+}
+
+// NcML fetches the combined NcML document of a dataset.
+func (c *Client) NcML(name string) (string, error) {
+	body, err := c.get("/"+name+".ncml", "")
+	return string(body), err
+}
+
+// Fetch retrieves a hyperslab of a dataset variable. An empty range list
+// requests the whole array.
+func (c *Client) Fetch(name string, constraint Constraint) (*netcdf.Dataset, error) {
+	u := c.Base + "/" + name + ".dods?"
+	if c.Token != "" {
+		u += "token=" + url.QueryEscape(c.Token) + "&"
+	}
+	resp, err := c.httpClient().Get(u + url.PathEscape(constraint.String()))
+	if err != nil {
+		return nil, fmt.Errorf("opendap: fetch %s: %v", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("opendap: fetch %s: %s: %s", name, resp.Status, string(body))
+	}
+	return netcdf.Read(resp.Body)
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package opendap
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"applab/internal/netcdf"
+)
+
+// ncmlDoc mirrors the NcML XML structure emitted by RenderNcML (and by
+// real THREDDS servers, for the subset we use).
+type ncmlDoc struct {
+	XMLName    xml.Name       `xml:"netcdf"`
+	Location   string         `xml:"location,attr"`
+	Attributes []ncmlAttr     `xml:"attribute"`
+	Dimensions []ncmlDim      `xml:"dimension"`
+	Variables  []ncmlVariable `xml:"variable"`
+}
+
+type ncmlAttr struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+type ncmlDim struct {
+	Name   string `xml:"name,attr"`
+	Length int    `xml:"length,attr"`
+}
+
+type ncmlVariable struct {
+	Name       string     `xml:"name,attr"`
+	Shape      string     `xml:"shape,attr"`
+	Type       string     `xml:"type,attr"`
+	Attributes []ncmlAttr `xml:"attribute"`
+}
+
+// ParseNcML parses an NcML document into a dataset *skeleton*: dimensions,
+// variable declarations and attributes, with empty data arrays. This is
+// the metadata-harvesting path of the paper's §3.1 ("For communicating
+// metadata, we use the NetCDF Markup Language (NcML) interface service");
+// harvesters need structure and attributes, not the grids.
+func ParseNcML(doc string) (*netcdf.Dataset, error) {
+	var parsed ncmlDoc
+	if err := xml.Unmarshal([]byte(doc), &parsed); err != nil {
+		return nil, fmt.Errorf("opendap: ncml: %v", err)
+	}
+	ds := netcdf.NewDataset(parsed.Location)
+	for _, a := range parsed.Attributes {
+		ds.Attrs[a.Name] = a.Value
+	}
+	for _, d := range parsed.Dimensions {
+		if d.Name == "" || d.Length < 0 {
+			return nil, fmt.Errorf("opendap: ncml: bad dimension %+v", d)
+		}
+		ds.AddDim(d.Name, d.Length)
+	}
+	for _, v := range parsed.Variables {
+		var dims []string
+		if strings.TrimSpace(v.Shape) != "" {
+			dims = strings.Fields(v.Shape)
+		}
+		attrs := map[string]string{}
+		for _, a := range v.Attributes {
+			attrs[a.Name] = a.Value
+		}
+		// Skeleton variable: declared shape, no data. Bypass AddVar's
+		// length validation deliberately.
+		ds.Vars = append(ds.Vars, &netcdf.Variable{Name: v.Name, Dims: dims, Attrs: attrs})
+	}
+	return ds, nil
+}

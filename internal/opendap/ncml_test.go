@@ -1,0 +1,116 @@
+package opendap
+
+import (
+	"testing"
+
+	"applab/internal/workload"
+)
+
+func TestParseNcMLRoundTrip(t *testing.T) {
+	ds := workload.LAIGrid(workload.DefaultLAIOptions())
+	doc := RenderNcML(ds)
+	skel, err := ParseNcML(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skel.Name != ds.Name {
+		t.Errorf("location = %q", skel.Name)
+	}
+	if skel.Attrs["title"] != ds.Attrs["title"] {
+		t.Errorf("global attrs lost: %v", skel.Attrs)
+	}
+	if len(skel.Dims) != len(ds.Dims) {
+		t.Fatalf("dims = %d, want %d", len(skel.Dims), len(ds.Dims))
+	}
+	for _, want := range ds.Dims {
+		got, ok := skel.Dim(want.Name)
+		if !ok || got.Size != want.Size {
+			t.Errorf("dim %s = %+v", want.Name, got)
+		}
+	}
+	if len(skel.Vars) != len(ds.Vars) {
+		t.Fatalf("vars = %d, want %d", len(skel.Vars), len(ds.Vars))
+	}
+	lai, ok := skel.Var("LAI")
+	if !ok {
+		t.Fatal("LAI variable lost")
+	}
+	if len(lai.Dims) != 3 || lai.Dims[0] != "time" {
+		t.Errorf("LAI dims = %v", lai.Dims)
+	}
+	if lai.Attrs["units"] != "m2/m2" {
+		t.Errorf("LAI attrs = %v", lai.Attrs)
+	}
+	if len(lai.Data) != 0 {
+		t.Error("NcML skeleton must carry no data")
+	}
+}
+
+func TestParseNcMLErrors(t *testing.T) {
+	if _, err := ParseNcML("not xml at all <"); err == nil {
+		t.Error("bad XML must error")
+	}
+	if _, err := ParseNcML(`<netcdf><dimension length="5"/></netcdf>`); err == nil {
+		t.Error("nameless dimension must error")
+	}
+}
+
+func TestParseNcMLScalarVariable(t *testing.T) {
+	skel, err := ParseNcML(`<netcdf location="x">
+	  <variable name="flag" type="double"><attribute name="units" value="1"/></variable>
+	</netcdf>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := skel.Var("flag")
+	if !ok || len(v.Dims) != 0 {
+		t.Errorf("scalar variable = %+v", v)
+	}
+}
+
+func TestParseDDSRoundTrip(t *testing.T) {
+	ds := workload.LAIGrid(workload.DefaultLAIOptions())
+	name, vars, err := ParseDDS(RenderDDS(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != ds.Name {
+		t.Errorf("name = %q", name)
+	}
+	if len(vars) != len(ds.Vars) {
+		t.Fatalf("vars = %d, want %d", len(vars), len(ds.Vars))
+	}
+	for _, v := range vars {
+		orig, ok := ds.Var(v.Name)
+		if !ok {
+			t.Fatalf("stray variable %q", v.Name)
+		}
+		shape := orig.Shape(ds)
+		if len(shape) != len(v.Shape) {
+			t.Fatalf("%s rank = %d, want %d", v.Name, len(v.Shape), len(shape))
+		}
+		for i := range shape {
+			if shape[i] != v.Shape[i] || orig.Dims[i] != v.Dims[i] {
+				t.Errorf("%s dim %d = %s=%d, want %s=%d",
+					v.Name, i, v.Dims[i], v.Shape[i], orig.Dims[i], shape[i])
+			}
+		}
+	}
+}
+
+func TestParseDDSErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"NotADataset {\n} x;\n",
+		"Dataset {\n    Float64 v[a=2];\n",       // no closing brace
+		"Dataset {\n    Int32 v;\n} x;\n",        // unsupported type line
+		"Dataset {\n    Float64 v[2];\n} x;\n",   // dimension without name
+		"Dataset {\n    Float64 v[a=x];\n} x;\n", // non-numeric size
+		"Dataset {\n    Float64 ;\n} x;\n",       // unnamed
+	}
+	for _, doc := range bad {
+		if _, _, err := ParseDDS(doc); err == nil {
+			t.Errorf("expected error for %q", doc)
+		}
+	}
+}

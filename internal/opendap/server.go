@@ -1,0 +1,157 @@
+package opendap
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"applab/internal/netcdf"
+)
+
+// Server is an OPeNDAP (DAP2-subset) HTTP server over a set of named
+// datasets. Routes, for a dataset published as "lai":
+//
+//	GET /lai.dds             structure document
+//	GET /lai.das             attribute document
+//	GET /lai.ncml            combined NcML document
+//	GET /lai.dods?<CE>       binary subset (our netcdf encoding)
+//	GET /catalog             newline-separated dataset names
+//
+// The optional per-request latency simulates the wide-area link between the
+// App Lab tools and the VITO data archive (used by the E1/E3 experiments to
+// make "two orders of magnitude" measurable without a real WAN).
+type Server struct {
+	mu       sync.RWMutex
+	datasets map[string]*netcdf.Dataset
+
+	// Latency is added to every data response when non-zero.
+	Latency time.Duration
+
+	// Auth, when non-nil, gates data (.dods) requests behind registered
+	// tokens and tracks per-user dataset usage (the paper's §5 RAMANI
+	// token scheme). Metadata routes stay open.
+	Auth *AccessControl
+
+	requests atomic.Int64
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{datasets: map[string]*netcdf.Dataset{}}
+}
+
+// Publish makes a dataset available under its name.
+func (s *Server) Publish(d *netcdf.Dataset) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.datasets[d.Name] = d
+}
+
+// Dataset returns a published dataset.
+func (s *Server) Dataset(name string) (*netcdf.Dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.datasets[name]
+	return d, ok
+}
+
+// Requests returns the number of handled requests (any route).
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	path := strings.TrimPrefix(r.URL.Path, "/")
+	if path == "catalog" {
+		s.mu.RLock()
+		names := make([]string, 0, len(s.datasets))
+		for n := range s.datasets {
+			names = append(names, n)
+		}
+		s.mu.RUnlock()
+		sort.Strings(names)
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprint(w, strings.Join(names, "\n"))
+		return
+	}
+	dot := strings.LastIndexByte(path, '.')
+	if dot < 0 {
+		http.Error(w, "opendap: expected <dataset>.<dds|das|ncml|dods>", http.StatusBadRequest)
+		return
+	}
+	name, ext := path[:dot], path[dot+1:]
+	d, ok := s.Dataset(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("opendap: no dataset %q", name), http.StatusNotFound)
+		return
+	}
+	switch ext {
+	case "dds":
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprint(w, RenderDDS(d))
+	case "das":
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprint(w, RenderDAS(d))
+	case "ncml":
+		w.Header().Set("Content-Type", "application/xml")
+		fmt.Fprint(w, RenderNcML(d))
+	case "dods":
+		if s.Auth != nil {
+			if _, ok := s.Auth.authorize(r, name); !ok {
+				http.Error(w, "opendap: data access requires a registered token", http.StatusUnauthorized)
+				return
+			}
+		}
+		if s.Latency > 0 {
+			time.Sleep(s.Latency)
+		}
+		ce, err := url.QueryUnescape(stripTokenParam(r.URL.RawQuery))
+		if err != nil {
+			http.Error(w, "opendap: bad constraint encoding", http.StatusBadRequest)
+			return
+		}
+		if ce == "" {
+			http.Error(w, "opendap: missing constraint expression", http.StatusBadRequest)
+			return
+		}
+		c, err := ParseConstraint(ce)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		sub, err := c.Apply(d)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := netcdf.Write(w, sub); err != nil {
+			// Too late for a status change; the client's decode will fail.
+			return
+		}
+	default:
+		http.Error(w, fmt.Sprintf("opendap: unknown extension %q", ext), http.StatusBadRequest)
+	}
+}
+
+// stripTokenParam removes "token=..." pairs from a raw query string,
+// leaving the DAP constraint expression (which is not key=value shaped).
+func stripTokenParam(rawQuery string) string {
+	if !strings.Contains(rawQuery, "token=") {
+		return rawQuery
+	}
+	parts := strings.Split(rawQuery, "&")
+	var kept []string
+	for _, p := range parts {
+		if strings.HasPrefix(p, "token=") {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return strings.Join(kept, "&")
+}

@@ -1,0 +1,190 @@
+package rdf
+
+import (
+	"sort"
+)
+
+// Graph is an in-memory set of triples with SPO/POS/OSP hash indexes. It is
+// the simple (non-spatial) store of the stack; the Strabon package wraps a
+// Graph-compatible model with spatial and temporal indexes.
+//
+// Graph is not safe for concurrent mutation; concurrent readers are fine
+// once loading is complete.
+type Graph struct {
+	triples []Triple
+	// indexes map term keys to positions in triples.
+	bySubject   map[string][]int
+	byPredicate map[string][]int
+	byObject    map[string][]int
+	seen        map[tripleKey]int
+}
+
+type tripleKey struct {
+	s, p, o string
+	vf, vt  int64
+}
+
+func keyOf(t Triple) tripleKey {
+	return tripleKey{t.S.Key(), t.P.Key(), t.O.Key(), t.ValidFrom.UnixNano(), t.ValidTo.UnixNano()}
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		bySubject:   map[string][]int{},
+		byPredicate: map[string][]int{},
+		byObject:    map[string][]int{},
+		seen:        map[tripleKey]int{},
+	}
+}
+
+// Add inserts a triple. Duplicate triples (including valid time) are
+// ignored; Add reports whether the triple was newly inserted.
+func (g *Graph) Add(t Triple) bool {
+	k := keyOf(t)
+	if _, dup := g.seen[k]; dup {
+		return false
+	}
+	i := len(g.triples)
+	g.triples = append(g.triples, t)
+	g.seen[k] = i
+	g.bySubject[t.S.Key()] = append(g.bySubject[t.S.Key()], i)
+	g.byPredicate[t.P.Key()] = append(g.byPredicate[t.P.Key()], i)
+	g.byObject[t.O.Key()] = append(g.byObject[t.O.Key()], i)
+	return true
+}
+
+// AddAll inserts every triple in ts, returning the number newly added.
+func (g *Graph) AddAll(ts []Triple) int {
+	n := 0
+	for _, t := range ts {
+		if g.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of triples in the graph.
+func (g *Graph) Len() int { return len(g.triples) }
+
+// Triples returns a copy of all triples in insertion order.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, len(g.triples))
+	copy(out, g.triples)
+	return out
+}
+
+// Contains reports whether the graph holds the exact triple.
+func (g *Graph) Contains(t Triple) bool {
+	_, ok := g.seen[keyOf(t)]
+	return ok
+}
+
+// Match returns all triples matching the pattern. Zero-valued terms
+// (Term{}) act as wildcards. The smallest available index drives the scan.
+func (g *Graph) Match(s, p, o Term) []Triple {
+	var candidates []int
+	switch {
+	case !s.IsZero():
+		candidates = g.bySubject[s.Key()]
+	case !o.IsZero():
+		candidates = g.byObject[o.Key()]
+	case !p.IsZero():
+		candidates = g.byPredicate[p.Key()]
+	default:
+		out := make([]Triple, len(g.triples))
+		copy(out, g.triples)
+		return out
+	}
+	// Prefer the most selective index among the bound terms.
+	if !s.IsZero() && !o.IsZero() {
+		if alt := g.byObject[o.Key()]; len(alt) < len(candidates) {
+			candidates = alt
+		}
+	}
+	if !p.IsZero() {
+		if alt := g.byPredicate[p.Key()]; len(alt) < len(candidates) {
+			candidates = alt
+		}
+	}
+	var out []Triple
+	for _, i := range candidates {
+		t := g.triples[i]
+		if matches(t, s, p, o) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func matches(t Triple, s, p, o Term) bool {
+	if !s.IsZero() && !t.S.Equal(s) {
+		return false
+	}
+	if !p.IsZero() && !t.P.Equal(p) {
+		return false
+	}
+	if !o.IsZero() && !t.O.Equal(o) {
+		return false
+	}
+	return true
+}
+
+// Subjects returns the distinct subjects of triples matching (p, o),
+// sorted by term key for determinism.
+func (g *Graph) Subjects(p, o Term) []Term {
+	set := map[string]Term{}
+	for _, t := range g.Match(Term{}, p, o) {
+		set[t.S.Key()] = t.S
+	}
+	return sortedTerms(set)
+}
+
+// Objects returns the distinct objects of triples matching (s, p), sorted
+// by term key.
+func (g *Graph) Objects(s, p Term) []Term {
+	set := map[string]Term{}
+	for _, t := range g.Match(s, p, Term{}) {
+		set[t.O.Key()] = t.O
+	}
+	return sortedTerms(set)
+}
+
+// Predicates returns the distinct predicates in the graph, sorted.
+func (g *Graph) Predicates() []Term {
+	set := map[string]Term{}
+	for _, t := range g.triples {
+		set[t.P.Key()] = t.P
+	}
+	return sortedTerms(set)
+}
+
+func sortedTerms(set map[string]Term) []Term {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Term, len(keys))
+	for i, k := range keys {
+		out[i] = set[k]
+	}
+	return out
+}
+
+// FirstObject returns the object of the first triple matching (s, p).
+func (g *Graph) FirstObject(s, p Term) (Term, bool) {
+	for _, i := range g.bySubject[s.Key()] {
+		t := g.triples[i]
+		if t.P.Equal(p) {
+			return t.O, true
+		}
+	}
+	return Term{}, false
+}
+
+// Merge adds every triple of other into g, returning the count added.
+func (g *Graph) Merge(other *Graph) int {
+	return g.AddAll(other.triples)
+}

@@ -1,0 +1,142 @@
+package rdf
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func tr(s, p, o string) Triple {
+	return NewTriple(NewIRI(s), NewIRI(p), NewLiteral(o))
+}
+
+func TestGraphAddAndLen(t *testing.T) {
+	g := NewGraph()
+	if !g.Add(tr("s1", "p1", "o1")) {
+		t.Fatal("first Add must succeed")
+	}
+	if g.Add(tr("s1", "p1", "o1")) {
+		t.Fatal("duplicate Add must report false")
+	}
+	g.Add(tr("s1", "p2", "o2"))
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	if !g.Contains(tr("s1", "p2", "o2")) {
+		t.Error("Contains should find the triple")
+	}
+	if g.Contains(tr("s1", "p2", "o3")) {
+		t.Error("Contains should not find missing triple")
+	}
+}
+
+func TestGraphMatchPatterns(t *testing.T) {
+	g := NewGraph()
+	g.Add(tr("s1", "p1", "o1"))
+	g.Add(tr("s1", "p2", "o2"))
+	g.Add(tr("s2", "p1", "o1"))
+	g.Add(tr("s2", "p2", "o3"))
+
+	cases := []struct {
+		s, p, o string // "" = wildcard
+		want    int
+	}{
+		{"", "", "", 4},
+		{"s1", "", "", 2},
+		{"", "p1", "", 2},
+		{"", "", "o1", 2},
+		{"s1", "p1", "", 1},
+		{"s1", "", "o2", 1},
+		{"", "p2", "o3", 1},
+		{"s2", "p2", "o3", 1},
+		{"s3", "", "", 0},
+		{"s1", "p1", "o2", 0},
+	}
+	for _, c := range cases {
+		var s, p, o Term
+		if c.s != "" {
+			s = NewIRI(c.s)
+		}
+		if c.p != "" {
+			p = NewIRI(c.p)
+		}
+		if c.o != "" {
+			o = NewLiteral(c.o)
+		}
+		got := g.Match(s, p, o)
+		if len(got) != c.want {
+			t.Errorf("Match(%q,%q,%q) = %d results, want %d", c.s, c.p, c.o, len(got), c.want)
+		}
+	}
+}
+
+func TestGraphSubjectsObjectsPredicates(t *testing.T) {
+	g := NewGraph()
+	g.Add(tr("s1", "p1", "o1"))
+	g.Add(tr("s2", "p1", "o1"))
+	g.Add(tr("s1", "p2", "o2"))
+
+	subs := g.Subjects(NewIRI("p1"), NewLiteral("o1"))
+	if len(subs) != 2 {
+		t.Errorf("Subjects = %v", subs)
+	}
+	objs := g.Objects(NewIRI("s1"), NewIRI("p1"))
+	if len(objs) != 1 || objs[0].Value != "o1" {
+		t.Errorf("Objects = %v", objs)
+	}
+	preds := g.Predicates()
+	if len(preds) != 2 {
+		t.Errorf("Predicates = %v", preds)
+	}
+	if o, ok := g.FirstObject(NewIRI("s1"), NewIRI("p2")); !ok || o.Value != "o2" {
+		t.Errorf("FirstObject = %v, %v", o, ok)
+	}
+	if _, ok := g.FirstObject(NewIRI("nope"), NewIRI("p2")); ok {
+		t.Error("FirstObject on missing subject must fail")
+	}
+}
+
+func TestGraphMerge(t *testing.T) {
+	a, b := NewGraph(), NewGraph()
+	a.Add(tr("s1", "p", "o"))
+	b.Add(tr("s1", "p", "o"))
+	b.Add(tr("s2", "p", "o"))
+	if n := a.Merge(b); n != 1 {
+		t.Errorf("Merge added %d, want 1", n)
+	}
+	if a.Len() != 2 {
+		t.Errorf("merged Len = %d", a.Len())
+	}
+}
+
+// Property: for any set of generated triples, Match with full wildcards
+// returns exactly the deduplicated insertion set, and Match(s,-,-) is the
+// subset with that subject.
+func TestGraphMatchProperty(t *testing.T) {
+	f := func(ids []uint8) bool {
+		g := NewGraph()
+		uniq := map[string]bool{}
+		for i, id := range ids {
+			s := fmt.Sprintf("s%d", id%5)
+			p := fmt.Sprintf("p%d", i%3)
+			o := fmt.Sprintf("o%d", id%7)
+			g.Add(tr(s, p, o))
+			uniq[s+"|"+p+"|"+o] = true
+		}
+		if g.Len() != len(uniq) {
+			return false
+		}
+		if len(g.Match(Term{}, Term{}, Term{})) != len(uniq) {
+			return false
+		}
+		// Per-subject partition sums to the whole.
+		total := 0
+		for i := 0; i < 5; i++ {
+			total += len(g.Match(NewIRI(fmt.Sprintf("s%d", i)), Term{}, Term{}))
+		}
+		return total == len(uniq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

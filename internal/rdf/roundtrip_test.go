@@ -1,0 +1,107 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomTerm builds a term from fuzz inputs, constrained to the lexical
+// spaces our writers must handle (any printable string content for
+// literals; IRI-safe strings for IRIs).
+func randomTerm(kind uint8, payload string, lang bool) Term {
+	switch kind % 3 {
+	case 0:
+		// IRIs must not contain the delimiters we never emit.
+		safe := strings.Map(func(r rune) rune {
+			if r <= ' ' || r == '<' || r == '>' || r == '"' || r == '{' || r == '}' || r == '|' || r == '\\' || r == '^' || r == '`' {
+				return -1
+			}
+			return r
+		}, payload)
+		return NewIRI("http://ex.org/" + safe)
+	case 1:
+		if lang {
+			return NewLangLiteral(payload, "en")
+		}
+		return NewLiteral(payload)
+	default:
+		// Blank labels: word characters only.
+		var b strings.Builder
+		for _, r := range payload {
+			if r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+				b.WriteRune(r)
+			}
+		}
+		label := b.String()
+		if label == "" {
+			label = "b"
+		}
+		return NewBlank(label)
+	}
+}
+
+// Property: any triple of generated terms survives an N-Triples round
+// trip, including escapes and unicode in literals.
+func TestNTriplesRoundTripProperty(t *testing.T) {
+	f := func(k1, k2 uint8, s1, s2, s3 string, lang bool) bool {
+		subj := randomTerm(k1%2*2, s1, false) // IRI or blank, not literal
+		pred := NewIRI("http://ex.org/p/" + fmt.Sprintf("%d", k2))
+		obj := randomTerm(k2, s3, lang)
+		// Strip unassigned/invalid UTF-8 by normalizing through Go string
+		// conversion; the writer emits whatever it gets.
+		orig := NewTriple(subj, pred, obj)
+		var buf bytes.Buffer
+		if err := WriteNTriples(&buf, []Triple{orig}); err != nil {
+			return false
+		}
+		back, err := ParseNTriples(bytes.NewReader(buf.Bytes()))
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		return back[0].S.Equal(orig.S) && back[0].P.Equal(orig.P) && back[0].O.Equal(orig.O)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WriteTurtle output always re-parses to the same triple set.
+func TestTurtleRoundTripProperty(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		g := NewGraph()
+		var triples []Triple
+		for i, s := range seeds {
+			tr := NewTriple(
+				NewIRI(fmt.Sprintf("http://ex.org/s%d", s%7)),
+				NewIRI(fmt.Sprintf("http://ex.org/p%d", i%3)),
+				NewTypedLiteral(fmt.Sprintf("v%d", s), XSDString),
+			)
+			if g.Add(tr) {
+				triples = append(triples, tr)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTurtle(&buf, triples, DefaultPrefixes()); err != nil {
+			return false
+		}
+		back, _, err := ParseTurtleString(buf.String())
+		if err != nil {
+			return false
+		}
+		if len(back) != len(triples) {
+			return false
+		}
+		for _, tr := range back {
+			if !g.Contains(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

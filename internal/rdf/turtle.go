@@ -1,0 +1,560 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+)
+
+// ParseTurtle reads a Turtle document (a practical subset: @prefix/PREFIX
+// directives, IRIs, prefixed names, the "a" keyword, typed and
+// language-tagged literals, numeric shorthand, and ";" / "," predicate and
+// object lists) and returns the triples.
+func ParseTurtle(r io.Reader) ([]Triple, *Prefixes, error) {
+	p := &turtleParser{prefixes: NewPrefixes(), lex: newTurtleLexer(r)}
+	if err := p.run(); err != nil {
+		return nil, nil, err
+	}
+	return p.triples, p.prefixes, nil
+}
+
+// ParseTurtleString is ParseTurtle over a string.
+func ParseTurtleString(s string) ([]Triple, *Prefixes, error) {
+	return ParseTurtle(strings.NewReader(s))
+}
+
+// ParseNTriples reads an N-Triples document (one triple per line).
+func ParseNTriples(r io.Reader) ([]Triple, error) {
+	ts, _, err := ParseTurtle(r)
+	return ts, err
+}
+
+// WriteNTriples serializes triples in N-Triples form.
+func WriteNTriples(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if _, err := fmt.Fprintf(bw, "%s %s %s .\n", t.S, t.P, t.O); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTurtle serializes triples in a compact Turtle form using the given
+// prefix table (grouping by subject, emitting ";" separated predicates).
+func WriteTurtle(w io.Writer, triples []Triple, prefixes *Prefixes) error {
+	bw := bufio.NewWriter(w)
+	if prefixes != nil {
+		for _, b := range prefixes.Bindings() {
+			if _, err := fmt.Fprintf(bw, "@prefix %s: <%s> .\n", b.Prefix, b.Namespace); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	render := func(t Term) string {
+		if prefixes == nil {
+			return t.String()
+		}
+		switch t.Kind {
+		case KindIRI:
+			return prefixes.Compact(t.Value)
+		case KindLiteral:
+			if t.Datatype != "" && t.Datatype != XSDString && t.Lang == "" {
+				return `"` + escapeLiteral(t.Value) + `"^^` + prefixes.Compact(t.Datatype)
+			}
+		}
+		return t.String()
+	}
+	var prevSubj string
+	for i, t := range triples {
+		sk := t.S.Key()
+		if sk == prevSubj {
+			if _, err := fmt.Fprintf(bw, " ;\n\t%s %s", render(t.P), render(t.O)); err != nil {
+				return err
+			}
+			continue
+		}
+		if i > 0 {
+			fmt.Fprintln(bw, " .")
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s %s", render(t.S), render(t.P), render(t.O)); err != nil {
+			return err
+		}
+		prevSubj = sk
+	}
+	if len(triples) > 0 {
+		fmt.Fprintln(bw, " .")
+	}
+	return bw.Flush()
+}
+
+// ---- lexer ----
+
+type ttokenKind int
+
+const (
+	ttEOF   ttokenKind = iota
+	ttIRI              // <...>
+	ttPName            // prefix:local or "a"
+	ttLiteral
+	ttLangTag  // @en
+	ttCaretSep // ^^
+	ttDot
+	ttSemicolon
+	ttComma
+	ttLBracket
+	ttRBracket
+	ttPrefixDirective // @prefix or PREFIX
+	ttBaseDirective
+	ttNumber
+	ttBoolean
+	ttBlank // _:label
+)
+
+type ttoken struct {
+	kind ttokenKind
+	text string
+	line int
+}
+
+type turtleLexer struct {
+	r    *bufio.Reader
+	line int
+	peek *ttoken
+}
+
+func newTurtleLexer(r io.Reader) *turtleLexer {
+	return &turtleLexer{r: bufio.NewReader(r), line: 1}
+}
+
+func (l *turtleLexer) errf(format string, args ...any) error {
+	return fmt.Errorf("turtle: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *turtleLexer) next() (ttoken, error) {
+	if l.peek != nil {
+		t := *l.peek
+		l.peek = nil
+		return t, nil
+	}
+	return l.scan()
+}
+
+func (l *turtleLexer) peekTok() (ttoken, error) {
+	if l.peek == nil {
+		t, err := l.scan()
+		if err != nil {
+			return t, err
+		}
+		l.peek = &t
+	}
+	return *l.peek, nil
+}
+
+func (l *turtleLexer) readRune() (rune, error) {
+	r, _, err := l.r.ReadRune()
+	if r == '\n' {
+		l.line++
+	}
+	return r, err
+}
+
+func (l *turtleLexer) unread() { _ = l.r.UnreadRune() }
+
+func (l *turtleLexer) scan() (ttoken, error) {
+	for {
+		r, err := l.readRune()
+		if err != nil {
+			return ttoken{kind: ttEOF, line: l.line}, nil
+		}
+		if unicode.IsSpace(r) {
+			continue
+		}
+		if r == '#' {
+			for {
+				c, err := l.readRune()
+				if err != nil || c == '\n' {
+					break
+				}
+			}
+			continue
+		}
+		switch r {
+		case '<':
+			return l.scanIRI()
+		case '"':
+			return l.scanString()
+		case '.':
+			// Distinguish statement dot from decimal point: a dot followed
+			// by a digit begins a number only when preceded by a digit,
+			// which scanNumber handles; a standalone dot is a terminator.
+			return ttoken{kind: ttDot, line: l.line}, nil
+		case ';':
+			return ttoken{kind: ttSemicolon, line: l.line}, nil
+		case ',':
+			return ttoken{kind: ttComma, line: l.line}, nil
+		case '[':
+			return ttoken{kind: ttLBracket, line: l.line}, nil
+		case ']':
+			return ttoken{kind: ttRBracket, line: l.line}, nil
+		case '^':
+			c, err := l.readRune()
+			if err != nil || c != '^' {
+				return ttoken{}, l.errf("expected ^^")
+			}
+			return ttoken{kind: ttCaretSep, line: l.line}, nil
+		case '@':
+			word := l.scanWord()
+			switch word {
+			case "prefix":
+				return ttoken{kind: ttPrefixDirective, line: l.line}, nil
+			case "base":
+				return ttoken{kind: ttBaseDirective, line: l.line}, nil
+			default:
+				return ttoken{kind: ttLangTag, text: word, line: l.line}, nil
+			}
+		case '_':
+			c, err := l.readRune()
+			if err != nil || c != ':' {
+				return ttoken{}, l.errf("expected _:label")
+			}
+			return ttoken{kind: ttBlank, text: l.scanWord(), line: l.line}, nil
+		}
+		if r == '+' || r == '-' || unicode.IsDigit(r) {
+			l.unread()
+			return l.scanNumber()
+		}
+		if isPNameStart(r) {
+			l.unread()
+			return l.scanPName()
+		}
+		return ttoken{}, l.errf("unexpected character %q", r)
+	}
+}
+
+func (l *turtleLexer) scanIRI() (ttoken, error) {
+	var b strings.Builder
+	for {
+		r, err := l.readRune()
+		if err != nil {
+			return ttoken{}, l.errf("unterminated IRI")
+		}
+		if r == '>' {
+			return ttoken{kind: ttIRI, text: b.String(), line: l.line}, nil
+		}
+		b.WriteRune(r)
+	}
+}
+
+func (l *turtleLexer) scanString() (ttoken, error) {
+	var b strings.Builder
+	for {
+		r, err := l.readRune()
+		if err != nil {
+			return ttoken{}, l.errf("unterminated string")
+		}
+		switch r {
+		case '"':
+			return ttoken{kind: ttLiteral, text: b.String(), line: l.line}, nil
+		case '\\':
+			c, err := l.readRune()
+			if err != nil {
+				return ttoken{}, l.errf("unterminated escape")
+			}
+			switch c {
+			case 'n':
+				b.WriteRune('\n')
+			case 't':
+				b.WriteRune('\t')
+			case 'r':
+				b.WriteRune('\r')
+			case '"', '\\':
+				b.WriteRune(c)
+			default:
+				b.WriteRune('\\')
+				b.WriteRune(c)
+			}
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+func (l *turtleLexer) scanNumber() (ttoken, error) {
+	var b strings.Builder
+	seenDot, seenExp := false, false
+	for {
+		r, err := l.readRune()
+		if err != nil {
+			break
+		}
+		if unicode.IsDigit(r) || r == '+' || r == '-' ||
+			(r == '.' && !seenDot) || (r == 'e' || r == 'E') && !seenExp {
+			if r == '.' {
+				// A trailing dot is a statement terminator, not a decimal
+				// point; peek at the next rune.
+				nxt, err2 := l.readRune()
+				if err2 == nil {
+					l.unread()
+				}
+				if err2 != nil || !unicode.IsDigit(nxt) {
+					l.unread() // put the dot back for the parser
+					break
+				}
+				seenDot = true
+			}
+			if r == 'e' || r == 'E' {
+				seenExp = true
+			}
+			b.WriteRune(r)
+			continue
+		}
+		l.unread()
+		break
+	}
+	return ttoken{kind: ttNumber, text: b.String(), line: l.line}, nil
+}
+
+func (l *turtleLexer) scanWord() string {
+	var b strings.Builder
+	for {
+		r, err := l.readRune()
+		if err != nil {
+			break
+		}
+		if isPNameChar(r) {
+			b.WriteRune(r)
+			continue
+		}
+		l.unread()
+		break
+	}
+	return b.String()
+}
+
+func (l *turtleLexer) scanPName() (ttoken, error) {
+	var b strings.Builder
+	colon := false
+	for {
+		r, err := l.readRune()
+		if err != nil {
+			break
+		}
+		if isPNameChar(r) || (r == ':' && !colon) {
+			if r == ':' {
+				colon = true
+			}
+			b.WriteRune(r)
+			continue
+		}
+		l.unread()
+		break
+	}
+	text := b.String()
+	if text == "true" || text == "false" {
+		return ttoken{kind: ttBoolean, text: text, line: l.line}, nil
+	}
+	if strings.EqualFold(text, "PREFIX") {
+		return ttoken{kind: ttPrefixDirective, line: l.line}, nil
+	}
+	if strings.EqualFold(text, "BASE") {
+		return ttoken{kind: ttBaseDirective, line: l.line}, nil
+	}
+	return ttoken{kind: ttPName, text: text, line: l.line}, nil
+}
+
+func isPNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isPNameChar(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// ---- parser ----
+
+type turtleParser struct {
+	lex      *turtleLexer
+	prefixes *Prefixes
+	triples  []Triple
+	bnodeSeq int
+}
+
+func (p *turtleParser) run() error {
+	for {
+		tok, err := p.lex.peekTok()
+		if err != nil {
+			return err
+		}
+		switch tok.kind {
+		case ttEOF:
+			return nil
+		case ttPrefixDirective:
+			if err := p.parsePrefix(); err != nil {
+				return err
+			}
+		case ttBaseDirective:
+			if err := p.parseBase(); err != nil {
+				return err
+			}
+		default:
+			if err := p.parseStatement(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (p *turtleParser) parsePrefix() error {
+	p.lex.next() // consume directive
+	name, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	if name.kind != ttPName {
+		return p.lex.errf("expected prefix name, got %q", name.text)
+	}
+	label := strings.TrimSuffix(name.text, ":")
+	iri, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	if iri.kind != ttIRI {
+		return p.lex.errf("expected namespace IRI")
+	}
+	p.prefixes.Bind(label, iri.text)
+	// Optional trailing dot (@prefix form has one, SPARQL PREFIX does not).
+	if nxt, err := p.lex.peekTok(); err == nil && nxt.kind == ttDot {
+		p.lex.next()
+	}
+	return nil
+}
+
+func (p *turtleParser) parseBase() error {
+	p.lex.next()
+	if _, err := p.lex.next(); err != nil { // base IRI, ignored
+		return err
+	}
+	if nxt, err := p.lex.peekTok(); err == nil && nxt.kind == ttDot {
+		p.lex.next()
+	}
+	return nil
+}
+
+func (p *turtleParser) parseStatement() error {
+	subj, err := p.parseTerm(true)
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.parseTerm(false)
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.parseTerm(false)
+			if err != nil {
+				return err
+			}
+			p.triples = append(p.triples, Triple{S: subj, P: pred, O: obj})
+			tok, err := p.lex.next()
+			if err != nil {
+				return err
+			}
+			switch tok.kind {
+			case ttComma:
+				continue
+			case ttSemicolon:
+				// Allow trailing ";" before "."
+				nxt, err := p.lex.peekTok()
+				if err != nil {
+					return err
+				}
+				if nxt.kind == ttDot {
+					p.lex.next()
+					return nil
+				}
+				goto nextPredicate
+			case ttDot:
+				return nil
+			case ttEOF:
+				return nil
+			default:
+				return p.lex.errf("expected ',', ';' or '.' after object")
+			}
+		}
+	nextPredicate:
+	}
+}
+
+func (p *turtleParser) parseTerm(asSubject bool) (Term, error) {
+	tok, err := p.lex.next()
+	if err != nil {
+		return Term{}, err
+	}
+	switch tok.kind {
+	case ttIRI:
+		return NewIRI(tok.text), nil
+	case ttBlank:
+		return NewBlank(tok.text), nil
+	case ttLBracket:
+		// Anonymous blank node "[]" (no property list support needed here).
+		nxt, err := p.lex.next()
+		if err != nil || nxt.kind != ttRBracket {
+			return Term{}, p.lex.errf("expected ] after [")
+		}
+		p.bnodeSeq++
+		return NewBlank(fmt.Sprintf("anon%d", p.bnodeSeq)), nil
+	case ttPName:
+		if tok.text == "a" && !asSubject {
+			return NewIRI(RDFType), nil
+		}
+		iri, err := p.prefixes.Expand(tok.text)
+		if err != nil {
+			return Term{}, p.lex.errf("%v", err)
+		}
+		return NewIRI(iri), nil
+	case ttNumber:
+		if strings.ContainsAny(tok.text, ".eE") {
+			return NewTypedLiteral(tok.text, XSDDecimal), nil
+		}
+		return NewTypedLiteral(tok.text, XSDInteger), nil
+	case ttBoolean:
+		return NewTypedLiteral(tok.text, XSDBoolean), nil
+	case ttLiteral:
+		lex := tok.text
+		nxt, err := p.lex.peekTok()
+		if err != nil {
+			return Term{}, err
+		}
+		switch nxt.kind {
+		case ttLangTag:
+			p.lex.next()
+			return NewLangLiteral(lex, nxt.text), nil
+		case ttCaretSep:
+			p.lex.next()
+			dt, err := p.lex.next()
+			if err != nil {
+				return Term{}, err
+			}
+			switch dt.kind {
+			case ttIRI:
+				return NewTypedLiteral(lex, dt.text), nil
+			case ttPName:
+				iri, err := p.prefixes.Expand(dt.text)
+				if err != nil {
+					return Term{}, p.lex.errf("%v", err)
+				}
+				return NewTypedLiteral(lex, iri), nil
+			default:
+				return Term{}, p.lex.errf("expected datatype after ^^")
+			}
+		}
+		return NewLiteral(lex), nil
+	default:
+		return Term{}, p.lex.errf("unexpected token %q", tok.text)
+	}
+}

@@ -1,0 +1,210 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleTurtle = `
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix geo: <http://www.opengis.net/ont/geosparql#> .
+@prefix osm: <http://www.app-lab.eu/osm/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+osm:park1 a osm:Park ;
+    osm:hasName "Bois de Boulogne"^^xsd:string ;
+    geo:hasGeometry osm:geom1 .
+
+osm:geom1 geo:asWKT "POLYGON((2.24 48.86, 2.26 48.86, 2.26 48.88, 2.24 48.88, 2.24 48.86))"^^geo:wktLiteral .
+
+osm:park2 osm:hasName "Parc Monceau"@fr ;
+    osm:area 8.2 ;
+    osm:visitors 1200000 ;
+    osm:open true .
+`
+
+func TestParseTurtleBasics(t *testing.T) {
+	triples, prefixes, err := ParseTurtleString(sampleTurtle)
+	if err != nil {
+		t.Fatalf("ParseTurtle: %v", err)
+	}
+	if len(triples) != 8 {
+		t.Fatalf("got %d triples, want 8: %v", len(triples), triples)
+	}
+	if ns, ok := prefixes.Namespace("geo"); !ok || ns != NSGeo {
+		t.Errorf("geo prefix = %q, %v", ns, ok)
+	}
+
+	g := NewGraph()
+	g.AddAll(triples)
+
+	// "a" keyword expands to rdf:type.
+	types := g.Match(NewIRI(NSOSM+"park1"), NewIRI(RDFType), Term{})
+	if len(types) != 1 || types[0].O.Value != NSOSM+"Park" {
+		t.Errorf("rdf:type triple = %v", types)
+	}
+
+	// typed literal
+	name, ok := g.FirstObject(NewIRI(NSOSM+"park1"), NewIRI(NSOSM+"hasName"))
+	if !ok || name.Value != "Bois de Boulogne" || name.Datatype != XSDString {
+		t.Errorf("hasName = %+v, %v", name, ok)
+	}
+
+	// WKT literal
+	wkt, ok := g.FirstObject(NewIRI(NSOSM+"geom1"), NewIRI(NSGeo+"asWKT"))
+	if !ok || wkt.Datatype != WKTLiteral || !strings.HasPrefix(wkt.Value, "POLYGON") {
+		t.Errorf("asWKT = %+v", wkt)
+	}
+
+	// language tag
+	n2, _ := g.FirstObject(NewIRI(NSOSM+"park2"), NewIRI(NSOSM+"hasName"))
+	if n2.Lang != "fr" {
+		t.Errorf("lang = %q", n2.Lang)
+	}
+
+	// numeric shorthand
+	area, _ := g.FirstObject(NewIRI(NSOSM+"park2"), NewIRI(NSOSM+"area"))
+	if area.Datatype != XSDDecimal {
+		t.Errorf("decimal shorthand datatype = %q", area.Datatype)
+	}
+	visitors, _ := g.FirstObject(NewIRI(NSOSM+"park2"), NewIRI(NSOSM+"visitors"))
+	if v, ok := visitors.Int(); !ok || v != 1200000 {
+		t.Errorf("integer shorthand = %+v", visitors)
+	}
+	open, _ := g.FirstObject(NewIRI(NSOSM+"park2"), NewIRI(NSOSM+"open"))
+	if b, ok := open.Bool(); !ok || !b {
+		t.Errorf("boolean shorthand = %+v", open)
+	}
+}
+
+func TestParseTurtleObjectLists(t *testing.T) {
+	src := `@prefix ex: <http://ex.org/> .
+ex:s ex:p ex:a, ex:b, ex:c .`
+	triples, _, err := ParseTurtleString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 3 {
+		t.Fatalf("comma list produced %d triples, want 3", len(triples))
+	}
+	for _, tp := range triples {
+		if tp.S.Value != "http://ex.org/s" || tp.P.Value != "http://ex.org/p" {
+			t.Errorf("bad triple %v", tp)
+		}
+	}
+}
+
+func TestParseTurtleComments(t *testing.T) {
+	src := `# leading comment
+@prefix ex: <http://ex.org/> . # trailing
+ex:s ex:p "v" . # done`
+	triples, _, err := ParseTurtleString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 1 {
+		t.Fatalf("got %d triples", len(triples))
+	}
+}
+
+func TestParseTurtleBlankNodes(t *testing.T) {
+	src := `@prefix ex: <http://ex.org/> .
+ex:s ex:geom _:g1 .
+_:g1 ex:wkt "POINT(1 2)" .
+ex:t ex:geom [] .`
+	triples, _, err := ParseTurtleString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 3 {
+		t.Fatalf("got %d triples", len(triples))
+	}
+	if !triples[0].O.IsBlank() || triples[0].O.Value != "g1" {
+		t.Errorf("labeled bnode = %v", triples[0].O)
+	}
+	if !triples[2].O.IsBlank() {
+		t.Errorf("anonymous bnode = %v", triples[2].O)
+	}
+}
+
+func TestParseTurtleErrors(t *testing.T) {
+	bad := []string{
+		`ex:s ex:p "v" .`, // unbound prefix
+		`@prefix ex: <http://e/> . ex:s ex:p <unterminated`,
+		`@prefix ex: <http://e/> . ex:s ex:p "unterminated`,
+		`@prefix ex: <http://e/> . ex:s ex:p "v" ^x .`,
+	}
+	for _, src := range bad {
+		if _, _, err := ParseTurtleString(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	orig, _, err := ParseTurtleString(sampleTurtle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseNTriples(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\ndoc:\n%s", err, buf.String())
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip %d -> %d triples", len(orig), len(back))
+	}
+	g := NewGraph()
+	g.AddAll(orig)
+	for _, tp := range back {
+		if !g.Contains(tp) {
+			t.Errorf("round-trip lost/changed %v", tp)
+		}
+	}
+}
+
+func TestWriteTurtleRoundTrip(t *testing.T) {
+	orig, prefixes, err := ParseTurtleString(sampleTurtle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTurtle(&buf, orig, prefixes); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ParseTurtleString(buf.String())
+	if err != nil {
+		t.Fatalf("re-parse turtle: %v\ndoc:\n%s", err, buf.String())
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip %d -> %d triples\ndoc:\n%s", len(orig), len(back), buf.String())
+	}
+}
+
+func TestPrefixesExpandCompact(t *testing.T) {
+	p := DefaultPrefixes()
+	iri, err := p.Expand("geo:asWKT")
+	if err != nil || iri != NSGeo+"asWKT" {
+		t.Errorf("Expand = %q, %v", iri, err)
+	}
+	if got := p.Compact(NSGeo + "asWKT"); got != "geo:asWKT" {
+		t.Errorf("Compact = %q", got)
+	}
+	if got := p.Compact("http://unknown.example/x"); got != "<http://unknown.example/x>" {
+		t.Errorf("Compact unknown = %q", got)
+	}
+	if _, err := p.Expand("nosuch:x"); err == nil {
+		t.Error("Expand with unbound prefix must error")
+	}
+	if _, err := p.Expand("noprefix"); err == nil {
+		t.Error("Expand without colon must error")
+	}
+	// Angle-bracketed IRIs pass through.
+	if iri, err := p.Expand("<http://x/y>"); err != nil || iri != "http://x/y" {
+		t.Errorf("Expand bracketed = %q, %v", iri, err)
+	}
+}

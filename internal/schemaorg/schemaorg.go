@@ -1,0 +1,253 @@
+// Package schemaorg implements the dataset-discoverability contribution of
+// the paper's §5: schema.org Dataset annotations in JSON-LD (the markup
+// Google dataset search indexes), extended with the paper's proposed EO
+// vocabulary (OGC 17-003-style product metadata: platform, instrument,
+// processing level, acquisition window), plus a small keyword search index
+// that answers queries like the paper's motivating example — "Is there a
+// land cover dataset produced by the European Environmental Agency
+// covering the area of Torino, Italy?".
+package schemaorg
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"applab/internal/geom"
+)
+
+// EODataset describes one EO dataset with schema.org core fields plus the
+// EO extension.
+type EODataset struct {
+	ID          string
+	Name        string
+	Description string
+	Publisher   string
+	License     string
+	Keywords    []string
+	// SpatialCoverage is the dataset footprint.
+	SpatialCoverage geom.Envelope
+	// TemporalStart/End bound the acquisition window.
+	TemporalStart   time.Time
+	TemporalEnd     time.Time
+	DistributionURL string
+
+	// EO extension (eo: namespace, following OGC 17-003).
+	Platform        string // e.g. "PROBA-V"
+	Instrument      string // e.g. "VEGETATION"
+	ProcessingLevel string // e.g. "L3"
+	ProductType     string // e.g. "LAI"
+}
+
+// EONamespace is the namespace of the schema.org EO extension.
+const EONamespace = "http://www.app-lab.eu/schema-eo/"
+
+// JSONLD renders the dataset annotation as a JSON-LD document.
+func JSONLD(d EODataset) (string, error) {
+	doc := map[string]any{
+		"@context": map[string]any{
+			"@vocab": "http://schema.org/",
+			"eo":     EONamespace,
+		},
+		"@type": "Dataset",
+		"@id":   d.ID,
+		"name":  d.Name,
+	}
+	if d.Description != "" {
+		doc["description"] = d.Description
+	}
+	if d.Publisher != "" {
+		doc["publisher"] = map[string]any{"@type": "Organization", "name": d.Publisher}
+	}
+	if d.License != "" {
+		doc["license"] = d.License
+	}
+	if len(d.Keywords) > 0 {
+		doc["keywords"] = strings.Join(d.Keywords, ", ")
+	}
+	if !d.SpatialCoverage.IsEmpty() {
+		doc["spatialCoverage"] = map[string]any{
+			"@type": "Place",
+			"geo": map[string]any{
+				"@type": "GeoShape",
+				// schema.org box: "minLat minLon maxLat maxLon"
+				"box": fmt.Sprintf("%g %g %g %g",
+					d.SpatialCoverage.MinY, d.SpatialCoverage.MinX,
+					d.SpatialCoverage.MaxY, d.SpatialCoverage.MaxX),
+			},
+		}
+	}
+	if !d.TemporalStart.IsZero() {
+		cov := d.TemporalStart.Format("2006-01-02")
+		if !d.TemporalEnd.IsZero() {
+			cov += "/" + d.TemporalEnd.Format("2006-01-02")
+		}
+		doc["temporalCoverage"] = cov
+	}
+	if d.DistributionURL != "" {
+		doc["distribution"] = map[string]any{
+			"@type":      "DataDownload",
+			"contentUrl": d.DistributionURL,
+		}
+	}
+	eo := map[string]any{}
+	if d.Platform != "" {
+		eo["eo:platform"] = d.Platform
+	}
+	if d.Instrument != "" {
+		eo["eo:instrument"] = d.Instrument
+	}
+	if d.ProcessingLevel != "" {
+		eo["eo:processingLevel"] = d.ProcessingLevel
+	}
+	if d.ProductType != "" {
+		eo["eo:productType"] = d.ProductType
+	}
+	for k, v := range eo {
+		doc[k] = v
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("schemaorg: %v", err)
+	}
+	return string(b), nil
+}
+
+// ParseJSONLD reads an annotation produced by JSONLD back into an
+// EODataset (used by the search index harvester).
+func ParseJSONLD(doc string) (EODataset, error) {
+	var raw map[string]any
+	if err := json.Unmarshal([]byte(doc), &raw); err != nil {
+		return EODataset{}, fmt.Errorf("schemaorg: %v", err)
+	}
+	if raw["@type"] != "Dataset" {
+		return EODataset{}, fmt.Errorf("schemaorg: @type %v is not Dataset", raw["@type"])
+	}
+	d := EODataset{
+		ID:          str(raw["@id"]),
+		Name:        str(raw["name"]),
+		Description: str(raw["description"]),
+		License:     str(raw["license"]),
+	}
+	if p, ok := raw["publisher"].(map[string]any); ok {
+		d.Publisher = str(p["name"])
+	}
+	if kw := str(raw["keywords"]); kw != "" {
+		for _, k := range strings.Split(kw, ",") {
+			d.Keywords = append(d.Keywords, strings.TrimSpace(k))
+		}
+	}
+	if sc, ok := raw["spatialCoverage"].(map[string]any); ok {
+		if g, ok := sc["geo"].(map[string]any); ok {
+			var minLat, minLon, maxLat, maxLon float64
+			if _, err := fmt.Sscanf(str(g["box"]), "%g %g %g %g", &minLat, &minLon, &maxLat, &maxLon); err == nil {
+				d.SpatialCoverage = geom.Envelope{MinX: minLon, MinY: minLat, MaxX: maxLon, MaxY: maxLat}
+			}
+		}
+	}
+	if tc := str(raw["temporalCoverage"]); tc != "" {
+		parts := strings.SplitN(tc, "/", 2)
+		if t, err := time.Parse("2006-01-02", parts[0]); err == nil {
+			d.TemporalStart = t
+		}
+		if len(parts) == 2 {
+			if t, err := time.Parse("2006-01-02", parts[1]); err == nil {
+				d.TemporalEnd = t
+			}
+		}
+	}
+	if dist, ok := raw["distribution"].(map[string]any); ok {
+		d.DistributionURL = str(dist["contentUrl"])
+	}
+	d.Platform = str(raw["eo:platform"])
+	d.Instrument = str(raw["eo:instrument"])
+	d.ProcessingLevel = str(raw["eo:processingLevel"])
+	d.ProductType = str(raw["eo:productType"])
+	return d, nil
+}
+
+func str(v any) string {
+	s, _ := v.(string)
+	return s
+}
+
+// Index is a keyword + spatial dataset search index — the "search engines
+// treating datasets as entities" capability, locally.
+type Index struct {
+	datasets []EODataset
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index { return &Index{} }
+
+// Add indexes a dataset.
+func (ix *Index) Add(d EODataset) { ix.datasets = append(ix.datasets, d) }
+
+// Len returns the number of indexed datasets.
+func (ix *Index) Len() int { return len(ix.datasets) }
+
+// Query describes a dataset search: free-text terms matched against
+// name/description/keywords/publisher/EO fields, and an optional area the
+// dataset's spatial coverage must intersect.
+type Query struct {
+	Text string
+	Area geom.Envelope
+}
+
+// Search returns matching datasets ranked by the number of matched terms.
+func (ix *Index) Search(q Query) []EODataset {
+	terms := tokenize(q.Text)
+	type scored struct {
+		d     EODataset
+		score int
+	}
+	var hits []scored
+	noArea := q.Area.IsEmpty() || q.Area == (geom.Envelope{})
+	for _, d := range ix.datasets {
+		if !noArea {
+			if d.SpatialCoverage.IsEmpty() || !d.SpatialCoverage.Intersects(q.Area) {
+				continue
+			}
+		}
+		if len(terms) == 0 {
+			hits = append(hits, scored{d, 0})
+			continue
+		}
+		hay := strings.ToLower(strings.Join(append([]string{
+			d.Name, d.Description, d.Publisher, d.Platform, d.Instrument,
+			d.ProductType, d.ProcessingLevel}, d.Keywords...), " "))
+		score := 0
+		for _, t := range terms {
+			if strings.Contains(hay, t) {
+				score++
+			}
+		}
+		if score > 0 {
+			hits = append(hits, scored{d, score})
+		}
+	}
+	sort.SliceStable(hits, func(i, j int) bool { return hits[i].score > hits[j].score })
+	out := make([]EODataset, len(hits))
+	for i, h := range hits {
+		out[i] = h.d
+	}
+	return out
+}
+
+func tokenize(s string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9')
+	})
+	var out []string
+	for _, f := range fields {
+		// drop stop words of the motivating query form
+		switch f {
+		case "is", "there", "a", "the", "by", "of", "an", "produced", "covering", "area", "dataset":
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package schemaorg
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"applab/internal/geom"
+)
+
+func sampleDataset() EODataset {
+	return EODataset{
+		ID:              "http://www.app-lab.eu/datasets/corine-2012",
+		Name:            "CORINE Land Cover 2012",
+		Description:     "Pan-European land cover and land use inventory with 44 classes",
+		Publisher:       "European Environment Agency",
+		License:         "https://creativecommons.org/licenses/by/4.0/",
+		Keywords:        []string{"land cover", "land use", "Copernicus", "pan-European"},
+		SpatialCoverage: geom.Envelope{MinX: -10, MinY: 35, MaxX: 30, MaxY: 60},
+		TemporalStart:   time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC),
+		TemporalEnd:     time.Date(2012, 12, 31, 0, 0, 0, 0, time.UTC),
+		DistributionURL: "https://land.copernicus.eu/pan-european/corine-land-cover",
+		Platform:        "Sentinel-2",
+		Instrument:      "MSI",
+		ProcessingLevel: "L3",
+		ProductType:     "LandCover",
+	}
+}
+
+func TestJSONLDRoundTrip(t *testing.T) {
+	d := sampleDataset()
+	doc, err := JSONLD(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"@type": "Dataset"`, `"name": "CORINE Land Cover 2012"`,
+		`"eo:platform": "Sentinel-2"`, `"box": "35 -10 60 30"`, `"temporalCoverage": "2011-01-01/2012-12-31"`} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("JSON-LD missing %s:\n%s", want, doc)
+		}
+	}
+	back, err := ParseJSONLD(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name || back.Publisher != d.Publisher || back.Platform != d.Platform {
+		t.Errorf("round trip = %+v", back)
+	}
+	if back.SpatialCoverage != d.SpatialCoverage {
+		t.Errorf("coverage = %+v", back.SpatialCoverage)
+	}
+	if !back.TemporalStart.Equal(d.TemporalStart) || !back.TemporalEnd.Equal(d.TemporalEnd) {
+		t.Errorf("temporal = %v %v", back.TemporalStart, back.TemporalEnd)
+	}
+	if len(back.Keywords) != 4 {
+		t.Errorf("keywords = %v", back.Keywords)
+	}
+}
+
+func TestParseJSONLDErrors(t *testing.T) {
+	if _, err := ParseJSONLD("not json"); err == nil {
+		t.Error("bad JSON must error")
+	}
+	if _, err := ParseJSONLD(`{"@type": "Person", "name": "x"}`); err == nil {
+		t.Error("non-Dataset must error")
+	}
+}
+
+func TestSearchMotivatingQuery(t *testing.T) {
+	// The paper's example: "Is there a land cover dataset produced by the
+	// European Environmental Agency covering the area of Torino, Italy?"
+	ix := NewIndex()
+	ix.Add(sampleDataset())
+	ix.Add(EODataset{
+		ID: "http://x/lai", Name: "Copernicus Global Land LAI",
+		Publisher:       "VITO",
+		Keywords:        []string{"LAI", "vegetation"},
+		SpatialCoverage: geom.Envelope{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90},
+	})
+	ix.Add(EODataset{
+		ID: "http://x/ua-oslo", Name: "Urban Atlas Oslo",
+		Publisher:       "European Environment Agency",
+		Keywords:        []string{"land use", "urban"},
+		SpatialCoverage: geom.Envelope{MinX: 10.6, MinY: 59.8, MaxX: 10.9, MaxY: 60.0},
+	})
+
+	torino := geom.Envelope{MinX: 7.6, MinY: 45.0, MaxX: 7.75, MaxY: 45.15}
+	hits := ix.Search(Query{
+		Text: "Is there a land cover dataset produced by the European Environmental Agency",
+		Area: torino,
+	})
+	if len(hits) == 0 {
+		t.Fatal("motivating query found nothing")
+	}
+	if hits[0].Name != "CORINE Land Cover 2012" {
+		t.Errorf("top hit = %q", hits[0].Name)
+	}
+	// Oslo UA is excluded by the spatial constraint despite matching text.
+	for _, h := range hits {
+		if h.Name == "Urban Atlas Oslo" {
+			t.Error("Oslo dataset must not cover Torino")
+		}
+	}
+}
+
+func TestSearchTextOnlyAndAreaOnly(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(sampleDataset())
+	if got := ix.Search(Query{Text: "vegetation index"}); len(got) != 0 {
+		t.Errorf("unrelated text matched: %v", got)
+	}
+	if got := ix.Search(Query{Area: geom.Envelope{MinX: 0, MinY: 40, MaxX: 1, MaxY: 41}}); len(got) != 1 {
+		t.Errorf("area-only search = %v", got)
+	}
+	if got := ix.Search(Query{}); len(got) != 1 {
+		t.Errorf("empty query must list all: %v", got)
+	}
+	if ix.Len() != 1 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+}

@@ -1,0 +1,124 @@
+package strabon
+
+import (
+	"sort"
+	"time"
+
+	"applab/internal/geom"
+	"applab/internal/rdf"
+)
+
+// NaiveStore is the unindexed baseline used by experiment E5: it keeps the
+// triples in a flat slice and answers the same spatial and spatio-temporal
+// queries by scanning everything and re-parsing WKT on every probe, the way
+// a generic (non-spatiotemporal) RDF store would evaluate a geof:* filter.
+type NaiveStore struct {
+	triples []rdf.Triple
+}
+
+// NewNaive returns an empty naive store.
+func NewNaive() *NaiveStore { return &NaiveStore{} }
+
+// AddAll appends triples.
+func (n *NaiveStore) AddAll(ts []rdf.Triple) { n.triples = append(n.triples, ts...) }
+
+// Len returns the number of triples.
+func (n *NaiveStore) Len() int { return len(n.triples) }
+
+// Match implements sparql.Source by scanning.
+func (n *NaiveStore) Match(s, p, o rdf.Term) []rdf.Triple {
+	var out []rdf.Triple
+	for _, t := range n.triples {
+		if !s.IsZero() && !t.S.Equal(s) {
+			continue
+		}
+		if !p.IsZero() && !t.P.Equal(p) {
+			continue
+		}
+		if !o.IsZero() && !t.O.Equal(o) {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// FeaturesIntersecting scans every geo:asWKT triple, parses the WKT afresh
+// and tests intersection, then resolves owners by a second scan.
+func (n *NaiveStore) FeaturesIntersecting(q geom.Geometry) []rdf.Term {
+	asWKT := rdf.NSGeo + "asWKT"
+	hasGeom := rdf.NSGeo + "hasGeometry"
+	hit := map[string]bool{}
+	for _, t := range n.triples {
+		if t.P.Value != asWKT || !t.O.IsLiteral() {
+			continue
+		}
+		g, err := geom.ParseWKT(t.O.Value) // deliberately uncached
+		if err != nil {
+			continue
+		}
+		if geom.Intersects(g, q) {
+			hit[t.S.Key()] = true
+		}
+	}
+	set := map[string]rdf.Term{}
+	for _, t := range n.triples {
+		if t.P.Value == hasGeom && hit[t.O.Key()] {
+			set[t.S.Key()] = t.S
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]rdf.Term, len(keys))
+	for i, k := range keys {
+		out[i] = set[k]
+	}
+	return out
+}
+
+// ObservationsDuring answers the spatio-temporal query by a full scan.
+func (n *NaiveStore) ObservationsDuring(env geom.Envelope, from, to time.Time) []Observation {
+	hasTime := rdf.NSTime + "hasTime"
+	hasGeom := rdf.NSGeo + "hasGeometry"
+	asWKT := rdf.NSGeo + "asWKT"
+	var out []Observation
+	for _, t := range n.triples {
+		if t.P.Value != hasTime {
+			continue
+		}
+		tm, ok := t.O.Time()
+		if !ok || tm.Before(from) || tm.After(to) {
+			continue
+		}
+		// find geometry node, then WKT, by scanning
+		var geomNode rdf.Term
+		found := false
+		for _, t2 := range n.triples {
+			if t2.P.Value == hasGeom && t2.S.Equal(t.S) {
+				geomNode = t2.O
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		for _, t3 := range n.triples {
+			if t3.P.Value == asWKT && t3.S.Equal(geomNode) {
+				g, err := geom.ParseWKT(t3.O.Value)
+				if err != nil {
+					break
+				}
+				if env.IsEmpty() || env.Intersects(g.Envelope()) {
+					out = append(out, Observation{Subject: t.S, Geom: g, Time: tm})
+				}
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}

@@ -1,0 +1,254 @@
+package strabon
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"applab/internal/rdf"
+)
+
+// Binary store image format ("ASTR1"): a dictionary-compressed triple
+// dump that, unlike N-Triples, preserves valid-time intervals. Strings
+// are interned: term payloads are written once and referenced by index,
+// which typically shrinks EO observation dumps by ~3x (IRIs share long
+// prefixes-as-whole-strings across triples).
+//
+//	magic "ASTR1"
+//	nStrings uint32, then per string: len uint32 + bytes
+//	nTriples uint64, then per triple:
+//	    for each of S, P, O: kind uint8, value ref uint32,
+//	        datatype ref uint32 (literals), lang ref uint32 (literals)
+//	    flags uint8 (bit0 = has valid time), then two int64 unix-nanos
+const persistMagic = "ASTR1"
+
+// Save writes the store's triples (with valid time) to w.
+func (s *Store) Save(w io.Writer) error {
+	return saveTriples(w, s.graph.Triples())
+}
+
+// saveTriples implements the binary image writer.
+func saveTriples(w io.Writer, triples []rdf.Triple) error {
+	bw := bufio.NewWriter(w)
+	// Intern strings.
+	index := map[string]uint32{}
+	var strs []string
+	intern := func(v string) uint32 {
+		if i, ok := index[v]; ok {
+			return i
+		}
+		i := uint32(len(strs))
+		index[v] = i
+		strs = append(strs, v)
+		return i
+	}
+	type encTerm struct {
+		kind          uint8
+		val, dt, lang uint32
+	}
+	enc := func(t rdf.Term) encTerm {
+		e := encTerm{kind: uint8(t.Kind), val: intern(t.Value)}
+		if t.Kind == rdf.KindLiteral {
+			e.dt = intern(t.Datatype)
+			e.lang = intern(t.Lang)
+		}
+		return e
+	}
+	type encTriple struct {
+		s, p, o encTerm
+		hasVT   bool
+		from    int64
+		to      int64
+	}
+	encoded := make([]encTriple, len(triples))
+	for i, tr := range triples {
+		et := encTriple{s: enc(tr.S), p: enc(tr.P), o: enc(tr.O)}
+		if tr.HasValidTime() {
+			et.hasVT = true
+			et.from = tr.ValidFrom.UnixNano()
+			et.to = tr.ValidTo.UnixNano()
+		}
+		encoded[i] = et
+	}
+
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint32(len(strs))); err != nil {
+		return err
+	}
+	for _, v := range strs {
+		if err := binary.Write(bw, binary.BigEndian, uint32(len(v))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint64(len(encoded))); err != nil {
+		return err
+	}
+	writeTerm := func(e encTerm) error {
+		if err := bw.WriteByte(e.kind); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.BigEndian, e.val); err != nil {
+			return err
+		}
+		if rdf.TermKind(e.kind) == rdf.KindLiteral {
+			if err := binary.Write(bw, binary.BigEndian, e.dt); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.BigEndian, e.lang); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, et := range encoded {
+		for _, term := range []encTerm{et.s, et.p, et.o} {
+			if err := writeTerm(term); err != nil {
+				return err
+			}
+		}
+		flags := uint8(0)
+		if et.hasVT {
+			flags = 1
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		if et.hasVT {
+			if err := binary.Write(bw, binary.BigEndian, et.from); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.BigEndian, et.to); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a binary store image produced by Save into a fresh store.
+func Load(r io.Reader) (*Store, error) {
+	triples, err := loadTriples(r)
+	if err != nil {
+		return nil, err
+	}
+	s := New()
+	s.AddAll(triples)
+	return s, nil
+}
+
+func loadTriples(r io.Reader) ([]rdf.Triple, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("strabon: short image header: %v", err)
+	}
+	if string(head) != persistMagic {
+		return nil, fmt.Errorf("strabon: bad image magic %q", head)
+	}
+	var nStrs uint32
+	if err := binary.Read(br, binary.BigEndian, &nStrs); err != nil {
+		return nil, err
+	}
+	if nStrs > 1<<26 {
+		return nil, fmt.Errorf("strabon: image dictionary too large (%d)", nStrs)
+	}
+	strs := make([]string, nStrs)
+	for i := range strs {
+		var n uint32
+		if err := binary.Read(br, binary.BigEndian, &n); err != nil {
+			return nil, err
+		}
+		if n > 1<<24 {
+			return nil, fmt.Errorf("strabon: image string too large (%d)", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		strs[i] = string(buf)
+	}
+	lookup := func(i uint32) (string, error) {
+		if int(i) >= len(strs) {
+			return "", fmt.Errorf("strabon: image string ref %d out of range", i)
+		}
+		return strs[i], nil
+	}
+	readTerm := func() (rdf.Term, error) {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if kind > uint8(rdf.KindBlank) {
+			return rdf.Term{}, fmt.Errorf("strabon: image term kind %d invalid", kind)
+		}
+		var valRef uint32
+		if err := binary.Read(br, binary.BigEndian, &valRef); err != nil {
+			return rdf.Term{}, err
+		}
+		t := rdf.Term{Kind: rdf.TermKind(kind)}
+		if t.Value, err = lookup(valRef); err != nil {
+			return rdf.Term{}, err
+		}
+		if t.Kind == rdf.KindLiteral {
+			var dtRef, langRef uint32
+			if err := binary.Read(br, binary.BigEndian, &dtRef); err != nil {
+				return rdf.Term{}, err
+			}
+			if err := binary.Read(br, binary.BigEndian, &langRef); err != nil {
+				return rdf.Term{}, err
+			}
+			if t.Datatype, err = lookup(dtRef); err != nil {
+				return rdf.Term{}, err
+			}
+			if t.Lang, err = lookup(langRef); err != nil {
+				return rdf.Term{}, err
+			}
+		}
+		return t, nil
+	}
+	var nTriples uint64
+	if err := binary.Read(br, binary.BigEndian, &nTriples); err != nil {
+		return nil, err
+	}
+	if nTriples > 1<<30 {
+		return nil, fmt.Errorf("strabon: image too large (%d triples)", nTriples)
+	}
+	out := make([]rdf.Triple, 0, nTriples)
+	for i := uint64(0); i < nTriples; i++ {
+		var tr rdf.Triple
+		var err error
+		if tr.S, err = readTerm(); err != nil {
+			return nil, err
+		}
+		if tr.P, err = readTerm(); err != nil {
+			return nil, err
+		}
+		if tr.O, err = readTerm(); err != nil {
+			return nil, err
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if flags&1 != 0 {
+			var from, to int64
+			if err := binary.Read(br, binary.BigEndian, &from); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(br, binary.BigEndian, &to); err != nil {
+				return nil, err
+			}
+			tr.ValidFrom = time.Unix(0, from).UTC()
+			tr.ValidTo = time.Unix(0, to).UTC()
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package strabon
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"applab/internal/geom"
+	"applab/internal/rdf"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := New()
+	orig.AddAll(buildParkData(t, 150))
+	// Add valid-time triples and exotic literals.
+	vt := rdf.NewTriple(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewLangLiteral("bonjour", "fr"))
+	vt.ValidFrom = time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	vt.ValidTo = time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC)
+	orig.Add(vt)
+	orig.Add(rdf.NewTriple(rdf.NewIRI("s"), rdf.NewIRI("q"), rdf.NewBlank("b1")))
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("Len %d -> %d", orig.Len(), back.Len())
+	}
+	// Every original triple is present, including the valid-time one.
+	for _, tr := range orig.Graph().Triples() {
+		if !back.Graph().Contains(tr) {
+			t.Fatalf("lost triple %v", tr)
+		}
+	}
+	// Valid-time index works on the restored store.
+	got := back.TriplesValidDuring(
+		time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC))
+	if len(got) != 1 || got[0].O.Lang != "fr" {
+		t.Fatalf("valid-time after load = %v", got)
+	}
+	// Spatial index works on the restored store.
+	if back.GeometryCount() != orig.GeometryCount() {
+		t.Fatalf("geometries %d -> %d", orig.GeometryCount(), back.GeometryCount())
+	}
+	q := geom.NewRect(0, 0, 3, 3)
+	if len(back.FeaturesIntersecting(q)) != len(orig.FeaturesIntersecting(q)) {
+		t.Fatal("spatial query differs after reload")
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Fatalf("Len = %d", back.Len())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("JUNKJUNK"))); err == nil {
+		t.Error("bad magic must error")
+	}
+	if _, err := Load(bytes.NewReader([]byte("AST"))); err == nil {
+		t.Error("truncated header must error")
+	}
+	// Truncated mid-stream.
+	orig := New()
+	orig.AddAll(buildParkData(t, 20))
+	var buf bytes.Buffer
+	orig.Save(&buf)
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated image must error")
+	}
+}
+
+func TestImageSmallerThanNTriples(t *testing.T) {
+	orig := New()
+	orig.AddAll(buildParkData(t, 500))
+	var img, nt bytes.Buffer
+	if err := orig.Save(&img); err != nil {
+		t.Fatal(err)
+	}
+	if err := rdf.WriteNTriples(&nt, orig.Graph().Triples()); err != nil {
+		t.Fatal(err)
+	}
+	if img.Len() >= nt.Len() {
+		t.Errorf("dictionary image (%d bytes) should beat N-Triples (%d bytes)",
+			img.Len(), nt.Len())
+	}
+}

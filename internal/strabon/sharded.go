@@ -1,0 +1,221 @@
+package strabon
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"applab/internal/geom"
+	"applab/internal/rdf"
+	"applab/internal/sparql"
+)
+
+// ShardedStore is the scale-out prototype for the paper's §5 open problem
+// ("we plan to extend a scalable RDF store like Apache Rya with GeoSPARQL
+// support"): triples are partitioned across N shards, each an independent
+// Store with its own spatial and temporal indexes; queries fan out to all
+// shards in parallel and results are merged.
+//
+// Partitioning is entity-group based: AddAll unions subjects connected by
+// geo:hasGeometry links (feature -> geometry node) so a feature and its
+// geometry always land on the same shard — the load-time co-location any
+// distributed spatial RDF store needs for its local spatial indexes to be
+// usable. Subjects keep their shard across batches.
+type ShardedStore struct {
+	shards []*Store
+	// owner maps a subject key to its shard index once assigned.
+	owner map[string]int
+}
+
+// NewSharded returns a store with n shards (n < 1 becomes 1).
+func NewSharded(n int) *ShardedStore {
+	if n < 1 {
+		n = 1
+	}
+	s := &ShardedStore{shards: make([]*Store, n), owner: map[string]int{}}
+	for i := range s.shards {
+		s.shards[i] = New()
+	}
+	return s
+}
+
+// ShardCount returns the number of shards.
+func (s *ShardedStore) ShardCount() int { return len(s.shards) }
+
+func hashShard(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()) % n
+}
+
+// AddAll partitions a batch with entity-group co-location and loads the
+// shards.
+func (s *ShardedStore) AddAll(ts []rdf.Triple) {
+	// Union-find over subject keys, linking S and O of geo:hasGeometry.
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	hasGeom := rdf.NSGeo + "hasGeometry"
+	for _, t := range ts {
+		find(t.S.Key())
+		if t.P.Value == hasGeom && (t.O.IsIRI() || t.O.IsBlank()) {
+			union(t.S.Key(), t.O.Key())
+		}
+	}
+	// Respect prior assignments: if any member of a group is already
+	// owned, the whole group follows it.
+	groupShard := map[string]int{}
+	for key := range parent {
+		if sh, ok := s.owner[key]; ok {
+			groupShard[find(key)] = sh
+		}
+	}
+	for _, t := range ts {
+		key := t.S.Key()
+		root := find(key)
+		sh, ok := groupShard[root]
+		if !ok {
+			sh = hashShard(root, len(s.shards))
+			groupShard[root] = sh
+		}
+		s.owner[key] = sh
+		s.shards[sh].Add(t)
+	}
+}
+
+// Add inserts one triple (by prior owner, else subject hash). Prefer
+// AddAll for geometry co-location.
+func (s *ShardedStore) Add(t rdf.Triple) { s.AddAll([]rdf.Triple{t}) }
+
+// Len returns the total number of triples.
+func (s *ShardedStore) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Freeze builds the indexes of every shard in parallel.
+func (s *ShardedStore) Freeze() error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.shards))
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *Store) {
+			defer wg.Done()
+			errs[i] = sh.Freeze()
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Match implements sparql.Source. Subject-bound patterns are answered by
+// the owning shard alone; other patterns fan out to all shards in
+// parallel.
+func (s *ShardedStore) Match(sub, pred, obj rdf.Term) []rdf.Triple {
+	if !sub.IsZero() {
+		if sh, ok := s.owner[sub.Key()]; ok {
+			return s.shards[sh].Match(sub, pred, obj)
+		}
+		return nil
+	}
+	results := make([][]rdf.Triple, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *Store) {
+			defer wg.Done()
+			results[i] = sh.Match(sub, pred, obj)
+		}(i, sh)
+	}
+	wg.Wait()
+	var out []rdf.Triple
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// FeaturesIntersecting merges the per-shard spatial answers, sorted by
+// term key like Store.FeaturesIntersecting.
+func (s *ShardedStore) FeaturesIntersecting(q geom.Geometry) []rdf.Term {
+	results := make([][]rdf.Term, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *Store) {
+			defer wg.Done()
+			results[i] = sh.FeaturesIntersecting(q)
+		}(i, sh)
+	}
+	wg.Wait()
+	var out []rdf.Term
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// ObservationsDuring merges the per-shard spatio-temporal answers in time
+// order.
+func (s *ShardedStore) ObservationsDuring(env geom.Envelope, from, to time.Time) []Observation {
+	results := make([][]Observation, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *Store) {
+			defer wg.Done()
+			results[i] = sh.ObservationsDuring(env, from, to)
+		}(i, sh)
+	}
+	wg.Wait()
+	var out []Observation
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		return out[i].Subject.Key() < out[j].Subject.Key()
+	})
+	return out
+}
+
+// Query parses and evaluates a (Geo)SPARQL query over all shards.
+func (s *ShardedStore) Query(q string) (*sparql.Results, error) {
+	return sparql.Eval(s, q)
+}
+
+// GeometryCount sums the shards' indexed geometries.
+func (s *ShardedStore) GeometryCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.GeometryCount()
+	}
+	return n
+}

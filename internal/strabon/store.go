@@ -1,0 +1,248 @@
+// Package strabon implements the spatiotemporal RDF store of the App Lab
+// stack, modeled on Strabon [Kyzirakos et al., ISWC 2012; Bereta et al.,
+// ESWC 2013]: a triple store with
+//
+//   - hash indexes on S/P/O (via rdf.Graph),
+//   - an R-tree over every geo:wktLiteral reachable through geo:asWKT,
+//   - a valid-time interval index over triples carrying valid time and over
+//     time:hasTime observation timestamps.
+//
+// It implements sparql.Source, so the full query engine (including the
+// geof:* functions) runs on top of it, and exposes direct spatial and
+// spatio-temporal query APIs that the Geographica-style benchmarks use.
+package strabon
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"applab/internal/geom"
+	"applab/internal/geom/rtree"
+	"applab/internal/geosparql"
+	"applab/internal/rdf"
+	"applab/internal/sparql"
+)
+
+// GeometryEntry is one spatially indexed geometry.
+type GeometryEntry struct {
+	// Node is the geometry node (the subject of geo:asWKT).
+	Node rdf.Term
+	// WKT is the geometry literal.
+	WKT rdf.Term
+	// Geom is the parsed geometry.
+	Geom geom.Geometry
+	// Features are the subjects linked to Node via geo:hasGeometry.
+	Features []rdf.Term
+}
+
+// Observation is a spatio-temporally indexed entity: a subject carrying a
+// geometry and a time:hasTime instant (the LAI observations of the paper's
+// case study have exactly this shape).
+type Observation struct {
+	Subject rdf.Term
+	Geom    geom.Geometry
+	Time    time.Time
+}
+
+// Store is the spatiotemporal RDF store. Build it with New, fill it with
+// Add/AddAll/Load, then Freeze (or just query: freezing is automatic and
+// incremental indexing is handled lazily).
+type Store struct {
+	graph *rdf.Graph
+
+	dirty   bool
+	spatial *rtree.Tree
+	geoms   map[string]*GeometryEntry // geometry-node key -> entry
+	obs     []Observation             // sorted by Time
+	// validTime holds triples with attached valid-time, sorted by ValidFrom.
+	validTime []rdf.Triple
+}
+
+// New returns an empty store and ensures the geof:* functions are
+// registered with the SPARQL engine.
+func New() *Store {
+	geosparql.Register()
+	return &Store{graph: rdf.NewGraph(), dirty: true}
+}
+
+// Add inserts one triple.
+func (s *Store) Add(t rdf.Triple) {
+	if s.graph.Add(t) {
+		s.dirty = true
+	}
+}
+
+// AddAll inserts all triples.
+func (s *Store) AddAll(ts []rdf.Triple) {
+	if s.graph.AddAll(ts) > 0 {
+		s.dirty = true
+	}
+}
+
+// Len returns the number of stored triples.
+func (s *Store) Len() int { return s.graph.Len() }
+
+// Graph exposes the underlying triple graph (read-only use).
+func (s *Store) Graph() *rdf.Graph { return s.graph }
+
+// Match implements sparql.Source.
+func (s *Store) Match(sub, pred, obj rdf.Term) []rdf.Triple {
+	return s.graph.Match(sub, pred, obj)
+}
+
+// Query parses and evaluates a (Geo)SPARQL query against the store.
+func (s *Store) Query(q string) (*sparql.Results, error) {
+	return sparql.Eval(s, q)
+}
+
+// Freeze (re)builds the spatial and temporal indexes. It is called
+// automatically by the index-backed query methods when the store changed.
+func (s *Store) Freeze() error {
+	if !s.dirty {
+		return nil
+	}
+	s.geoms = map[string]*GeometryEntry{}
+	var items []rtree.Item
+	asWKT := rdf.NewIRI(geosparql.AsWKT)
+	hasGeom := rdf.NewIRI(geosparql.HasGeometry)
+	var firstErr error
+	for _, t := range s.graph.Match(rdf.Term{}, asWKT, rdf.Term{}) {
+		g, err := geosparql.ParseGeometryTerm(t.O)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("strabon: geometry of %s: %v", t.S, err)
+			}
+			continue
+		}
+		e := &GeometryEntry{Node: t.S, WKT: t.O, Geom: g}
+		for _, f := range s.graph.Subjects(hasGeom, t.S) {
+			e.Features = append(e.Features, f)
+		}
+		s.geoms[t.S.Key()] = e
+		items = append(items, rtree.Item{Env: g.Envelope(), Data: e})
+	}
+	s.spatial = rtree.Bulk(items)
+
+	// Observations: subjects with both a geometry and a time:hasTime.
+	hasTime := rdf.NewIRI(rdf.NSTime + "hasTime")
+	s.obs = nil
+	for _, t := range s.graph.Match(rdf.Term{}, hasTime, rdf.Term{}) {
+		tm, ok := t.O.Time()
+		if !ok {
+			continue
+		}
+		if gn, ok := s.graph.FirstObject(t.S, hasGeom); ok {
+			if e, ok := s.geoms[gn.Key()]; ok {
+				s.obs = append(s.obs, Observation{Subject: t.S, Geom: e.Geom, Time: tm})
+			}
+		}
+	}
+	sort.Slice(s.obs, func(i, j int) bool { return s.obs[i].Time.Before(s.obs[j].Time) })
+
+	// Valid-time triple index.
+	s.validTime = nil
+	for _, t := range s.graph.Triples() {
+		if t.HasValidTime() {
+			s.validTime = append(s.validTime, t)
+		}
+	}
+	sort.Slice(s.validTime, func(i, j int) bool {
+		return s.validTime[i].ValidFrom.Before(s.validTime[j].ValidFrom)
+	})
+	s.dirty = false
+	return firstErr
+}
+
+// GeometriesIntersecting returns the geometry entries whose geometry
+// intersects q, using the R-tree for candidate pruning.
+func (s *Store) GeometriesIntersecting(q geom.Geometry) []*GeometryEntry {
+	s.Freeze()
+	var out []*GeometryEntry
+	s.spatial.Search(q.Envelope(), func(it rtree.Item) bool {
+		e := it.Data.(*GeometryEntry)
+		if geom.Intersects(e.Geom, q) {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}
+
+// FeaturesIntersecting returns the features (via geo:hasGeometry) whose
+// geometry intersects q, sorted by term key.
+func (s *Store) FeaturesIntersecting(q geom.Geometry) []rdf.Term {
+	set := map[string]rdf.Term{}
+	for _, e := range s.GeometriesIntersecting(q) {
+		for _, f := range e.Features {
+			set[f.Key()] = f
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]rdf.Term, len(keys))
+	for i, k := range keys {
+		out[i] = set[k]
+	}
+	return out
+}
+
+// NearestGeometries returns up to k geometry entries nearest to p.
+func (s *Store) NearestGeometries(p geom.Point, k int) []*GeometryEntry {
+	s.Freeze()
+	items := s.spatial.Nearest(p, k)
+	out := make([]*GeometryEntry, len(items))
+	for i, it := range items {
+		out[i] = it.Data.(*GeometryEntry)
+	}
+	return out
+}
+
+// ObservationsDuring returns the observations with time in [from, to] whose
+// geometry intersects env (zero envelope = no spatial constraint). The
+// temporal index narrows by binary search; the spatial test uses parsed
+// geometries.
+func (s *Store) ObservationsDuring(env geom.Envelope, from, to time.Time) []Observation {
+	s.Freeze()
+	lo := sort.Search(len(s.obs), func(i int) bool { return !s.obs[i].Time.Before(from) })
+	var out []Observation
+	checkSpace := !env.IsEmpty()
+	for i := lo; i < len(s.obs) && !s.obs[i].Time.After(to); i++ {
+		o := s.obs[i]
+		if checkSpace && !env.Intersects(o.Geom.Envelope()) {
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// TriplesValidDuring returns triples whose valid time intersects [from, to].
+func (s *Store) TriplesValidDuring(from, to time.Time) []rdf.Triple {
+	s.Freeze()
+	var out []rdf.Triple
+	for _, t := range s.validTime {
+		if t.ValidFrom.After(to) {
+			break
+		}
+		if !t.ValidTo.Before(from) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// GeometryCount returns the number of spatially indexed geometries.
+func (s *Store) GeometryCount() int {
+	s.Freeze()
+	return len(s.geoms)
+}
+
+// ObservationCount returns the number of spatio-temporal observations.
+func (s *Store) ObservationCount() int {
+	s.Freeze()
+	return len(s.obs)
+}

@@ -1,0 +1,228 @@
+package strabon
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"applab/internal/geom"
+	"applab/internal/rdf"
+)
+
+// buildParkData creates a feature/geometry/observation graph: a grid of
+// point observations with timestamps plus one park polygon.
+func buildParkData(t testing.TB, nObs int) []rdf.Triple {
+	t.Helper()
+	var ts []rdf.Triple
+	geo := func(local string) rdf.Term { return rdf.NewIRI(rdf.NSGeo + local) }
+	// Park polygon covering [0,10]x[0,10].
+	park := rdf.NewIRI(rdf.NSOSM + "park1")
+	parkGeom := rdf.NewIRI(rdf.NSOSM + "parkGeom1")
+	ts = append(ts,
+		rdf.NewTriple(park, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(rdf.NSOSM+"Park")),
+		rdf.NewTriple(park, geo("hasGeometry"), parkGeom),
+		rdf.NewTriple(parkGeom, geo("asWKT"), rdf.NewWKT("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")),
+	)
+	base := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < nObs; i++ {
+		x := float64(i % 20)
+		y := float64((i / 20) % 20)
+		obs := rdf.NewIRI(fmt.Sprintf("%sobs%d", rdf.NSLAI, i))
+		gnode := rdf.NewIRI(fmt.Sprintf("%sgeom%d", rdf.NSLAI, i))
+		when := base.Add(time.Duration(i%12) * 24 * time.Hour * 30)
+		ts = append(ts,
+			rdf.NewTriple(obs, rdf.NewIRI(rdf.NSLAI+"lai"), rdf.NewDouble(float64(i%10))),
+			rdf.NewTriple(obs, geo("hasGeometry"), gnode),
+			rdf.NewTriple(obs, rdf.NewIRI(rdf.NSTime+"hasTime"), rdf.NewDateTime(when)),
+			rdf.NewTriple(gnode, geo("asWKT"), rdf.NewWKT(fmt.Sprintf("POINT (%g %g)", x, y))),
+		)
+	}
+	return ts
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := New()
+	s.AddAll(buildParkData(t, 100))
+	if s.Len() == 0 {
+		t.Fatal("store empty after load")
+	}
+	if err := s.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if s.GeometryCount() != 101 { // 100 obs + 1 park
+		t.Errorf("GeometryCount = %d", s.GeometryCount())
+	}
+	if s.ObservationCount() != 100 {
+		t.Errorf("ObservationCount = %d", s.ObservationCount())
+	}
+}
+
+func TestFeaturesIntersecting(t *testing.T) {
+	s := New()
+	s.AddAll(buildParkData(t, 100))
+	// Query window covering x,y in [0,3]: 4x4 grid points inside it per row
+	// pattern; count via brute force on the generator.
+	q := geom.NewRect(-0.5, -0.5, 3.5, 3.5)
+	feats := s.FeaturesIntersecting(q)
+	want := 0
+	for i := 0; i < 100; i++ {
+		x, y := float64(i%20), float64((i/20)%20)
+		if x <= 3.5 && y <= 3.5 {
+			want++
+		}
+	}
+	want++ // the park polygon also intersects
+	if len(feats) != want {
+		t.Errorf("FeaturesIntersecting = %d, want %d", len(feats), want)
+	}
+}
+
+func TestStoreMatchesNaive(t *testing.T) {
+	data := buildParkData(t, 200)
+	s := New()
+	s.AddAll(data)
+	n := NewNaive()
+	n.AddAll(data)
+
+	queries := []geom.Envelope{
+		{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5},
+		{MinX: 7, MinY: 2, MaxX: 12, MaxY: 9},
+		{MinX: 100, MinY: 100, MaxX: 110, MaxY: 110},
+	}
+	for _, env := range queries {
+		qg := env.ToPolygon()
+		a := s.FeaturesIntersecting(qg)
+		b := n.FeaturesIntersecting(qg)
+		if len(a) != len(b) {
+			t.Fatalf("env %+v: store=%d naive=%d", env, len(a), len(b))
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Fatalf("env %+v: mismatch at %d: %v vs %v", env, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestObservationsDuring(t *testing.T) {
+	data := buildParkData(t, 240)
+	s := New()
+	s.AddAll(data)
+	n := NewNaive()
+	n.AddAll(data)
+
+	from := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2018, 8, 1, 0, 0, 0, 0, time.UTC)
+	env := geom.Envelope{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+
+	a := s.ObservationsDuring(env, from, to)
+	b := n.ObservationsDuring(env, from, to)
+	if len(a) == 0 {
+		t.Fatal("no observations found")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("store=%d naive=%d", len(a), len(b))
+	}
+	for _, o := range a {
+		if o.Time.Before(from) || o.Time.After(to) {
+			t.Errorf("observation outside interval: %v", o.Time)
+		}
+		if !env.Intersects(o.Geom.Envelope()) {
+			t.Errorf("observation outside window: %v", o.Geom.WKT())
+		}
+	}
+	// No spatial constraint.
+	all := s.ObservationsDuring(geom.EmptyEnvelope(), from, to)
+	if len(all) < len(a) {
+		t.Error("unconstrained query returned fewer results")
+	}
+}
+
+func TestTriplesValidDuring(t *testing.T) {
+	s := New()
+	mk := func(id string, from, to time.Time) rdf.Triple {
+		tr := rdf.NewTriple(rdf.NewIRI("s"+id), rdf.NewIRI("p"), rdf.NewLiteral(id))
+		tr.ValidFrom, tr.ValidTo = from, to
+		return tr
+	}
+	d := func(m time.Month) time.Time { return time.Date(2018, m, 1, 0, 0, 0, 0, time.UTC) }
+	s.Add(mk("a", d(1), d(3)))
+	s.Add(mk("b", d(2), d(6)))
+	s.Add(mk("c", d(7), d(9)))
+	s.Add(rdf.NewTriple(rdf.NewIRI("sx"), rdf.NewIRI("p"), rdf.NewLiteral("no-time")))
+
+	got := s.TriplesValidDuring(d(2), d(4))
+	if len(got) != 2 {
+		t.Fatalf("valid during = %d, want 2", len(got))
+	}
+	got = s.TriplesValidDuring(d(10), d(12))
+	if len(got) != 0 {
+		t.Fatalf("valid during empty window = %d", len(got))
+	}
+}
+
+func TestNearestGeometries(t *testing.T) {
+	s := New()
+	s.AddAll(buildParkData(t, 100))
+	got := s.NearestGeometries(geom.Point{X: 0.1, Y: 0.1}, 1)
+	if len(got) != 1 {
+		t.Fatalf("nearest = %v", got)
+	}
+	// nearest geometry to (0.1,0.1) is the point (0,0) or the park polygon
+	// (whose envelope contains the query point -> distance 0).
+	e := got[0].Geom.Envelope()
+	if !e.ContainsPoint(geom.Point{X: 0.1, Y: 0.1}) && (e.MinX != 0 || e.MinY != 0) {
+		t.Errorf("nearest = %v", got[0].Geom.WKT())
+	}
+}
+
+func TestStoreSPARQLIntegration(t *testing.T) {
+	s := New()
+	s.AddAll(buildParkData(t, 50))
+	res, err := s.Query(`
+SELECT (COUNT(*) AS ?n) WHERE { ?o lai:lai ?v }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Bindings[0]["n"].Int(); v != 50 {
+		t.Errorf("count = %v", res.Bindings)
+	}
+	// Spatial filter through the engine (Listing 1 shape).
+	res, err = s.Query(`
+SELECT DISTINCT ?v WHERE {
+  ?park a osm:Park ; geo:hasGeometry ?pg .
+  ?pg geo:asWKT ?pwkt .
+  ?o lai:lai ?v ; geo:hasGeometry ?og .
+  ?og geo:asWKT ?owkt .
+  FILTER(geof:sfIntersects(?pwkt, ?owkt))
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) == 0 {
+		t.Error("no intersecting observations via SPARQL")
+	}
+}
+
+func TestFreezeInvalidGeometryReported(t *testing.T) {
+	s := New()
+	s.Add(rdf.NewTriple(rdf.NewIRI("g"), rdf.NewIRI(rdf.NSGeo+"asWKT"), rdf.NewWKT("JUNK")))
+	if err := s.Freeze(); err == nil {
+		t.Error("Freeze must report invalid geometry")
+	}
+	// Store remains usable.
+	if s.GeometryCount() != 0 {
+		t.Error("invalid geometry must not be indexed")
+	}
+}
+
+func TestIncrementalReindex(t *testing.T) {
+	s := New()
+	s.AddAll(buildParkData(t, 10))
+	n1 := s.GeometryCount()
+	s.AddAll(buildParkData(t, 20)) // superset ids overlap; adds new ones
+	n2 := s.GeometryCount()
+	if n2 <= n1 {
+		t.Errorf("reindex after add: %d -> %d", n1, n2)
+	}
+}

@@ -1,0 +1,386 @@
+// Package workload generates the synthetic datasets that substitute for
+// the paper's real data sources: Copernicus global land LAI/NDVI grids
+// (PROBA-V), CORINE land cover polygons, Urban Atlas urban-fabric polygons,
+// OpenStreetMap points of interest, and GADM administrative areas. All
+// generators are deterministic given a seed.
+//
+// The Paris extent used by the §4 case study is exposed as ParisExtent.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"applab/internal/geom"
+	"applab/internal/netcdf"
+	"applab/internal/rdf"
+)
+
+// ParisExtent approximates the bounding box of the Paris urban area used
+// throughout the paper's case study.
+var ParisExtent = geom.Envelope{MinX: 2.22, MinY: 48.81, MaxX: 2.47, MaxY: 48.91}
+
+// CORINE land cover classes used by the generators (a subset of the
+// 44-class level-3 hierarchy; clc:greenUrbanAreas is the class the paper's
+// Figure 4 discussion highlights).
+var CorineClasses = []string{
+	"continuousUrbanFabric",
+	"discontinuousUrbanFabric",
+	"industrialOrCommercialUnits",
+	"roadAndRailNetworks",
+	"greenUrbanAreas",
+	"sportAndLeisureFacilities",
+	"arableLand",
+	"pastures",
+	"vineyards",
+	"oliveGroves",
+	"broadLeavedForest",
+	"coniferousForest",
+	"naturalGrasslands",
+	"waterBodies",
+}
+
+// UrbanAtlasClasses is a subset of the 17 urban + 10 rural Urban Atlas
+// classes.
+var UrbanAtlasClasses = []string{
+	"continuousUrbanFabric",
+	"discontinuousVeryLowDensityUrbanFabric",
+	"industrialCommercialPublicMilitaryAndPrivateUnits",
+	"greenUrbanAreas",
+	"sportsAndLeisureFacilities",
+	"forests",
+	"orchards",
+	"waterBodies",
+}
+
+// OSMPoiTypes is the point-of-interest vocabulary of the OSM generator.
+var OSMPoiTypes = []string{"park", "forest", "playground", "cemetery", "stadium", "garden"}
+
+// LAIGridOptions configures the synthetic LAI (or NDVI) product.
+type LAIGridOptions struct {
+	Name       string // dataset name, e.g. "lai"
+	VarName    string // variable name, e.g. "LAI"
+	Extent     geom.Envelope
+	NLat, NLon int
+	// Times is the number of 10-daily composites.
+	Times int
+	// Start is the time origin.
+	Start time.Time
+	// NoiseNegatives injects a fraction of negative values (sensor noise
+	// the paper's Listing 2 mapping filters with WHERE LAI > 0).
+	NoiseNegatives float64
+	Seed           int64
+}
+
+// DefaultLAIOptions returns the Paris LAI grid used by the case study.
+func DefaultLAIOptions() LAIGridOptions {
+	return LAIGridOptions{
+		Name: "lai", VarName: "LAI",
+		Extent: ParisExtent,
+		NLat:   20, NLon: 25, Times: 8,
+		Start:          time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC),
+		NoiseNegatives: 0.05,
+		Seed:           42,
+	}
+}
+
+// LAIGrid generates a CF-style grid with spatial autocorrelation (smooth
+// "greenness" bumps around park-like centers) and a seasonal cycle.
+func LAIGrid(opts LAIGridOptions) *netcdf.Dataset {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	d := netcdf.NewDataset(opts.Name)
+	d.Attrs["title"] = "Synthetic " + opts.VarName + " (Copernicus global land substitute)"
+	d.Attrs["Conventions"] = "CF-1.6"
+	d.Attrs["institution"] = "applab synthetic generator"
+	d.Attrs["source"] = "PROBA-V substitute"
+	d.AddDim("time", opts.Times)
+	d.AddDim("lat", opts.NLat)
+	d.AddDim("lon", opts.NLon)
+
+	tv := make([]float64, opts.Times)
+	for i := range tv {
+		tv[i] = float64(i * 10)
+	}
+	mustVar(d, &netcdf.Variable{Name: "time", Dims: []string{"time"}, Data: tv,
+		Attrs: map[string]string{"units": "days since " + opts.Start.Format("2006-01-02"),
+			"standard_name": "time"}})
+
+	lats := make([]float64, opts.NLat)
+	for i := range lats {
+		lats[i] = opts.Extent.MinY + (opts.Extent.MaxY-opts.Extent.MinY)*float64(i)/float64(opts.NLat-1)
+	}
+	mustVar(d, &netcdf.Variable{Name: "lat", Dims: []string{"lat"}, Data: lats,
+		Attrs: map[string]string{"units": "degrees_north", "standard_name": "latitude"}})
+
+	lons := make([]float64, opts.NLon)
+	for i := range lons {
+		lons[i] = opts.Extent.MinX + (opts.Extent.MaxX-opts.Extent.MinX)*float64(i)/float64(opts.NLon-1)
+	}
+	mustVar(d, &netcdf.Variable{Name: "lon", Dims: []string{"lon"}, Data: lons,
+		Attrs: map[string]string{"units": "degrees_east", "standard_name": "longitude"}})
+
+	// Green centers: smooth bumps of high LAI.
+	type bump struct {
+		x, y, amp, sigma float64
+	}
+	nBumps := 4 + rng.Intn(3)
+	bumps := make([]bump, nBumps)
+	for i := range bumps {
+		bumps[i] = bump{
+			x:     opts.Extent.MinX + rng.Float64()*(opts.Extent.MaxX-opts.Extent.MinX),
+			y:     opts.Extent.MinY + rng.Float64()*(opts.Extent.MaxY-opts.Extent.MinY),
+			amp:   2 + rng.Float64()*4,
+			sigma: 0.01 + rng.Float64()*0.03,
+		}
+	}
+	data := make([]float64, opts.Times*opts.NLat*opts.NLon)
+	for ti := 0; ti < opts.Times; ti++ {
+		// Seasonal factor peaking mid-series.
+		season := 0.6 + 0.4*math.Sin(math.Pi*float64(ti)/float64(maxInt(opts.Times-1, 1)))
+		for yi, lat := range lats {
+			for xi, lon := range lons {
+				v := 0.3 // urban background
+				for _, b := range bumps {
+					dx, dy := lon-b.x, lat-b.y
+					v += b.amp * math.Exp(-(dx*dx+dy*dy)/(2*b.sigma*b.sigma))
+				}
+				v = v*season + rng.Float64()*0.2
+				if v > 10 {
+					v = 10
+				}
+				if rng.Float64() < opts.NoiseNegatives {
+					v = -rng.Float64() // sensor noise
+				}
+				data[(ti*opts.NLat+yi)*opts.NLon+xi] = v
+			}
+		}
+	}
+	mustVar(d, &netcdf.Variable{Name: opts.VarName, Dims: []string{"time", "lat", "lon"}, Data: data,
+		Attrs: map[string]string{"units": "m2/m2", "long_name": "leaf area index",
+			"_FillValue": "-999"}})
+	return d
+}
+
+func mustVar(d *netcdf.Dataset, v *netcdf.Variable) {
+	if err := d.AddVar(v); err != nil {
+		panic(err) // generator invariant: shapes always match
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Feature is one generated vector feature.
+type Feature struct {
+	ID    string
+	Class string
+	Name  string
+	Geom  geom.Geometry
+}
+
+// VectorOptions configures polygon/point dataset generators.
+type VectorOptions struct {
+	Extent geom.Envelope
+	N      int
+	Seed   int64
+}
+
+// CorineLandCover generates a mosaic of rectangular land-cover patches
+// with CORINE classes (class frequency skewed towards urban fabric like
+// the real Paris sheet).
+func CorineLandCover(opts VectorOptions) []Feature {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	feats := make([]Feature, opts.N)
+	w := opts.Extent.MaxX - opts.Extent.MinX
+	h := opts.Extent.MaxY - opts.Extent.MinY
+	for i := range feats {
+		cx := opts.Extent.MinX + rng.Float64()*w
+		cy := opts.Extent.MinY + rng.Float64()*h
+		pw := (0.01 + rng.Float64()*0.05) * w
+		ph := (0.01 + rng.Float64()*0.05) * h
+		cls := CorineClasses[skewedIndex(rng, len(CorineClasses))]
+		feats[i] = Feature{
+			ID:    fmt.Sprintf("clcArea%d", i),
+			Class: cls,
+			Name:  fmt.Sprintf("CLC patch %d (%s)", i, cls),
+			Geom:  geom.NewRect(cx-pw/2, cy-ph/2, cx+pw/2, cy+ph/2),
+		}
+	}
+	return feats
+}
+
+// UrbanAtlas generates smaller, denser urban polygons with Urban Atlas
+// classes.
+func UrbanAtlas(opts VectorOptions) []Feature {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	feats := make([]Feature, opts.N)
+	w := opts.Extent.MaxX - opts.Extent.MinX
+	h := opts.Extent.MaxY - opts.Extent.MinY
+	for i := range feats {
+		cx := opts.Extent.MinX + rng.Float64()*w
+		cy := opts.Extent.MinY + rng.Float64()*h
+		pw := (0.004 + rng.Float64()*0.02) * w
+		ph := (0.004 + rng.Float64()*0.02) * h
+		cls := UrbanAtlasClasses[skewedIndex(rng, len(UrbanAtlasClasses))]
+		feats[i] = Feature{
+			ID:    fmt.Sprintf("uaArea%d", i),
+			Class: cls,
+			Name:  fmt.Sprintf("UA block %d (%s)", i, cls),
+			Geom:  geom.NewRect(cx-pw/2, cy-ph/2, cx+pw/2, cy+ph/2),
+		}
+	}
+	return feats
+}
+
+// OSMParks generates OpenStreetMap-style leisure polygons. The first
+// feature is always the Bois de Boulogne stand-in, so the paper's Listing 1
+// query has its named park.
+func OSMParks(opts VectorOptions) []Feature {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	feats := make([]Feature, 0, opts.N)
+	// Bois de Boulogne: the large park on the western edge of Paris.
+	feats = append(feats, Feature{
+		ID:    "way4003145",
+		Class: "park",
+		Name:  "Bois de Boulogne",
+		Geom:  irregularPolygon(rng, 2.2450, 48.8620, 0.012, 8),
+	})
+	w := opts.Extent.MaxX - opts.Extent.MinX
+	h := opts.Extent.MaxY - opts.Extent.MinY
+	for i := 1; i < opts.N; i++ {
+		cx := opts.Extent.MinX + rng.Float64()*w
+		cy := opts.Extent.MinY + rng.Float64()*h
+		r := 0.001 + rng.Float64()*0.004
+		cls := OSMPoiTypes[rng.Intn(len(OSMPoiTypes))]
+		feats = append(feats, Feature{
+			ID:    fmt.Sprintf("way%d", 5000000+i),
+			Class: cls,
+			Name:  fmt.Sprintf("%s %d", cls, i),
+			Geom:  irregularPolygon(rng, cx, cy, r, 6+rng.Intn(5)),
+		})
+	}
+	return feats
+}
+
+// GADMAreas generates administrative divisions: a rows x cols grid of
+// arrondissement-like cells covering the extent.
+func GADMAreas(extent geom.Envelope, rows, cols int) []Feature {
+	feats := make([]Feature, 0, rows*cols)
+	w := (extent.MaxX - extent.MinX) / float64(cols)
+	h := (extent.MaxY - extent.MinY) / float64(rows)
+	n := 1
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			minX := extent.MinX + float64(c)*w
+			minY := extent.MinY + float64(r)*h
+			feats = append(feats, Feature{
+				ID:    fmt.Sprintf("FRA.11.%d_1", n),
+				Class: "AdministrativeArea",
+				Name:  fmt.Sprintf("Arrondissement %d", n),
+				Geom:  geom.NewRect(minX, minY, minX+w, minY+h),
+			})
+			n++
+		}
+	}
+	return feats
+}
+
+// irregularPolygon builds a star-convex polygon around (cx, cy).
+func irregularPolygon(rng *rand.Rand, cx, cy, radius float64, nVerts int) *geom.Polygon {
+	pts := make([]geom.Point, 0, nVerts+1)
+	for i := 0; i < nVerts; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(nVerts)
+		r := radius * (0.6 + 0.4*rng.Float64())
+		pts = append(pts, geom.Point{X: cx + r*math.Cos(ang), Y: cy + r*math.Sin(ang)})
+	}
+	pts = append(pts, pts[0])
+	return &geom.Polygon{Rings: [][]geom.Point{pts}}
+}
+
+// skewedIndex picks an index with probability decaying geometrically, so
+// early classes dominate.
+func skewedIndex(rng *rand.Rand, n int) int {
+	for i := 0; i < n-1; i++ {
+		if rng.Float64() < 0.3 {
+			return i
+		}
+	}
+	return rng.Intn(n)
+}
+
+// FeaturesToRDF converts features into RDF using the given namespace and
+// class property conventions (osm:poiType for OSM, clc:hasCorineValue for
+// CORINE, ua:hasClass for Urban Atlas, gadm:hasName for GADM).
+func FeaturesToRDF(ns string, classProp string, feats []Feature) []rdf.Triple {
+	var out []rdf.Triple
+	geoHasGeometry := rdf.NewIRI(rdf.NSGeo + "hasGeometry")
+	geoAsWKT := rdf.NewIRI(rdf.NSGeo + "asWKT")
+	for _, f := range feats {
+		subj := rdf.NewIRI(ns + f.ID)
+		gnode := rdf.NewIRI(ns + f.ID + "/geom")
+		out = append(out,
+			rdf.NewTriple(subj, rdf.NewIRI(classProp), rdf.NewIRI(ns+f.Class)),
+			rdf.NewTriple(subj, rdf.NewIRI(ns+"hasName"), rdf.NewLiteral(f.Name)),
+			rdf.NewTriple(subj, geoHasGeometry, gnode),
+			rdf.NewTriple(gnode, geoAsWKT, rdf.NewWKT(f.Geom.WKT())),
+		)
+	}
+	return out
+}
+
+// LAIGridToRDF converts a LAI grid into observation triples following the
+// paper's Figure 2 LAI ontology (lai:Observation with lai:lai value,
+// time:hasTime instant, and a point geometry).
+func LAIGridToRDF(ds *netcdf.Dataset, varName string) ([]rdf.Triple, error) {
+	v, ok := ds.Var(varName)
+	if !ok {
+		return nil, fmt.Errorf("workload: dataset lacks %q", varName)
+	}
+	times, err := ds.TimeValues()
+	if err != nil {
+		return nil, err
+	}
+	latV, _ := ds.Var("lat")
+	lonV, _ := ds.Var("lon")
+	if latV == nil || lonV == nil {
+		return nil, fmt.Errorf("workload: dataset lacks lat/lon coordinates")
+	}
+	shape := v.Shape(ds)
+	if len(shape) != 3 {
+		return nil, fmt.Errorf("workload: %s must be rank 3", varName)
+	}
+	var out []rdf.Triple
+	typeIRI := rdf.NewIRI(rdf.RDFType)
+	obsClass := rdf.NewIRI(rdf.NSLAI + "Observation")
+	laiProp := rdf.NewIRI(rdf.NSLAI + "lai")
+	hasTime := rdf.NewIRI(rdf.NSTime + "hasTime")
+	hasGeometry := rdf.NewIRI(rdf.NSGeo + "hasGeometry")
+	asWKT := rdf.NewIRI(rdf.NSGeo + "asWKT")
+	for ti := 0; ti < shape[0]; ti++ {
+		for yi := 0; yi < shape[1]; yi++ {
+			for xi := 0; xi < shape[2]; xi++ {
+				val := v.Data[(ti*shape[1]+yi)*shape[2]+xi]
+				if val <= 0 {
+					continue // the Listing 2 cleaning filter
+				}
+				id := fmt.Sprintf("%sobs/%d/%d/%d", rdf.NSLAI, ti, yi, xi)
+				subj := rdf.NewIRI(id)
+				gnode := rdf.NewIRI(id + "/geom")
+				out = append(out,
+					rdf.NewTriple(subj, typeIRI, obsClass),
+					rdf.NewTriple(subj, laiProp, rdf.NewDouble(val)),
+					rdf.NewTriple(subj, hasTime, rdf.NewDateTime(times[ti])),
+					rdf.NewTriple(subj, hasGeometry, gnode),
+					rdf.NewTriple(gnode, asWKT, rdf.NewWKT(fmt.Sprintf("POINT (%g %g)", lonV.Data[xi], latV.Data[yi]))),
+				)
+			}
+		}
+	}
+	return out, nil
+}

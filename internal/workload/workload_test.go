@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"testing"
+
+	"applab/internal/geom"
+	"applab/internal/rdf"
+)
+
+func TestLAIGridDeterministic(t *testing.T) {
+	a := LAIGrid(DefaultLAIOptions())
+	b := LAIGrid(DefaultLAIOptions())
+	av, _ := a.Var("LAI")
+	bv, _ := b.Var("LAI")
+	if len(av.Data) != len(bv.Data) {
+		t.Fatal("different sizes")
+	}
+	for i := range av.Data {
+		if av.Data[i] != bv.Data[i] {
+			t.Fatalf("value %d differs: %v vs %v", i, av.Data[i], bv.Data[i])
+		}
+	}
+	opts := DefaultLAIOptions()
+	opts.Seed = 7
+	c := LAIGrid(opts)
+	cv, _ := c.Var("LAI")
+	same := true
+	for i := range av.Data {
+		if av.Data[i] != cv.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds must produce different grids")
+	}
+}
+
+func TestLAIGridShapeAndRange(t *testing.T) {
+	opts := DefaultLAIOptions()
+	ds := LAIGrid(opts)
+	v, ok := ds.Var("LAI")
+	if !ok {
+		t.Fatal("no LAI")
+	}
+	shape := v.Shape(ds)
+	if shape[0] != opts.Times || shape[1] != opts.NLat || shape[2] != opts.NLon {
+		t.Fatalf("shape = %v", shape)
+	}
+	neg := 0
+	for _, val := range v.Data {
+		if val > 10.001 {
+			t.Fatalf("LAI value %v out of range", val)
+		}
+		if val < 0 {
+			neg++
+		}
+	}
+	if neg == 0 {
+		t.Error("noise negatives expected")
+	}
+	if float64(neg)/float64(len(v.Data)) > 0.15 {
+		t.Errorf("too many negatives: %d/%d", neg, len(v.Data))
+	}
+	times, err := ds.TimeValues()
+	if err != nil || len(times) != opts.Times {
+		t.Fatalf("times = %v, %v", times, err)
+	}
+}
+
+func TestVectorGenerators(t *testing.T) {
+	opts := VectorOptions{Extent: ParisExtent, N: 50, Seed: 1}
+	clc := CorineLandCover(opts)
+	ua := UrbanAtlas(opts)
+	osm := OSMParks(opts)
+	if len(clc) != 50 || len(ua) != 50 || len(osm) != 50 {
+		t.Fatalf("counts: %d %d %d", len(clc), len(ua), len(osm))
+	}
+	// All features near the extent (generators may overhang slightly).
+	grown := geom.Envelope{MinX: ParisExtent.MinX - 0.05, MinY: ParisExtent.MinY - 0.05,
+		MaxX: ParisExtent.MaxX + 0.05, MaxY: ParisExtent.MaxY + 0.05}
+	for _, f := range append(append(clc, ua...), osm...) {
+		if !grown.Intersects(f.Geom.Envelope()) {
+			t.Errorf("feature %s outside extent: %+v", f.ID, f.Geom.Envelope())
+		}
+		if geom.Area(f.Geom) <= 0 {
+			t.Errorf("feature %s has no area", f.ID)
+		}
+	}
+	// Bois de Boulogne is always present and named.
+	if osm[0].Name != "Bois de Boulogne" || osm[0].Class != "park" {
+		t.Errorf("first OSM feature = %+v", osm[0])
+	}
+	// Determinism
+	osm2 := OSMParks(opts)
+	if osm2[7].Geom.WKT() != osm[7].Geom.WKT() {
+		t.Error("OSM generator must be deterministic")
+	}
+}
+
+func TestGADMAreasTile(t *testing.T) {
+	areas := GADMAreas(ParisExtent, 4, 5)
+	if len(areas) != 20 {
+		t.Fatalf("areas = %d", len(areas))
+	}
+	// Cells must tile the extent: total area equals extent area.
+	total := 0.0
+	for _, a := range areas {
+		total += geom.Area(a.Geom)
+	}
+	if diff := total - ParisExtent.Area(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("tiling area = %v, extent = %v", total, ParisExtent.Area())
+	}
+	// Adjacent cells touch, not overlap.
+	if geom.Overlaps(areas[0].Geom, areas[1].Geom) {
+		t.Error("grid cells must not overlap")
+	}
+	if !geom.Touches(areas[0].Geom, areas[1].Geom) {
+		t.Error("adjacent grid cells must touch")
+	}
+}
+
+func TestFeaturesToRDF(t *testing.T) {
+	osm := OSMParks(VectorOptions{Extent: ParisExtent, N: 3, Seed: 1})
+	triples := FeaturesToRDF(rdf.NSOSM, rdf.NSOSM+"poiType", osm)
+	if len(triples) != 12 { // 4 per feature
+		t.Fatalf("triples = %d", len(triples))
+	}
+	g := rdf.NewGraph()
+	g.AddAll(triples)
+	parks := g.Subjects(rdf.NewIRI(rdf.NSOSM+"poiType"), rdf.NewIRI(rdf.NSOSM+"park"))
+	if len(parks) == 0 {
+		t.Fatal("no parks in RDF")
+	}
+	name, ok := g.FirstObject(rdf.NewIRI(rdf.NSOSM+"way4003145"), rdf.NewIRI(rdf.NSOSM+"hasName"))
+	if !ok || name.Value != "Bois de Boulogne" {
+		t.Errorf("name = %+v", name)
+	}
+}
+
+func TestLAIGridToRDF(t *testing.T) {
+	opts := DefaultLAIOptions()
+	opts.NLat, opts.NLon, opts.Times = 5, 5, 2
+	ds := LAIGrid(opts)
+	triples, err := LAIGridToRDF(ds, "LAI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) == 0 || len(triples)%5 != 0 {
+		t.Fatalf("triples = %d (must be 5 per positive obs)", len(triples))
+	}
+	g := rdf.NewGraph()
+	g.AddAll(triples)
+	// Every observation has exactly one lai value > 0.
+	for _, obs := range g.Subjects(rdf.NewIRI(rdf.RDFType), rdf.NewIRI(rdf.NSLAI+"Observation")) {
+		v, ok := g.FirstObject(obs, rdf.NewIRI(rdf.NSLAI+"lai"))
+		if !ok {
+			t.Fatalf("observation %v lacks lai", obs)
+		}
+		if f, _ := v.Float(); f <= 0 {
+			t.Errorf("non-positive lai survived the filter: %v", v)
+		}
+	}
+	// errors
+	if _, err := LAIGridToRDF(ds, "NOPE"); err == nil {
+		t.Error("unknown variable must error")
+	}
+}
