@@ -1,0 +1,32 @@
+GO ?= go
+
+# Packages exercised under the race detector: the concurrent query stack
+# (sharded store, OPeNDAP caches, federation fan-out, interlinking).
+RACE_PKGS = ./internal/strabon/ ./internal/opendap/ ./internal/federation/ ./internal/interlink/
+
+.PHONY: all build test lint race fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Repo-specific static analysis (see DESIGN.md "Correctness tooling").
+lint:
+	$(GO) run ./cmd/applab-lint ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+# The full gate: fmt + vet + lint + tests + race in one invocation.
+ci:
+	./ci.sh

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI gate for the applab repository: formatting, vet, the repo's own
+# static analysis (cmd/applab-lint), the full test suite, and the race
+# detector over the concurrent query stack. Everything is stdlib-only;
+# the whole gate runs offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt required on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== applab-lint"
+go run ./cmd/applab-lint ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrent query stack)"
+go test -race ./internal/strabon/ ./internal/opendap/ \
+    ./internal/federation/ ./internal/interlink/
+
+echo "CI OK"

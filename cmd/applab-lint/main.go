@@ -1,0 +1,66 @@
+// Command applab-lint is the repo-specific static-analysis gate: five
+// checkers tuned to the concurrent query stack (see internal/analysis),
+// built on the standard library only.
+//
+// Usage:
+//
+//	applab-lint [-checks list] [-list] [packages]
+//
+// Packages are directories or dir/... patterns; the default is ./...
+// from the module root. Findings print as
+//
+//	file:line:col: [check] message
+//
+// and the exit status is 1 when any finding survives //lint:ignore
+// suppression, 2 on usage or load errors, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"applab/internal/analysis"
+)
+
+func main() {
+	checks := flag.String("checks", "all", "comma-separated checker names to run")
+	list := flag.Bool("list", false, "list available checkers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, c := range analysis.All() {
+			fmt.Printf("%-10s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+
+	checkers, err := analysis.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "applab-lint:", err)
+		os.Exit(2)
+	}
+
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "applab-lint:", err)
+		os.Exit(2)
+	}
+
+	var findings []analysis.Finding
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "applab-lint: warning: %s: %v\n", pkg.Pass.Path, terr)
+		}
+		findings = append(findings, analysis.RunAll(pkg.Pass, checkers)...)
+	}
+	analysis.SortFindings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "applab-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,123 @@
+package analysis_test
+
+import "testing"
+
+func TestErrcheck(t *testing.T) {
+	runCases(t, "errcheck", []checkerCase{
+		{
+			name: "dropped error from package function",
+			src: `package fixture
+
+func fail() error { return nil }
+
+func f() { fail() }
+`,
+			want:       1,
+			wantSubstr: "dropped",
+		},
+		{
+			name: "dropped error from method with value result pair",
+			src: `package fixture
+
+type db struct{}
+
+func (db) Exec(q string) (int, error) { return 0, nil }
+
+func f() {
+	var d db
+	d.Exec("insert")
+}
+`,
+			want: 1,
+		},
+		{
+			name: "explicit blank assignment is handled",
+			src: `package fixture
+
+func fail() error { return nil }
+
+func f() { _ = fail() }
+`,
+			want: 0,
+		},
+		{
+			name: "fmt.Println to stdout is allowlisted",
+			src: `package fixture
+
+import "fmt"
+
+func f() { fmt.Println("hello") }
+`,
+			want: 0,
+		},
+		{
+			name: "fmt.Fprintf into bytes.Buffer is allowlisted",
+			src: `package fixture
+
+import (
+	"bytes"
+	"fmt"
+)
+
+func f() string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "x=%d", 1)
+	buf.WriteString("tail")
+	return buf.String()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "hash writes are allowlisted",
+			src: `package fixture
+
+import "hash/fnv"
+
+func f() uint32 {
+	h := fnv.New32a()
+	h.Write([]byte("key"))
+	return h.Sum32()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "fmt.Fprintf to arbitrary writer is flagged",
+			src: `package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+func f(w io.Writer) { fmt.Fprintf(w, "x") }
+`,
+			want: 1,
+		},
+		{
+			name: "cmd tree is out of scope",
+			path: "applab/cmd/fixture",
+			src: `package main
+
+func fail() error { return nil }
+
+func main() { fail() }
+`,
+			want: 0,
+		},
+		{
+			name: "lint:ignore suppresses with reason",
+			src: `package fixture
+
+func fail() error { return nil }
+
+func f() {
+	//lint:ignore errcheck best-effort teardown in a demo fixture
+	fail()
+}
+`,
+			want: 0,
+		},
+	})
+}

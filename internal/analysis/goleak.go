@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goleakChecker flags `go func() {...}()` literals that carry no
+// completion signal: no sync.WaitGroup.Done, no context.Context use, and
+// no channel operation (send, receive, close, select) on any path. Such
+// goroutines cannot be joined or cancelled — under the paper's fan-out
+// query model they accumulate until the process dies. Named-function
+// goroutines (`go s.worker()`) are out of scope: the body is elsewhere
+// and usually owns its lifecycle.
+func goleakChecker() Checker {
+	return Checker{
+		Name: "goleak",
+		Doc:  "goroutine literals must signal completion via WaitGroup, context, or channel",
+		Run:  runGoleak,
+	}
+}
+
+func runGoleak(pass *Pass) []Finding {
+	var out []Finding
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !hasCompletionSignal(pass.Info, lit) {
+				out = append(out, pass.finding(gs.Pos(), "goleak",
+					"goroutine literal has no completion signal (WaitGroup.Done, context, or channel op); it cannot be joined or cancelled"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func hasCompletionSignal(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, nn); isPkgFunc(fn, "sync", "Done") {
+				found = true
+			}
+			if id, ok := ast.Unparen(nn.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if tv, ok := info.Types[nn]; ok && tv.Type != nil {
+				if named, ok := tv.Type.(*types.Named); ok &&
+					named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "context" &&
+					named.Obj().Name() == "Context" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

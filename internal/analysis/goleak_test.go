@@ -1,0 +1,99 @@
+package analysis_test
+
+import "testing"
+
+func TestGoleak(t *testing.T) {
+	runCases(t, "goleak", []checkerCase{
+		{
+			name: "fire-and-forget literal",
+			src: `package fixture
+
+func work() {}
+
+func f() {
+	go func() { work() }()
+}
+`,
+			want:       1,
+			wantSubstr: "completion signal",
+		},
+		{
+			name: "waitgroup done is a signal",
+			src: `package fixture
+
+import "sync"
+
+func f() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "channel send is a signal",
+			src: `package fixture
+
+func f() <-chan int {
+	out := make(chan int, 1)
+	go func() { out <- 42 }()
+	return out
+}
+`,
+			want: 0,
+		},
+		{
+			name: "channel close is a signal",
+			src: `package fixture
+
+func f() <-chan int {
+	out := make(chan int)
+	go func() { close(out) }()
+	return out
+}
+`,
+			want: 0,
+		},
+		{
+			name: "context use is a signal",
+			src: `package fixture
+
+import "context"
+
+func f(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "named function goroutine is out of scope",
+			src: `package fixture
+
+func worker() {}
+
+func f() { go worker() }
+`,
+			want: 0,
+		},
+		{
+			name: "lint:ignore suppresses",
+			src: `package fixture
+
+func work() {}
+
+func f() {
+	//lint:ignore goleak process-lifetime metrics pump, dies with the process
+	go func() { work() }()
+}
+`,
+			want: 0,
+		},
+	})
+}

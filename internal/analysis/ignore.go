@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+const ignorePrefix = "//lint:ignore"
+
+// ignoreSet maps "<file>:<line>" to the set of check names suppressed on
+// that line. The wildcard entry "*" suppresses every check.
+type ignoreSet map[string]map[string]bool
+
+// suppress removes findings matched by //lint:ignore directives from
+// *findings and returns diagnostics for malformed directives. A
+// directive suppresses the named check(s) on its own line (end-of-line
+// comment) and on the line immediately below (comment-above style).
+func suppress(pass *Pass, findings *[]Finding) []Finding {
+	ignores, bad := collectIgnores(pass)
+	kept := (*findings)[:0]
+	for _, f := range *findings {
+		if ignores.matches(f) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	*findings = kept
+	return bad
+}
+
+func (s ignoreSet) matches(f Finding) bool {
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		checks := s[key(f.Pos.Filename, line)]
+		if checks["*"] || checks[f.Check] {
+			return true
+		}
+	}
+	return false
+}
+
+func key(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+// collectIgnores parses every //lint:ignore directive in the pass.
+func collectIgnores(pass *Pass) (ignoreSet, []Finding) {
+	ignores := ignoreSet{}
+	var bad []Finding
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, pass.finding(c.Pos(), "directive",
+						"malformed %s directive: want //lint:ignore <check> <reason>", ignorePrefix))
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				checks := ignores[key(pos.Filename, pos.Line)]
+				if checks == nil {
+					checks = map[string]bool{}
+					ignores[key(pos.Filename, pos.Line)] = checks
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					checks[name] = true
+				}
+			}
+		}
+	}
+	return ignores, bad
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ioMethodNames are method names that mean "this blocks on the network"
+// in this codebase regardless of receiver: the opendap.Fetcher interface
+// and its wrappers (Fetch), the http.Client entry points (Do,
+// RoundTrip), and dialers. Receiver-independent matching is deliberate:
+// the concurrent query stack calls these through interfaces, where the
+// static receiver tells us nothing.
+var ioMethodNames = map[string]bool{
+	"Fetch":       true,
+	"Do":          true,
+	"RoundTrip":   true,
+	"Dial":        true,
+	"DialContext": true,
+}
+
+// lockioChecker flags sync.Mutex/RWMutex critical sections that perform
+// IO: an OPeNDAP/HTTP/network call, a time.Sleep, or a channel
+// operation. Holding a lock across a slow remote call serializes the
+// whole query fan-out behind one endpoint's latency — the exact failure
+// mode the paper's on-the-fly architecture must avoid.
+func lockioChecker() Checker {
+	return Checker{
+		Name: "lockio",
+		Doc:  "no network IO, sleeps, or channel ops while holding a mutex",
+		Run:  runLockio,
+	}
+}
+
+func runLockio(pass *Pass) []Finding {
+	var out []Finding
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			out = append(out, checkBlock(pass, block)...)
+			return true
+		})
+	}
+	return out
+}
+
+// checkBlock scans one statement list for Lock calls and inspects the
+// critical section that follows. Sections are resolved lexically within
+// the block: Lock…Unlock pairs bound the section; `defer Unlock`
+// (or a missing Unlock) extends it to the end of the block.
+func checkBlock(pass *Pass, block *ast.BlockStmt) []Finding {
+	var out []Finding
+	for i, stmt := range block.List {
+		recv, kind := lockCall(pass.Info, stmt)
+		if kind != "Lock" && kind != "RLock" {
+			continue
+		}
+		end := len(block.List)
+		for j := i + 1; j < len(block.List); j++ {
+			r, k := lockCall(pass.Info, block.List[j])
+			if r == recv && (k == "Unlock" || k == "RUnlock") {
+				end = j
+				break
+			}
+		}
+		for _, s := range block.List[i+1 : end] {
+			if _, k := lockCall(pass.Info, s); k == "defer-unlock" {
+				continue
+			}
+			out = append(out, findIO(pass, s, recv)...)
+		}
+	}
+	return out
+}
+
+// lockCall classifies a statement as a sync lock/unlock call on some
+// receiver expression (rendered as a string key), or returns kind "".
+// A deferred unlock is classified separately: it does not end the
+// critical section.
+func lockCall(info *types.Info, stmt ast.Stmt) (recv, kind string) {
+	var call *ast.CallExpr
+	deferred := false
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = s.Call
+		deferred = true
+	}
+	if call == nil {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn := calleeFunc(info, call)
+	if !isPkgFunc(fn, "sync", "Lock", "RLock", "Unlock", "RUnlock") {
+		return "", ""
+	}
+	recv = types.ExprString(sel.X)
+	if deferred {
+		if fn.Name() == "Unlock" || fn.Name() == "RUnlock" {
+			return recv, "defer-unlock"
+		}
+		return "", ""
+	}
+	return recv, fn.Name()
+}
+
+// findIO reports IO performed by stmt while the lock named recv is held.
+// Function literals are not entered: a goroutine or stored closure runs
+// outside this critical section.
+func findIO(pass *Pass, stmt ast.Stmt, recv string) []Finding {
+	var out []Finding
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			out = append(out, pass.finding(nn.Pos(), "lockio",
+				"channel send while holding %s; the lock blocks until a receiver is ready", recv))
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW {
+				out = append(out, pass.finding(nn.Pos(), "lockio",
+					"channel receive while holding %s; the lock blocks until a sender is ready", recv))
+			}
+		case *ast.CallExpr:
+			if name, ok := ioCall(pass.Info, nn); ok {
+				out = append(out, pass.finding(nn.Pos(), "lockio",
+					"%s called while holding %s; do the IO outside the critical section", name, recv))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ioCall reports whether the call is network IO or a sleep.
+func ioCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		if pkg.Path() == "net" || strings.HasPrefix(pkg.Path(), "net/") {
+			return pkg.Name() + "." + fn.Name(), true
+		}
+		if pkg.Path() == "time" && fn.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+	}
+	if recvTypeString(fn) != "" && ioMethodNames[fn.Name()] {
+		return calleeName(fn, call), true
+	}
+	return "", false
+}

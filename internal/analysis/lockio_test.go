@@ -1,0 +1,165 @@
+package analysis_test
+
+import "testing"
+
+func TestLockio(t *testing.T) {
+	runCases(t, "lockio", []checkerCase{
+		{
+			name: "channel send inside Lock/Unlock",
+			src: `package fixture
+
+import "sync"
+
+type q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *q) f() {
+	s.mu.Lock()
+	s.ch <- 1
+	s.mu.Unlock()
+}
+`,
+			want:       1,
+			wantSubstr: "channel send",
+		},
+		{
+			name: "fetch call while holding deferred lock",
+			src: `package fixture
+
+import "sync"
+
+type client struct{}
+
+func (client) Fetch(name string) string { return name }
+
+type cache struct {
+	mu sync.Mutex
+	c  client
+}
+
+func (s *cache) f() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Fetch("dataset")
+}
+`,
+			want:       1,
+			wantSubstr: "outside the critical section",
+		},
+		{
+			name: "sleep under RLock",
+			src: `package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type s struct{ mu sync.RWMutex }
+
+func (x *s) f() {
+	x.mu.RLock()
+	time.Sleep(time.Millisecond)
+	x.mu.RUnlock()
+}
+`,
+			want:       1,
+			wantSubstr: "time.Sleep",
+		},
+		{
+			name: "fetch after unlock is fine",
+			src: `package fixture
+
+import "sync"
+
+type client struct{}
+
+func (client) Fetch(name string) string { return name }
+
+type cache struct {
+	mu   sync.Mutex
+	c    client
+	hits int
+}
+
+func (s *cache) f() string {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	return s.c.Fetch("dataset")
+}
+`,
+			want: 0,
+		},
+		{
+			name: "pure computation under lock is fine",
+			src: `package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  map[string]int
+}
+
+func (c *counter) bump(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n[k]++
+}
+`,
+			want: 0,
+		},
+		{
+			name: "goroutine launched under lock runs outside it",
+			src: `package fixture
+
+import "sync"
+
+type client struct{}
+
+func (client) Fetch(name string) string { return name }
+
+type s struct {
+	mu sync.Mutex
+	c  client
+	wg sync.WaitGroup
+}
+
+func (x *s) f() {
+	x.mu.Lock()
+	x.wg.Add(1)
+	go func() {
+		defer x.wg.Done()
+		x.c.Fetch("dataset")
+	}()
+	x.mu.Unlock()
+	x.wg.Wait()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "lint:ignore suppresses",
+			src: `package fixture
+
+import "sync"
+
+type q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *q) f() {
+	s.mu.Lock()
+	//lint:ignore lockio buffered hand-off channel, never blocks
+	s.ch <- 1
+	s.mu.Unlock()
+}
+`,
+			want: 0,
+		},
+	})
+}

@@ -1,0 +1,61 @@
+package analysis_test
+
+import "testing"
+
+const nakedTimeSrc = `package fixture
+
+import "time"
+
+func eval() time.Time { return time.Now() }
+`
+
+func TestNakedtime(t *testing.T) {
+	runCases(t, "nakedtime", []checkerCase{
+		{
+			name:       "time.Now in sparql evaluation is flagged",
+			path:       "applab/internal/sparql",
+			src:        nakedTimeSrc,
+			want:       1,
+			wantSubstr: "deterministic",
+		},
+		{
+			name: "time.Now in geometry code is flagged",
+			path: "applab/internal/geom",
+			src:  nakedTimeSrc,
+			want: 1,
+		},
+		{
+			name: "time.Now outside pure packages is fine",
+			path: "applab/internal/opendap",
+			src:  nakedTimeSrc,
+			want: 0,
+		},
+		{
+			name: "other time functions are fine",
+			path: "applab/internal/sparql",
+			src: `package fixture
+
+import "time"
+
+func eval(at time.Time) time.Time { return at.Add(time.Hour) }
+
+func epoch() time.Time { return time.Unix(0, 0) }
+`,
+			want: 0,
+		},
+		{
+			name: "lint:ignore suppresses",
+			path: "applab/internal/sparql",
+			src: `package fixture
+
+import "time"
+
+func eval() time.Time {
+	//lint:ignore nakedtime NOW() builtin is specified as wall clock
+	return time.Now()
+}
+`,
+			want: 0,
+		},
+	})
+}

@@ -1,0 +1,164 @@
+package analysis_test
+
+import "testing"
+
+func TestSharedmap(t *testing.T) {
+	runCases(t, "sharedmap", []checkerCase{
+		{
+			name: "unguarded map write on type whose method spawns goroutines",
+			src: `package fixture
+
+import "sync"
+
+type store struct {
+	owner map[string]int
+}
+
+func (s *store) fanout() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}
+
+func (s *store) assign(k string) {
+	s.owner[k] = 1
+}
+`,
+			want:       1,
+			wantSubstr: "without a guarding mutex",
+		},
+		{
+			name: "unguarded map write on type captured in a goroutine",
+			src: `package fixture
+
+import "sync"
+
+type tally struct {
+	counts map[string]int
+}
+
+func observe(t *tally) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = t
+	}()
+	wg.Wait()
+}
+
+func bump(t *tally, k string) {
+	t.counts[k]++
+}
+`,
+			want: 1,
+		},
+		{
+			name: "delete counts as a write",
+			src: `package fixture
+
+import "sync"
+
+type reg struct {
+	m map[string]int
+}
+
+func (r *reg) fanout() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+func (r *reg) drop(k string) {
+	delete(r.m, k)
+}
+`,
+			want: 1,
+		},
+		{
+			name: "mutex field in the struct is the guard",
+			src: `package fixture
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	owner map[string]int
+}
+
+func (s *store) fanout() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+func (s *store) assign(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.owner[k] = 1
+}
+`,
+			want: 0,
+		},
+		{
+			name: "type never used from goroutines is fine",
+			src: `package fixture
+
+type index struct {
+	m map[string]int
+}
+
+func (i *index) put(k string) {
+	i.m[k] = 1
+}
+`,
+			want: 0,
+		},
+		{
+			name: "local map writes are fine",
+			src: `package fixture
+
+import "sync"
+
+func f() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+	local := map[string]int{}
+	local["k"] = 1
+}
+`,
+			want: 0,
+		},
+		{
+			name: "lint:ignore suppresses",
+			src: `package fixture
+
+import "sync"
+
+type store struct {
+	owner map[string]int
+}
+
+func (s *store) fanout() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+func (s *store) assign(k string) {
+	//lint:ignore sharedmap assign only runs during single-threaded load
+	s.owner[k] = 1
+}
+`,
+			want: 0,
+		},
+	})
+}

@@ -98,7 +98,7 @@ func NewOnTheFlyStack(mappingDoc string, datasets ...*netcdf.Dataset) (*OnTheFly
 
 	mappings, err := obda.ParseMappings(mappingDoc)
 	if err != nil {
-		ln.Close()
+		_ = ln.Close() // best-effort cleanup on the error path
 		return nil, err
 	}
 	return &OnTheFlyStack{

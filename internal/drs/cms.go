@@ -84,6 +84,7 @@ func (c *CMS) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			w.Header().Set("Content-Type", "application/json")
+			//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
 			json.NewEncoder(w).Encode(ds.Attrs)
 		case http.MethodPut, http.MethodPost:
 			if _, ok := c.provider.Dataset(name); !ok {
@@ -114,6 +115,7 @@ func (c *CMS) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		report := Validate(ds)
 		w.Header().Set("Content-Type", "application/json")
+		//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
 		json.NewEncoder(w).Encode(map[string]any{
 			"dataset":      report.Dataset,
 			"compliant":    report.Compliant(),

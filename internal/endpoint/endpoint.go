@@ -36,6 +36,7 @@ func Handler(src sparql.Source) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
+		//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
 		json.NewEncoder(w).Encode(ResultsJSON(res))
 	})
 	return mux

@@ -61,6 +61,8 @@ func (f *Federation) AddMember(m Member) {
 
 // Members returns the member names in order.
 func (f *Federation) Members() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	out := make([]string, len(f.members))
 	for i, m := range f.members {
 		out[i] = m.Name
@@ -89,7 +91,9 @@ func capKey(s, p, o rdf.Term) (string, bool) {
 // that may hold matching triples (all members when the pattern class is
 // unknown), and the union is deduplicated.
 func (f *Federation) Match(s, p, o rdf.Term) []rdf.Triple {
-	targets := f.selectSources(s, p, o)
+	// targets and members are snapshotted under the lock: a concurrent
+	// AddMember may reallocate f.members while the fan-out runs.
+	targets, members := f.selectSources(s, p, o)
 	type result struct {
 		idx     int
 		triples []rdf.Triple
@@ -100,14 +104,14 @@ func (f *Federation) Match(s, p, o rdf.Term) []rdf.Triple {
 		wg.Add(1)
 		go func(i, idx int) {
 			defer wg.Done()
-			results[i] = result{idx, f.members[idx].Source.Match(s, p, o)}
+			results[i] = result{idx, members[idx].Source.Match(s, p, o)}
 		}(i, idx)
 	}
 	wg.Wait()
 
 	f.mu.Lock()
 	for _, r := range results {
-		f.stats[f.members[r.idx].Name]++
+		f.stats[members[r.idx].Name]++
 	}
 	if key, ok := capKey(s, p, o); ok {
 		if _, known := f.capable[key]; !known {
@@ -138,22 +142,24 @@ func (f *Federation) Match(s, p, o rdf.Term) []rdf.Triple {
 	return out
 }
 
-// selectSources picks member indexes for a pattern.
-func (f *Federation) selectSources(s, p, o rdf.Term) []int {
+// selectSources picks member indexes for a pattern and snapshots the
+// member list so the caller can fan out without holding the lock.
+func (f *Federation) selectSources(s, p, o rdf.Term) ([]int, []Member) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	members := append([]Member(nil), f.members...)
 	if key, ok := capKey(s, p, o); ok {
 		if able, known := f.capable[key]; known {
 			out := make([]int, len(able))
 			copy(out, able)
-			return out
+			return out, members
 		}
 	}
-	out := make([]int, len(f.members))
+	out := make([]int, len(members))
 	for i := range out {
 		out[i] = i
 	}
-	return out
+	return out, members
 }
 
 // Query evaluates a (Geo)SPARQL query over the federation.

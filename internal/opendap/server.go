@@ -76,6 +76,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.mu.RUnlock()
 		sort.Strings(names)
 		w.Header().Set("Content-Type", "text/plain")
+		//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
 		fmt.Fprint(w, strings.Join(names, "\n"))
 		return
 	}
@@ -93,12 +94,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch ext {
 	case "dds":
 		w.Header().Set("Content-Type", "text/plain")
+		//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
 		fmt.Fprint(w, RenderDDS(d))
 	case "das":
 		w.Header().Set("Content-Type", "text/plain")
+		//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
 		fmt.Fprint(w, RenderDAS(d))
 	case "ncml":
 		w.Header().Set("Content-Type", "application/xml")
+		//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
 		fmt.Fprint(w, RenderNcML(d))
 	case "dods":
 		if s.Auth != nil {

@@ -52,7 +52,9 @@ func WriteTurtle(w io.Writer, triples []Triple, prefixes *Prefixes) error {
 				return err
 			}
 		}
-		fmt.Fprintln(bw)
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
 	}
 	render := func(t Term) string {
 		if prefixes == nil {
@@ -78,7 +80,9 @@ func WriteTurtle(w io.Writer, triples []Triple, prefixes *Prefixes) error {
 			continue
 		}
 		if i > 0 {
-			fmt.Fprintln(bw, " .")
+			if _, err := fmt.Fprintln(bw, " ."); err != nil {
+				return err
+			}
 		}
 		if _, err := fmt.Fprintf(bw, "%s %s %s", render(t.S), render(t.P), render(t.O)); err != nil {
 			return err
@@ -86,7 +90,9 @@ func WriteTurtle(w io.Writer, triples []Triple, prefixes *Prefixes) error {
 		prevSubj = sk
 	}
 	if len(triples) > 0 {
-		fmt.Fprintln(bw, " .")
+		if _, err := fmt.Fprintln(bw, " ."); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
@@ -132,6 +138,13 @@ func newTurtleLexer(r io.Reader) *turtleLexer {
 
 func (l *turtleLexer) errf(format string, args ...any) error {
 	return fmt.Errorf("turtle: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+// skip consumes the next token, discarding it. For use after peekTok
+// already classified the token: any lexing error was surfaced by the
+// peek, so dropping it here is sound.
+func (l *turtleLexer) skip() {
+	_, _ = l.next()
 }
 
 func (l *turtleLexer) next() (ttoken, error) {
@@ -409,7 +422,7 @@ func (p *turtleParser) run() error {
 }
 
 func (p *turtleParser) parsePrefix() error {
-	p.lex.next() // consume directive
+	p.lex.skip() // consume directive
 	name, err := p.lex.next()
 	if err != nil {
 		return err
@@ -428,18 +441,18 @@ func (p *turtleParser) parsePrefix() error {
 	p.prefixes.Bind(label, iri.text)
 	// Optional trailing dot (@prefix form has one, SPARQL PREFIX does not).
 	if nxt, err := p.lex.peekTok(); err == nil && nxt.kind == ttDot {
-		p.lex.next()
+		p.lex.skip()
 	}
 	return nil
 }
 
 func (p *turtleParser) parseBase() error {
-	p.lex.next()
+	p.lex.skip()
 	if _, err := p.lex.next(); err != nil { // base IRI, ignored
 		return err
 	}
 	if nxt, err := p.lex.peekTok(); err == nil && nxt.kind == ttDot {
-		p.lex.next()
+		p.lex.skip()
 	}
 	return nil
 }
@@ -474,7 +487,7 @@ func (p *turtleParser) parseStatement() error {
 					return err
 				}
 				if nxt.kind == ttDot {
-					p.lex.next()
+					p.lex.skip()
 					return nil
 				}
 				goto nextPredicate
@@ -532,10 +545,10 @@ func (p *turtleParser) parseTerm(asSubject bool) (Term, error) {
 		}
 		switch nxt.kind {
 		case ttLangTag:
-			p.lex.next()
+			p.lex.skip()
 			return NewLangLiteral(lex, nxt.text), nil
 		case ttCaretSep:
-			p.lex.next()
+			p.lex.skip()
 			dt, err := p.lex.next()
 			if err != nil {
 				return Term{}, err

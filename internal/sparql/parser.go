@@ -2,6 +2,7 @@ package sparql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"applab/internal/rdf"
@@ -535,13 +536,21 @@ func (p *parser) parseSolutionModifiers(q *Query) error {
 			if n.kind != tNumber {
 				return p.errf("expected number after LIMIT")
 			}
-			fmt.Sscanf(n.text, "%d", &q.Limit)
+			v, err := strconv.Atoi(n.text)
+			if err != nil {
+				return p.errf("bad LIMIT %q: %v", n.text, err)
+			}
+			q.Limit = v
 		case p.acceptKeyword("OFFSET"):
 			n := p.next()
 			if n.kind != tNumber {
 				return p.errf("expected number after OFFSET")
 			}
-			fmt.Sscanf(n.text, "%d", &q.Offset)
+			v, err := strconv.Atoi(n.text)
+			if err != nil {
+				return p.errf("bad OFFSET %q: %v", n.text, err)
+			}
+			q.Offset = v
 		default:
 			return nil
 		}

@@ -24,9 +24,14 @@ import (
 //	    flags uint8 (bit0 = has valid time), then two int64 unix-nanos
 const persistMagic = "ASTR1"
 
-// Save writes the store's triples (with valid time) to w.
+// Save writes the store's triples (with valid time) to w. The triple
+// set is snapshotted under the read lock; the writing happens outside
+// it, so slow sinks do not stall writers.
 func (s *Store) Save(w io.Writer) error {
-	return saveTriples(w, s.graph.Triples())
+	s.mu.RLock()
+	triples := s.graph.Triples()
+	s.mu.RUnlock()
+	return saveTriples(w, triples)
 }
 
 // saveTriples implements the binary image writer.

@@ -24,6 +24,10 @@ import (
 // usable. Subjects keep their shard across batches.
 type ShardedStore struct {
 	shards []*Store
+
+	// mu guards owner: AddAll assigns shard owners while concurrent
+	// subject-bound Matches consult them.
+	mu sync.RWMutex
 	// owner maps a subject key to its shard index once assigned.
 	owner map[string]int
 }
@@ -79,7 +83,11 @@ func (s *ShardedStore) AddAll(ts []rdf.Triple) {
 		}
 	}
 	// Respect prior assignments: if any member of a group is already
-	// owned, the whole group follows it.
+	// owned, the whole group follows it. The owner table is consulted and
+	// extended under the write lock; per-shard Adds take each shard's own
+	// lock (lock order: ShardedStore.mu then Store.mu, never reversed).
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	groupShard := map[string]int{}
 	for key := range parent {
 		if sh, ok := s.owner[key]; ok {
@@ -137,7 +145,10 @@ func (s *ShardedStore) Freeze() error {
 // parallel.
 func (s *ShardedStore) Match(sub, pred, obj rdf.Term) []rdf.Triple {
 	if !sub.IsZero() {
-		if sh, ok := s.owner[sub.Key()]; ok {
+		s.mu.RLock()
+		sh, ok := s.owner[sub.Key()]
+		s.mu.RUnlock()
+		if ok {
 			return s.shards[sh].Match(sub, pred, obj)
 		}
 		return nil

@@ -15,6 +15,7 @@ package strabon
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"applab/internal/geom"
@@ -48,13 +49,23 @@ type Observation struct {
 // Store is the spatiotemporal RDF store. Build it with New, fill it with
 // Add/AddAll/Load, then Freeze (or just query: freezing is automatic and
 // incremental indexing is handled lazily).
+//
+// A Store is safe for concurrent use: writes and index rebuilds take the
+// write lock, queries share the read lock. A query racing a write may
+// observe the indexes from just before the write — consistent, possibly
+// one batch stale — which is the semantics the concurrent endpoint
+// (internal/endpoint over one store) needs.
 type Store struct {
+	mu    sync.RWMutex
 	graph *rdf.Graph
 
-	dirty   bool
-	spatial *rtree.Tree
-	geoms   map[string]*GeometryEntry // geometry-node key -> entry
-	obs     []Observation             // sorted by Time
+	dirty bool
+	// indexErr records the first geometry error of the last index build;
+	// queries proceed over the parseable subset (see IndexErr).
+	indexErr error
+	spatial  *rtree.Tree
+	geoms    map[string]*GeometryEntry // geometry-node key -> entry
+	obs      []Observation             // sorted by Time
 	// validTime holds triples with attached valid-time, sorted by ValidFrom.
 	validTime []rdf.Triple
 }
@@ -68,6 +79,8 @@ func New() *Store {
 
 // Add inserts one triple.
 func (s *Store) Add(t rdf.Triple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.graph.Add(t) {
 		s.dirty = true
 	}
@@ -75,19 +88,28 @@ func (s *Store) Add(t rdf.Triple) {
 
 // AddAll inserts all triples.
 func (s *Store) AddAll(ts []rdf.Triple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.graph.AddAll(ts) > 0 {
 		s.dirty = true
 	}
 }
 
 // Len returns the number of stored triples.
-func (s *Store) Len() int { return s.graph.Len() }
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graph.Len()
+}
 
-// Graph exposes the underlying triple graph (read-only use).
+// Graph exposes the underlying triple graph. It bypasses the store's
+// locking: use it only while no other goroutine writes the store.
 func (s *Store) Graph() *rdf.Graph { return s.graph }
 
 // Match implements sparql.Source.
 func (s *Store) Match(sub, pred, obj rdf.Term) []rdf.Triple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.graph.Match(sub, pred, obj)
 }
 
@@ -98,9 +120,44 @@ func (s *Store) Query(q string) (*sparql.Results, error) {
 
 // Freeze (re)builds the spatial and temporal indexes. It is called
 // automatically by the index-backed query methods when the store changed.
+// The returned error is the first geometry that failed to parse (the
+// indexes are still built over the parseable subset); it stays available
+// via IndexErr.
 func (s *Store) Freeze() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.freezeLocked()
+	return s.indexErr
+}
+
+// IndexErr returns the first geometry error of the last index build, nil
+// when every geometry parsed.
+func (s *Store) IndexErr() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.indexErr
+}
+
+// ensureFrozen rebuilds the indexes if the store changed since the last
+// build. Index errors are recorded in s.indexErr rather than returned:
+// the read-only query methods proceed over the parseable subset.
+func (s *Store) ensureFrozen() {
+	s.mu.RLock()
+	dirty := s.dirty
+	s.mu.RUnlock()
+	if !dirty {
+		return
+	}
+	s.mu.Lock()
+	s.freezeLocked()
+	s.mu.Unlock()
+}
+
+// freezeLocked rebuilds the indexes when dirty; the caller holds the
+// write lock.
+func (s *Store) freezeLocked() {
 	if !s.dirty {
-		return nil
+		return
 	}
 	s.geoms = map[string]*GeometryEntry{}
 	var items []rtree.Item
@@ -151,13 +208,15 @@ func (s *Store) Freeze() error {
 		return s.validTime[i].ValidFrom.Before(s.validTime[j].ValidFrom)
 	})
 	s.dirty = false
-	return firstErr
+	s.indexErr = firstErr
 }
 
 // GeometriesIntersecting returns the geometry entries whose geometry
 // intersects q, using the R-tree for candidate pruning.
 func (s *Store) GeometriesIntersecting(q geom.Geometry) []*GeometryEntry {
-	s.Freeze()
+	s.ensureFrozen()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []*GeometryEntry
 	s.spatial.Search(q.Envelope(), func(it rtree.Item) bool {
 		e := it.Data.(*GeometryEntry)
@@ -192,7 +251,9 @@ func (s *Store) FeaturesIntersecting(q geom.Geometry) []rdf.Term {
 
 // NearestGeometries returns up to k geometry entries nearest to p.
 func (s *Store) NearestGeometries(p geom.Point, k int) []*GeometryEntry {
-	s.Freeze()
+	s.ensureFrozen()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	items := s.spatial.Nearest(p, k)
 	out := make([]*GeometryEntry, len(items))
 	for i, it := range items {
@@ -206,7 +267,9 @@ func (s *Store) NearestGeometries(p geom.Point, k int) []*GeometryEntry {
 // temporal index narrows by binary search; the spatial test uses parsed
 // geometries.
 func (s *Store) ObservationsDuring(env geom.Envelope, from, to time.Time) []Observation {
-	s.Freeze()
+	s.ensureFrozen()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	lo := sort.Search(len(s.obs), func(i int) bool { return !s.obs[i].Time.Before(from) })
 	var out []Observation
 	checkSpace := !env.IsEmpty()
@@ -222,7 +285,9 @@ func (s *Store) ObservationsDuring(env geom.Envelope, from, to time.Time) []Obse
 
 // TriplesValidDuring returns triples whose valid time intersects [from, to].
 func (s *Store) TriplesValidDuring(from, to time.Time) []rdf.Triple {
-	s.Freeze()
+	s.ensureFrozen()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []rdf.Triple
 	for _, t := range s.validTime {
 		if t.ValidFrom.After(to) {
@@ -237,12 +302,16 @@ func (s *Store) TriplesValidDuring(from, to time.Time) []rdf.Triple {
 
 // GeometryCount returns the number of spatially indexed geometries.
 func (s *Store) GeometryCount() int {
-	s.Freeze()
+	s.ensureFrozen()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.geoms)
 }
 
 // ObservationCount returns the number of spatio-temporal observations.
 func (s *Store) ObservationCount() int {
-	s.Freeze()
+	s.ensureFrozen()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.obs)
 }
