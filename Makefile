@@ -1,10 +1,11 @@
 GO ?= go
 
 # Packages exercised under the race detector: the concurrent query stack
-# (sharded store, OPeNDAP caches, federation fan-out, interlinking).
-RACE_PKGS = ./internal/strabon/ ./internal/opendap/ ./internal/federation/ ./internal/interlink/
+# (sharded store, OPeNDAP caches, federation fan-out, interlinking) plus
+# the fault-injection harness and the SPARQL HTTP transport it exercises.
+RACE_PKGS = ./internal/strabon/ ./internal/opendap/ ./internal/federation/ ./internal/interlink/ ./internal/faults/ ./internal/endpoint/
 
-.PHONY: all build test lint race fmt vet ci
+.PHONY: all build test lint race fmt vet fuzz ci
 
 all: build
 
@@ -26,6 +27,14 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Short mutation runs over the binary/DAP parsers; ci.sh runs the same
+# targets. Each -fuzz invocation may match only one target.
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzRead$$' -fuzztime=3s ./internal/netcdf/
+	$(GO) test -run='^$$' -fuzz='^FuzzParseConstraint$$' -fuzztime=2s ./internal/opendap/
+	$(GO) test -run='^$$' -fuzz='^FuzzParseDDS$$' -fuzztime=2s ./internal/opendap/
+	$(GO) test -run='^$$' -fuzz='^FuzzApplyConstraint$$' -fuzztime=2s ./internal/opendap/
 
 # The full gate: fmt + vet + lint + tests + race in one invocation.
 ci:

@@ -23,8 +23,37 @@ go run ./cmd/applab-lint ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (concurrent query stack)"
+echo "== go test -race (concurrent query stack + fault injection)"
 go test -race ./internal/strabon/ ./internal/opendap/ \
-    ./internal/federation/ ./internal/interlink/
+    ./internal/federation/ ./internal/interlink/ \
+    ./internal/faults/ ./internal/endpoint/
+
+echo "== coverage gate (resilience stack)"
+# The retry/breaker/deadline machinery is all error paths; a coverage
+# floor keeps new branches from landing untested. Floors sit ~5pt under
+# the level at which the gate was introduced.
+check_cover() {
+    pkg=$1 floor=$2
+    pct=$(go test -cover "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "coverage gate: no coverage reported for $pkg" >&2
+        exit 1
+    fi
+    if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+        echo "coverage gate: $pkg at ${pct}%, floor is ${floor}%" >&2
+        exit 1
+    fi
+    echo "  $pkg: ${pct}% (floor ${floor}%)"
+}
+check_cover ./internal/opendap/ 85
+check_cover ./internal/federation/ 85
+
+echo "== fuzz smoke (seed corpus + a few seconds of mutation)"
+# One -fuzz target per invocation: the flag rejects patterns matching
+# several targets in a package.
+go test -run='^$' -fuzz='^FuzzRead$' -fuzztime=3s ./internal/netcdf/
+go test -run='^$' -fuzz='^FuzzParseConstraint$' -fuzztime=2s ./internal/opendap/
+go test -run='^$' -fuzz='^FuzzParseDDS$' -fuzztime=2s ./internal/opendap/
+go test -run='^$' -fuzz='^FuzzApplyConstraint$' -fuzztime=2s ./internal/opendap/
 
 echo "CI OK"

@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"applab/internal/madis"
 	"applab/internal/obda"
@@ -28,6 +29,12 @@ func main() {
 		mappingPath = flag.String("mapping", "", "mapping file (Ontop native syntax)")
 		opendapURL  = flag.String("opendap", "", "OPeNDAP server base URL for the opendap virtual table")
 		query       = flag.String("query", "", "GeoSPARQL query")
+
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request OPeNDAP deadline (0 disables)")
+		retries  = flag.Int("retries", 3, "max OPeNDAP retries after the first attempt (idempotent GETs only)")
+		brkFails = flag.Int("breaker-failures", 5, "consecutive OPeNDAP failures before the circuit opens (0 disables the breaker)")
+		brkCool  = flag.Duration("breaker-cooldown", 10*time.Second, "how long an open circuit waits before a half-open probe")
+		staleOK  = flag.Bool("serve-stale", false, "serve stale cached OPeNDAP windows when the upstream is down")
 	)
 	flag.Parse()
 	if *mappingPath == "" || *query == "" {
@@ -46,7 +53,14 @@ func main() {
 
 	db := madis.NewDB()
 	if *opendapURL != "" {
-		adapter := obda.NewOpendapAdapter(opendap.NewClient(*opendapURL))
+		client := opendap.NewClient(*opendapURL)
+		client.Timeout = *timeout
+		client.MaxRetries = *retries
+		if *brkFails > 0 {
+			client.Breaker = opendap.NewBreaker(*brkFails, *brkCool)
+		}
+		adapter := obda.NewOpendapAdapter(client)
+		adapter.ServeStale = *staleOK
 		adapter.Register(db)
 	}
 

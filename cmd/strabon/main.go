@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"applab/internal/endpoint"
 	"applab/internal/federation"
@@ -35,6 +36,10 @@ func main() {
 		federate = flag.String("federate", "", "comma-separated remote SPARQL endpoints to federate with")
 		shards   = flag.Int("shards", 1, "number of store shards (>1 enables the partitioned store)")
 		save     = flag.String("save", "", "write the loaded store as a binary image (.astr) and exit")
+
+		memberTimeout = flag.Duration("member-timeout", 0, "per-member deadline for federated pattern fan-outs (0 waits forever)")
+		demoteAfter   = flag.Int("demote-after", 3, "consecutive failures before a federation member is demoted (-1 disables)")
+		retryDemoted  = flag.Duration("retry-demoted", 30*time.Second, "how long a demoted member sits out before being probed again")
 	)
 	flag.Parse()
 
@@ -96,14 +101,19 @@ func main() {
 		return
 	}
 
+	var fed *federation.Federation
 	if *federate != "" {
-		fed := federation.New(federation.Member{Name: "local", Source: src})
+		fed = federation.New(federation.Member{Name: "local", Source: src})
+		fed.MemberTimeout = *memberTimeout
+		fed.DemoteAfter = *demoteAfter
+		fed.RetryDemoted = *retryDemoted
 		for i, u := range strings.Split(*federate, ",") {
 			u = strings.TrimSpace(u)
 			if u == "" {
 				continue
 			}
 			remote := endpoint.NewRemoteSource(u)
+			remote.Timeout = *memberTimeout
 			if err := remote.Probe(); err != nil {
 				log.Fatalf("federation member %s: %v", u, err)
 			}
@@ -114,6 +124,26 @@ func main() {
 	}
 
 	switch {
+	case *query != "" && fed != nil:
+		res, report, err := fed.QueryPartial(*query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResults(res)
+		if report.Partial {
+			log.Printf("WARNING: partial results (%d patterns)", report.Patterns)
+			for name, mr := range report.Members {
+				if mr.Errors == 0 && mr.Timeouts == 0 && mr.Skips == 0 {
+					continue
+				}
+				line := fmt.Sprintf("  member %s: %d errors, %d timeouts, %d skips",
+					name, mr.Errors, mr.Timeouts, mr.Skips)
+				if mr.LastErr != nil {
+					line += fmt.Sprintf(" (last: %v)", mr.LastErr)
+				}
+				log.Print(line)
+			}
+		}
 	case *query != "":
 		res, err := sparql.Eval(src, *query)
 		if err != nil {

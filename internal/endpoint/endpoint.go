@@ -6,12 +6,14 @@
 package endpoint
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"applab/internal/rdf"
 	"applab/internal/sparql"
@@ -103,6 +105,11 @@ type RemoteSource struct {
 	URL string
 	// HTTP is the transport; http.DefaultClient when nil.
 	HTTP *http.Client
+	// Timeout bounds each pattern request; 0 means no deadline. The
+	// federation engine adds its own per-member budget on top, but a
+	// transport-level deadline keeps abandoned requests from pinning
+	// connections forever.
+	Timeout time.Duration
 }
 
 // NewRemoteSource returns a source for the endpoint at base (the handler
@@ -123,16 +130,37 @@ func (r *RemoteSource) httpClient() *http.Client {
 
 // Match implements sparql.Source by querying the remote endpoint. Errors
 // surface as empty results (the Source interface has no error channel);
-// use Probe to check connectivity.
+// use MatchErr when the failure matters (the federation engine does) or
+// Probe to check connectivity.
 func (r *RemoteSource) Match(s, p, o rdf.Term) []rdf.Triple {
-	q := patternQuery(s, p, o)
-	resp, err := r.httpClient().Get(r.URL + "?query=" + url.QueryEscape(q))
+	triples, err := r.MatchErr(s, p, o)
 	if err != nil {
 		return nil
 	}
+	return triples
+}
+
+// MatchErr implements sparql.ErrorSource: Match with transport, HTTP and
+// decode failures surfaced instead of swallowed into empty results.
+func (r *RemoteSource) MatchErr(s, p, o rdf.Term) ([]rdf.Triple, error) {
+	q := patternQuery(s, p, o)
+	req, err := http.NewRequest(http.MethodGet, r.URL+"?query="+url.QueryEscape(q), nil)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: %s: %v", r.URL, err)
+	}
+	if r.Timeout > 0 {
+		ctx, cancel := context.WithTimeout(req.Context(), r.Timeout)
+		defer cancel()
+		req = req.WithContext(ctx)
+	}
+	resp, err := r.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: query %s: %v", r.URL, err)
+	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("endpoint: query %s: %s: %s", r.URL, resp.Status, body)
 	}
 	var doc struct {
 		Results struct {
@@ -140,7 +168,7 @@ func (r *RemoteSource) Match(s, p, o rdf.Term) []rdf.Triple {
 		} `json:"results"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return nil
+		return nil, fmt.Errorf("endpoint: query %s: bad results document: %v", r.URL, err)
 	}
 	out := make([]rdf.Triple, 0, len(doc.Results.Bindings))
 	for _, row := range doc.Results.Bindings {
@@ -156,12 +184,21 @@ func (r *RemoteSource) Match(s, p, o rdf.Term) []rdf.Triple {
 		}
 		out = append(out, t)
 	}
-	return out
+	return out, nil
 }
 
 // Probe checks that the endpoint answers a trivial query.
 func (r *RemoteSource) Probe() error {
-	resp, err := r.httpClient().Get(r.URL + "?query=" + url.QueryEscape("ASK { ?s ?p ?o }"))
+	req, err := http.NewRequest(http.MethodGet, r.URL+"?query="+url.QueryEscape("ASK { ?s ?p ?o }"), nil)
+	if err != nil {
+		return fmt.Errorf("endpoint: probe %s: %v", r.URL, err)
+	}
+	if r.Timeout > 0 {
+		ctx, cancel := context.WithTimeout(req.Context(), r.Timeout)
+		defer cancel()
+		req = req.WithContext(ctx)
+	}
+	resp, err := r.httpClient().Do(req)
 	if err != nil {
 		return fmt.Errorf("endpoint: probe %s: %v", r.URL, err)
 	}

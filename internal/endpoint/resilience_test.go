@@ -1,0 +1,64 @@
+package endpoint
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"applab/internal/faults"
+	"applab/internal/rdf"
+	"applab/internal/sparql"
+	"applab/internal/strabon"
+)
+
+// The RemoteSource must satisfy the error-surfacing interface the
+// federation engine prefers.
+var _ sparql.ErrorSource = (*RemoteSource)(nil)
+
+func TestRemoteSourceMatchErrSurfacesFailures(t *testing.T) {
+	st := strabon.New()
+	st.Add(rdf.NewTriple(rdf.NewIRI("urn:a"), rdf.NewIRI("urn:p"), rdf.NewLiteral("x")))
+	ts := httptest.NewServer(Handler(st))
+	defer ts.Close()
+
+	script := faults.Seq(
+		faults.Step{Kind: faults.ConnError},
+		faults.Step{Kind: faults.Status, Code: 502},
+		faults.Step{Kind: faults.Truncate, KeepBytes: 10},
+	)
+	src := NewRemoteSource(ts.URL)
+	src.HTTP = &http.Client{Transport: faults.NewRoundTripper(script, nil)}
+
+	pat := func() ([]rdf.Triple, error) {
+		return src.MatchErr(rdf.Term{}, rdf.NewIRI("urn:p"), rdf.Term{})
+	}
+	if _, err := pat(); err == nil || !strings.Contains(err.Error(), "endpoint: query") {
+		t.Fatalf("transport fault must surface: %v", err)
+	}
+	if _, err := pat(); err == nil || !strings.Contains(err.Error(), "502") {
+		t.Fatalf("5xx must surface with status: %v", err)
+	}
+	if _, err := pat(); err == nil || !strings.Contains(err.Error(), "bad results document") {
+		t.Fatalf("truncated JSON must surface as decode error: %v", err)
+	}
+	// Script exhausted: the same call now succeeds, and Match (the
+	// error-swallowing legacy path) agrees.
+	triples, err := pat()
+	if err != nil || len(triples) != 1 {
+		t.Fatalf("healthy call = (%d, %v)", len(triples), err)
+	}
+	if got := src.Match(rdf.Term{}, rdf.NewIRI("urn:p"), rdf.Term{}); len(got) != 1 {
+		t.Fatalf("Match = %d triples", len(got))
+	}
+}
+
+func TestRemoteSourceMatchSwallowsErrors(t *testing.T) {
+	src := NewRemoteSource("http://127.0.0.1:0") // nothing listens here
+	if got := src.Match(rdf.Term{}, rdf.Term{}, rdf.Term{}); got != nil {
+		t.Fatalf("Match on dead endpoint = %v, want nil", got)
+	}
+	if _, err := src.MatchErr(rdf.Term{}, rdf.Term{}, rdf.Term{}); err == nil {
+		t.Fatal("MatchErr on dead endpoint must error")
+	}
+}

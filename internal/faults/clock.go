@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a manual test clock. Production code takes Now/After hooks
+// (defaulting to time.Now/time.After); tests plug a Clock in and drive
+// time explicitly, so retry backoff, breaker cooldowns and federation
+// deadlines run with zero real-time sleeps.
+type Clock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     time.Time
+	waiters []clockWaiter
+	// total counts every After call ever made, so tests can await the
+	// registration of a timer before advancing past it.
+	total int
+}
+
+type clockWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewClock returns a clock frozen at start.
+func NewClock(start time.Time) *Clock {
+	c := &Clock{now: start}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Now returns the current fake instant.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that fires when the clock has been advanced by
+// at least d (immediately for d <= 0). It matches time.After's shape so
+// it can be assigned to the After hooks of the resilience layer.
+func (c *Clock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	c.total++
+	now := c.now
+	if d > 0 {
+		c.waiters = append(c.waiters, clockWaiter{at: now.Add(d), ch: ch})
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if d <= 0 {
+		ch <- now // cap 1: never blocks
+	}
+	return ch
+}
+
+// Advance moves the clock forward, firing every timer that comes due.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	var due []clockWaiter
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(now) {
+			due = append(due, w)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+	c.mu.Unlock()
+	for _, w := range due {
+		w.ch <- now // cap 1, sent at most once: never blocks
+	}
+}
+
+// AwaitTimers blocks until at least n After calls have been made over
+// the clock's lifetime. Tests use it to sequence "the code under test
+// has registered its deadline" before Advance, without polling.
+func (c *Clock) AwaitTimers(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.total < n {
+		c.cond.Wait()
+	}
+}
+
+// Timers reports how many After calls have been made in total.
+func (c *Clock) Timers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}

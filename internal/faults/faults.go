@@ -1,0 +1,168 @@
+// Package faults is a deterministic fault-injection harness for the
+// on-the-fly workflow's remote path. The paper's §3.2 design keeps data
+// at the provider and streams it over OPeNDAP, so the whole query stack
+// (OBDA virtual tables, the window cache, the §5 federation engine) sits
+// on top of remote HTTP calls that can hang, flake, or die. This package
+// scripts those failures so any package's tests can reproduce them
+// exactly: a Script is a fixed sequence of Steps (connection errors,
+// HTTP 5xx, truncated bodies, hangs, N-failures-then-success) consumed
+// one per call, optionally generated pseudo-randomly from a seed.
+//
+// Two adapters consume scripts: RoundTripper injects failures at the
+// http.RoundTripper layer (below opendap.Client, endpoint.RemoteSource,
+// or anything else speaking HTTP), and Source injects them at the
+// sparql.Source layer (federation members). Clock is a manual test clock
+// so retry/backoff, circuit-breaker cooldowns, and federation deadlines
+// are all testable with zero real-time sleeps.
+package faults
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Kind enumerates the failure modes a Step can inject.
+type Kind int
+
+const (
+	// OK passes the call through untouched.
+	OK Kind = iota
+	// ConnError fails the call with a transport-level error before any
+	// response is produced.
+	ConnError
+	// Status short-circuits the call with an HTTP response of Step.Code
+	// (Source adapters treat it like ConnError: an error, no triples).
+	Status
+	// Truncate passes the call through but cuts the response body to
+	// Step.KeepBytes bytes, simulating a connection dropped mid-stream.
+	Truncate
+	// Hang blocks the call until the request context is cancelled or the
+	// adapter is released; the simulated peer has stopped answering.
+	Hang
+)
+
+// String names the kind for test failure messages.
+func (k Kind) String() string {
+	switch k {
+	case OK:
+		return "ok"
+	case ConnError:
+		return "conn-error"
+	case Status:
+		return "status"
+	case Truncate:
+		return "truncate"
+	case Hang:
+		return "hang"
+	}
+	return "unknown"
+}
+
+// Step is one scripted behaviour for one call.
+type Step struct {
+	Kind Kind
+	// Code is the HTTP status for Kind Status (default 500).
+	Code int
+	// KeepBytes is how much of the real body survives for Kind Truncate.
+	KeepBytes int
+}
+
+// Script is a thread-safe sequence of steps consumed one per call.
+// After the scripted steps are exhausted every further call gets OK, so
+// "N failures then success" is just a script of N failure steps.
+type Script struct {
+	mu    sync.Mutex
+	steps []Step
+	next  int
+	calls int
+}
+
+// Seq returns a script that plays the given steps in order, then OK
+// forever.
+func Seq(steps ...Step) *Script {
+	return &Script{steps: append([]Step(nil), steps...)}
+}
+
+// FailN returns a script injecting n copies of fail, then OK forever —
+// the retry-then-succeed shape.
+func FailN(n int, fail Step) *Script {
+	steps := make([]Step, n)
+	for i := range steps {
+		steps[i] = fail
+	}
+	return &Script{steps: steps}
+}
+
+// FromSeed returns a deterministic pseudo-random script of n steps where
+// each step independently fails with probability rate, choosing among
+// connection errors, 5xx statuses and truncations. The same seed always
+// yields the same script, so a failing test names its seed and replays.
+func FromSeed(seed int64, n int, rate float64) *Script {
+	rng := rand.New(rand.NewSource(seed))
+	steps := make([]Step, n)
+	for i := range steps {
+		if rng.Float64() >= rate {
+			continue // OK
+		}
+		switch rng.Intn(3) {
+		case 0:
+			steps[i] = Step{Kind: ConnError}
+		case 1:
+			steps[i] = Step{Kind: Status, Code: 500 + rng.Intn(4)}
+		case 2:
+			steps[i] = Step{Kind: Truncate, KeepBytes: rng.Intn(16)}
+		}
+	}
+	return &Script{steps: steps}
+}
+
+// Next consumes and returns the next step.
+func (s *Script) Next() Step {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	if s.next >= len(s.steps) {
+		return Step{Kind: OK}
+	}
+	st := s.steps[s.next]
+	s.next++
+	return st
+}
+
+// Calls reports how many steps have been consumed.
+func (s *Script) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// Remaining reports how many scripted (non-implicit-OK) steps are left.
+func (s *Script) Remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.steps) - s.next
+}
+
+// Truncations returns deterministic corrupted variants of data for use
+// as fuzz seed corpus: prefixes of pseudo-random lengths plus single-byte
+// flips, derived from seed. This is the truncation mode of the injector
+// reused to grow `go test -fuzz` corpora from real encodings.
+func Truncations(data []byte, seed int64, n int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if len(data) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		if i%2 == 0 {
+			cut := rng.Intn(len(data))
+			out = append(out, append([]byte(nil), data[:cut]...))
+		} else {
+			cp := append([]byte(nil), data...)
+			cp[rng.Intn(len(cp))] ^= byte(1 + rng.Intn(255))
+			out = append(out, cp)
+		}
+	}
+	return out
+}

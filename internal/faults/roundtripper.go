@@ -1,0 +1,116 @@
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// InjectedError is the transport error produced by ConnError steps, so
+// tests can distinguish injected failures from real ones.
+type InjectedError struct{ Op string }
+
+// Error implements error.
+func (e *InjectedError) Error() string { return "faults: injected " + e.Op }
+
+// RoundTripper injects scripted failures below any HTTP client. OK and
+// Truncate steps delegate to Inner (http.DefaultTransport when nil);
+// ConnError and Status steps never touch the network; Hang blocks until
+// the request context is cancelled or Release is called.
+type RoundTripper struct {
+	Script *Script
+	Inner  http.RoundTripper
+
+	mu         sync.Mutex
+	released   chan struct{}
+	isReleased bool
+}
+
+// NewRoundTripper wraps inner (nil for http.DefaultTransport) with the
+// script.
+func NewRoundTripper(script *Script, inner http.RoundTripper) *RoundTripper {
+	return &RoundTripper{Script: script, Inner: inner, released: make(chan struct{})}
+}
+
+func (rt *RoundTripper) inner() http.RoundTripper {
+	if rt.Inner != nil {
+		return rt.Inner
+	}
+	return http.DefaultTransport
+}
+
+func (rt *RoundTripper) releaseCh() chan struct{} {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.released == nil {
+		rt.released = make(chan struct{})
+	}
+	return rt.released
+}
+
+// Release unblocks every in-flight and future Hang step (the simulated
+// peer comes back). Call it from test cleanup so hung goroutines exit.
+func (rt *RoundTripper) Release() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.released == nil {
+		rt.released = make(chan struct{})
+	}
+	if !rt.isReleased {
+		close(rt.released)
+		rt.isReleased = true
+	}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	step := rt.Script.Next()
+	switch step.Kind {
+	case ConnError:
+		return nil, &InjectedError{Op: "connection error"}
+	case Status:
+		code := step.Code
+		if code == 0 {
+			code = http.StatusInternalServerError
+		}
+		body := "faults: injected status " + strconv.Itoa(code)
+		return &http.Response{
+			StatusCode: code,
+			Status:     fmt.Sprintf("%d %s", code, http.StatusText(code)),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case Hang:
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-rt.releaseCh():
+			return rt.inner().RoundTrip(req)
+		}
+	case Truncate:
+		resp, err := rt.inner().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		full, err := io.ReadAll(resp.Body)
+		//lint:ignore errcheck body already fully read; Close result carries nothing
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		keep := step.KeepBytes
+		if keep > len(full) {
+			keep = len(full)
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(full[:keep]))
+		resp.ContentLength = int64(keep)
+		return resp, nil
+	}
+	return rt.inner().RoundTrip(req)
+}

@@ -13,11 +13,21 @@
 // engine — including the geof:* functions — then runs unchanged on top,
 // so cross-endpoint spatial joins (the GADM x OSM case of the paper) just
 // work.
+//
+// Because members are remote Web sources ("OBDA for the Web": a virtual
+// graph inherits the reliability of its sources), the fan-out is
+// deadline-bounded and failure-aware: each member gets MemberTimeout to
+// answer, slow or broken members are skipped and reported instead of
+// stalling the query (partial results), and members that fail repeatedly
+// are demoted out of source selection until a cooldown elapses.
 package federation
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"applab/internal/rdf"
 	"applab/internal/sparql"
@@ -29,9 +39,72 @@ type Member struct {
 	Source sparql.Source
 }
 
+// MemberResult is one member's outcome for one pattern fan-out.
+type MemberResult struct {
+	Member string
+	// Triples is how many triples the member contributed.
+	Triples int
+	// Err is the member's failure, when its source surfaces errors
+	// (sparql.ErrorSource).
+	Err error
+	// TimedOut marks a member that exceeded its per-member deadline; its
+	// answer (if it ever comes) is discarded.
+	TimedOut bool
+	// Skipped marks a demoted member that was not asked at all.
+	Skipped bool
+}
+
+// OK reports whether the member answered normally.
+func (r MemberResult) OK() bool { return r.Err == nil && !r.TimedOut && !r.Skipped }
+
+// Report describes one pattern fan-out: every targeted (or skipped)
+// member with its outcome.
+type Report struct {
+	Results []MemberResult
+	// Partial is set when at least one member failed, timed out, or was
+	// skipped: the union may be missing that member's triples.
+	Partial bool
+}
+
+// failed lists the non-OK member results.
+func (r Report) failed() []MemberResult {
+	var out []MemberResult
+	for _, m := range r.Results {
+		if !m.OK() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
 // Federation is a sparql.Source spanning several endpoints.
 type Federation struct {
+	// MemberTimeout bounds each member's answer per pattern; 0 means
+	// wait forever (the historic behaviour).
+	MemberTimeout time.Duration
+	// DemoteAfter is the consecutive-failure count after which a member
+	// is demoted out of source selection (default 3; negative disables).
+	DemoteAfter int
+	// RetryDemoted is how long a demoted member sits out before it is
+	// probed again (default 30s).
+	RetryDemoted time.Duration
+	// Now and After are clock hooks (time.Now/time.After when nil) so
+	// deadline and demotion behaviour is testable without real sleeps.
+	Now   func() time.Time
+	After func(time.Duration) <-chan time.Time
+	// OnResult, when set, observes every member outcome as the fan-out
+	// collector processes it — an observability hook for metrics and for
+	// deterministic sequencing in tests.
+	OnResult func(MemberResult)
+
 	members []Member
+
+	// onCollect, when set, observes each member answer as the fan-out
+	// collector receives it — before the deadline decision. Tests in
+	// this package use it to sequence fake-clock advances so "the
+	// healthy members have answered, now expire the hung one" is
+	// deterministic rather than scheduler-dependent.
+	onCollect func()
 
 	mu sync.Mutex
 	// capable[predicateKey] lists the member indexes known to answer that
@@ -39,6 +112,14 @@ type Federation struct {
 	capable map[string][]int
 	// stats counts per-member pattern requests (for tests/diagnostics).
 	stats map[string]int64
+	// health tracks per-member consecutive failures and demotion.
+	health map[string]*memberHealth
+}
+
+type memberHealth struct {
+	consecFails int
+	demoted     bool
+	demotedAt   time.Time
 }
 
 // New returns a federation over the given members.
@@ -47,7 +128,36 @@ func New(members ...Member) *Federation {
 		members: members,
 		capable: map[string][]int{},
 		stats:   map[string]int64{},
+		health:  map[string]*memberHealth{},
 	}
+}
+
+func (f *Federation) now() time.Time {
+	if f.Now != nil {
+		return f.Now()
+	}
+	return time.Now()
+}
+
+func (f *Federation) after(d time.Duration) <-chan time.Time {
+	if f.After != nil {
+		return f.After(d)
+	}
+	return time.After(d)
+}
+
+func (f *Federation) demoteAfter() int {
+	if f.DemoteAfter != 0 {
+		return f.DemoteAfter
+	}
+	return 3
+}
+
+func (f *Federation) retryDemoted() time.Duration {
+	if f.RetryDemoted > 0 {
+		return f.RetryDemoted
+	}
+	return 30 * time.Second
 }
 
 // AddMember appends an endpoint and resets source-selection knowledge for
@@ -77,6 +187,18 @@ func (f *Federation) RequestCount(name string) int64 {
 	return f.stats[name]
 }
 
+// MemberHealth reports a member's consecutive-failure count and whether
+// it is currently demoted out of source selection.
+func (f *Federation) MemberHealth(name string) (consecFails int, demoted bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := f.health[name]
+	if h == nil {
+		return 0, false
+	}
+	return h.consecFails, h.demoted
+}
+
 // capKey identifies a learnable pattern class: subject-unbound patterns
 // keyed by (predicate, object). Learning from subject-bound patterns would
 // be unsound: a member may hold the predicate but not that subject.
@@ -87,38 +209,152 @@ func capKey(s, p, o rdf.Term) (string, bool) {
 	return p.Key() + "|" + o.Key(), true
 }
 
+// matchMember asks one member, preferring the error-surfacing interface
+// when the source provides it.
+func matchMember(src sparql.Source, s, p, o rdf.Term) ([]rdf.Triple, error) {
+	if es, ok := src.(sparql.ErrorSource); ok {
+		return es.MatchErr(s, p, o)
+	}
+	return src.Match(s, p, o), nil
+}
+
 // Match implements sparql.Source: the pattern is sent to every member
 // that may hold matching triples (all members when the pattern class is
-// unknown), and the union is deduplicated.
+// unknown), and the union is deduplicated. Failures degrade to partial
+// results; use MatchReport or MatchErr when the error report matters.
 func (f *Federation) Match(s, p, o rdf.Term) []rdf.Triple {
-	// targets and members are snapshotted under the lock: a concurrent
-	// AddMember may reallocate f.members while the fan-out runs.
-	targets, members := f.selectSources(s, p, o)
-	type result struct {
-		idx     int
-		triples []rdf.Triple
+	triples, _ := f.MatchReport(s, p, o)
+	return triples
+}
+
+// MatchErr implements sparql.ErrorSource: it fails only when every
+// targeted member failed, so a federation nests as a member of another
+// federation with sensible semantics.
+func (f *Federation) MatchErr(s, p, o rdf.Term) ([]rdf.Triple, error) {
+	triples, rep := f.MatchReport(s, p, o)
+	if len(rep.Results) > 0 {
+		ok := 0
+		for _, m := range rep.Results {
+			if m.OK() {
+				ok++
+			}
+		}
+		if ok == 0 {
+			return triples, fmt.Errorf("federation: all %d members failed: %v",
+				len(rep.Results), describeFailures(rep.failed()))
+		}
 	}
-	results := make([]result, len(targets))
-	var wg sync.WaitGroup
+	return triples, nil
+}
+
+func describeFailures(failed []MemberResult) string {
+	parts := make([]string, len(failed))
+	for i, m := range failed {
+		switch {
+		case m.TimedOut:
+			parts[i] = m.Member + ": timed out"
+		case m.Skipped:
+			parts[i] = m.Member + ": demoted"
+		case m.Err != nil:
+			parts[i] = m.Member + ": " + m.Err.Error()
+		default:
+			parts[i] = m.Member + ": failed"
+		}
+	}
+	return "[" + strings.Join(parts, "; ") + "]"
+}
+
+// MatchReport is Match plus the per-member outcome report. Each targeted
+// member gets MemberTimeout to answer; late answers are abandoned (their
+// goroutines drain into a buffered channel) and the union is returned as
+// a partial result with the slow/broken members reported.
+func (f *Federation) MatchReport(s, p, o rdf.Term) ([]rdf.Triple, Report) {
+	// targets, skipped and members are snapshotted under the lock: a
+	// concurrent AddMember may reallocate f.members while the fan-out
+	// runs.
+	targets, skipped, members := f.selectSources(s, p, o)
+
+	type result struct {
+		pos     int // index into targets
+		triples []rdf.Triple
+		err     error
+	}
+	resCh := make(chan result, len(targets))
 	for i, idx := range targets {
-		wg.Add(1)
-		go func(i, idx int) {
-			defer wg.Done()
-			results[i] = result{idx, members[idx].Source.Match(s, p, o)}
+		go func(pos, idx int) {
+			triples, err := matchMember(members[idx].Source, s, p, o)
+			resCh <- result{pos: pos, triples: triples, err: err}
 		}(i, idx)
 	}
-	wg.Wait()
-
-	f.mu.Lock()
-	for _, r := range results {
-		f.stats[members[r.idx].Name]++
+	// The deadline timer starts before collection so it bounds the whole
+	// fan-out; all members were started together, so one timer implements
+	// every member's budget.
+	var deadline <-chan time.Time
+	if f.MemberTimeout > 0 {
+		deadline = f.after(f.MemberTimeout)
 	}
-	if key, ok := capKey(s, p, o); ok {
+
+	outcomes := make([]*result, len(targets))
+	got := 0
+collect:
+	for got < len(targets) {
+		select {
+		case r := <-resCh:
+			outcomes[r.pos] = &r
+			got++
+			if f.onCollect != nil {
+				f.onCollect()
+			}
+		case <-deadline:
+			// Grace drain: anything already delivered still counts.
+			for got < len(targets) {
+				select {
+				case r := <-resCh:
+					outcomes[r.pos] = &r
+					got++
+					if f.onCollect != nil {
+						f.onCollect()
+					}
+				default:
+					break collect
+				}
+			}
+		}
+	}
+
+	// Build the report and update health/stats/capabilities.
+	rep := Report{Results: make([]MemberResult, 0, len(targets)+len(skipped))}
+	now := f.now()
+	f.mu.Lock()
+	for i, idx := range targets {
+		name := members[idx].Name
+		f.stats[name]++
+		mr := MemberResult{Member: name}
+		if r := outcomes[i]; r == nil {
+			mr.TimedOut = true
+		} else {
+			mr.Err = r.err
+			mr.Triples = len(r.triples)
+		}
+		f.recordHealthLocked(name, mr, now)
+		if !mr.OK() {
+			rep.Partial = true
+		}
+		rep.Results = append(rep.Results, mr)
+	}
+	for _, idx := range skipped {
+		mr := MemberResult{Member: members[idx].Name, Skipped: true}
+		rep.Partial = true
+		rep.Results = append(rep.Results, mr)
+	}
+	// Capability learning stays sound only on complete fan-outs: a member
+	// that timed out or errored may well hold the predicate.
+	if key, ok := capKey(s, p, o); ok && !rep.Partial {
 		if _, known := f.capable[key]; !known {
 			var able []int
-			for _, r := range results {
-				if len(r.triples) > 0 {
-					able = append(able, r.idx)
+			for i, idx := range targets {
+				if outcomes[i] != nil && len(outcomes[i].triples) > 0 {
+					able = append(able, idx)
 				}
 			}
 			f.capable[key] = able
@@ -126,12 +362,28 @@ func (f *Federation) Match(s, p, o rdf.Term) []rdf.Triple {
 	}
 	f.mu.Unlock()
 
+	if f.OnResult != nil {
+		for _, mr := range rep.Results {
+			f.OnResult(mr)
+		}
+	}
+
 	// Union with dedup, deterministic order (member order then local).
-	sort.Slice(results, func(i, j int) bool { return results[i].idx < results[j].idx })
+	type contribution struct {
+		idx     int
+		triples []rdf.Triple
+	}
+	var contribs []contribution
+	for i, idx := range targets {
+		if r := outcomes[i]; r != nil && r.err == nil {
+			contribs = append(contribs, contribution{idx, r.triples})
+		}
+	}
+	sort.Slice(contribs, func(i, j int) bool { return contribs[i].idx < contribs[j].idx })
 	seen := map[string]bool{}
 	var out []rdf.Triple
-	for _, r := range results {
-		for _, t := range r.triples {
+	for _, c := range contribs {
+		for _, t := range c.triples {
 			k := t.S.Key() + "|" + t.P.Key() + "|" + t.O.Key()
 			if !seen[k] {
 				seen[k] = true
@@ -139,32 +391,142 @@ func (f *Federation) Match(s, p, o rdf.Term) []rdf.Triple {
 			}
 		}
 	}
-	return out
+	return out, rep
+}
+
+// recordHealthLocked folds one member outcome into the health table.
+// Demotion requires DemoteAfter consecutive failures; a success fully
+// rehabilitates the member. Callers hold f.mu.
+func (f *Federation) recordHealthLocked(name string, mr MemberResult, now time.Time) {
+	h := f.health[name]
+	if h == nil {
+		h = &memberHealth{}
+		f.health[name] = h
+	}
+	if mr.OK() {
+		h.consecFails = 0
+		h.demoted = false
+		return
+	}
+	h.consecFails++
+	if f.demoteAfter() > 0 && h.consecFails >= f.demoteAfter() {
+		h.demoted = true
+		h.demotedAt = now
+	}
 }
 
 // selectSources picks member indexes for a pattern and snapshots the
-// member list so the caller can fan out without holding the lock.
-func (f *Federation) selectSources(s, p, o rdf.Term) ([]int, []Member) {
+// member list so the caller can fan out without holding the lock. The
+// skipped list holds demoted members still inside their cooldown; a
+// demoted member past its cooldown is included again as a probe. When
+// demotion would leave no members at all, everyone is probed: an answer
+// with every member skipped helps nobody.
+func (f *Federation) selectSources(s, p, o rdf.Term) (targets, skipped []int, members []Member) {
+	now := f.now()
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	members := append([]Member(nil), f.members...)
+	members = append([]Member(nil), f.members...)
+	var candidates []int
 	if key, ok := capKey(s, p, o); ok {
 		if able, known := f.capable[key]; known {
-			out := make([]int, len(able))
-			copy(out, able)
-			return out, members
+			candidates = append([]int(nil), able...)
 		}
 	}
-	out := make([]int, len(members))
-	for i := range out {
-		out[i] = i
+	if candidates == nil {
+		candidates = make([]int, len(members))
+		for i := range candidates {
+			candidates[i] = i
+		}
 	}
-	return out, members
+	for _, idx := range candidates {
+		h := f.health[members[idx].Name]
+		if h != nil && h.demoted && now.Sub(h.demotedAt) < f.retryDemoted() {
+			skipped = append(skipped, idx)
+			continue
+		}
+		targets = append(targets, idx)
+	}
+	if len(targets) == 0 && len(skipped) > 0 {
+		targets, skipped = skipped, nil
+	}
+	return targets, skipped, members
 }
 
 // Query evaluates a (Geo)SPARQL query over the federation.
 func (f *Federation) Query(q string) (*sparql.Results, error) {
 	return sparql.Eval(f, q)
+}
+
+// MemberReport aggregates one member's outcomes over a whole query.
+type MemberReport struct {
+	Member   string
+	Answers  int
+	Errors   int
+	Timeouts int
+	Skips    int
+	// LastErr is the member's most recent error during the query.
+	LastErr error
+}
+
+// QueryReport describes the reliability of one query evaluation: how
+// many pattern fan-outs ran, whether any produced partial results, and
+// the per-member aggregate.
+type QueryReport struct {
+	Patterns int
+	Partial  bool
+	Members  map[string]*MemberReport
+}
+
+// reportingSource funnels every pattern of a query evaluation through
+// MatchReport, aggregating the per-pattern reports.
+type reportingSource struct {
+	f  *Federation
+	mu sync.Mutex
+	qr QueryReport
+}
+
+func (r *reportingSource) Match(s, p, o rdf.Term) []rdf.Triple {
+	triples, rep := r.f.MatchReport(s, p, o)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.qr.Patterns++
+	if rep.Partial {
+		r.qr.Partial = true
+	}
+	for _, mr := range rep.Results {
+		agg := r.qr.Members[mr.Member]
+		if agg == nil {
+			agg = &MemberReport{Member: mr.Member}
+			r.qr.Members[mr.Member] = agg
+		}
+		switch {
+		case mr.Skipped:
+			agg.Skips++
+		case mr.TimedOut:
+			agg.Timeouts++
+		case mr.Err != nil:
+			agg.Errors++
+			agg.LastErr = mr.Err
+		default:
+			agg.Answers++
+		}
+	}
+	return triples
+}
+
+// QueryPartial evaluates a query in partial-results mode: slow and
+// broken members are skipped after their budget and the answer is
+// returned together with a report saying exactly which members failed to
+// contribute and how. This is the resilient entry point of the paper's
+// §5 federation scenario — one dead endpoint must not kill the query.
+func (f *Federation) QueryPartial(q string) (*sparql.Results, *QueryReport, error) {
+	rec := &reportingSource{f: f}
+	rec.qr.Members = map[string]*MemberReport{}
+	res, err := sparql.Eval(rec, q)
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	qr := rec.qr
+	return res, &qr, err
 }
 
 // ForgetCapabilities clears learned source selection (e.g. after member
@@ -173,4 +535,12 @@ func (f *Federation) ForgetCapabilities() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.capable = map[string][]int{}
+}
+
+// ResetHealth clears demotion state and failure counters (e.g. after an
+// operator fixes a member).
+func (f *Federation) ResetHealth() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.health = map[string]*memberHealth{}
 }

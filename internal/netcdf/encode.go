@@ -133,7 +133,13 @@ func Read(r io.Reader) (*Dataset, error) {
 		if err := binary.Read(br, binary.BigEndian, &n); err != nil {
 			return nil, err
 		}
-		attrs := make(map[string]string, n)
+		// Cap the preallocation: n is attacker/corruption-controlled, the
+		// real entries still arrive (or fail) one by one below.
+		hint := n
+		if hint > 1024 {
+			hint = 1024
+		}
+		attrs := make(map[string]string, hint)
 		for i := uint32(0); i < n; i++ {
 			k, err := readStr()
 			if err != nil {
@@ -183,6 +189,9 @@ func Read(r io.Reader) (*Dataset, error) {
 		if err := binary.Read(br, binary.BigEndian, &nd); err != nil {
 			return nil, err
 		}
+		if nd > 1<<12 {
+			return nil, fmt.Errorf("netcdf: variable %s has %d dimensions", vn, nd)
+		}
 		dims := make([]string, nd)
 		for j := range dims {
 			if dims[j], err = readStr(); err != nil {
@@ -200,13 +209,20 @@ func Read(r io.Reader) (*Dataset, error) {
 		if nv > 1<<28 {
 			return nil, fmt.Errorf("netcdf: variable %s too large (%d values)", vn, nv)
 		}
-		data := make([]float64, nv)
-		for j := range data {
-			var bits uint64
-			if err := binary.Read(br, binary.BigEndian, &bits); err != nil {
-				return nil, err
+		// Grow incrementally rather than trusting the declared count: a
+		// corrupted header claiming 2^28 values over a truncated stream
+		// must fail with a short read, not allocate gigabytes first.
+		hint := nv
+		if hint > 1<<16 {
+			hint = 1 << 16
+		}
+		data := make([]float64, 0, hint)
+		buf := make([]byte, 8)
+		for j := uint64(0); j < nv; j++ {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("netcdf: variable %s: short data: %v", vn, err)
 			}
-			data[j] = math.Float64frombits(bits)
+			data = append(data, math.Float64frombits(binary.BigEndian.Uint64(buf)))
 		}
 		if err := d.AddVar(&Variable{Name: vn, Dims: dims, Attrs: attrs, Data: data}); err != nil {
 			return nil, err

@@ -39,6 +39,13 @@ import (
 type OpendapAdapter struct {
 	client *opendap.Client
 
+	// ServeStale enables stale-while-error on every window cache the
+	// adapter creates: when the OPeNDAP upstream is down, an expired
+	// cached window is served flagged with opendap.StaleAttr instead of
+	// failing the query. Set before the first query; caches created
+	// earlier keep their setting.
+	ServeStale bool
+
 	mu     sync.Mutex
 	caches map[time.Duration]*opendap.WindowCache
 	// Now overrides the cache clock in tests.
@@ -65,6 +72,7 @@ func (a *OpendapAdapter) cacheFor(w time.Duration) *opendap.WindowCache {
 	c, ok := a.caches[w]
 	if !ok {
 		c = opendap.NewWindowCache(countingFetcher{a}, w)
+		c.StaleWhileError = a.ServeStale
 		if a.Now != nil {
 			c.Now = a.Now
 		}

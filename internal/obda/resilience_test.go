@@ -1,0 +1,85 @@
+package obda
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"applab/internal/faults"
+	"applab/internal/rdf"
+	"applab/internal/sparql"
+)
+
+// The virtual graph must satisfy the error-surfacing interface the
+// federation engine prefers, so a broken OBDA member is reported rather
+// than mistaken for an empty dataset.
+var _ sparql.ErrorSource = (*VirtualGraph)(nil)
+
+var laiPred = rdf.NewIRI("http://www.app-lab.eu/lai/lai")
+
+func TestVirtualGraphSurfacesUpstreamOutage(t *testing.T) {
+	db, adapter, _, closeFn := laiServer(t, 0)
+	defer closeFn()
+	// The OPeNDAP upstream fails twice (one failure per snapshot
+	// attempt below), then recovers.
+	script := faults.FailN(2, faults.Step{Kind: faults.ConnError})
+	adapter.client.HTTP = &http.Client{Transport: faults.NewRoundTripper(script, nil)}
+
+	ms, err := ParseMappings(listing2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg := NewVirtualGraph(db, ms)
+
+	// First snapshot hits the injected outage: the error must surface
+	// through MatchErr, stick in LastError, and show as empty (not
+	// panic, not partial garbage) through the legacy Match path.
+	if _, err := vg.MatchErr(rdf.Term{}, laiPred, rdf.Term{}); err == nil {
+		t.Fatal("outage must surface through MatchErr")
+	} else if !strings.Contains(err.Error(), "obda: mapping opendap_mapping") {
+		t.Fatalf("err = %v", err)
+	}
+	if vg.LastError() == nil {
+		t.Fatal("LastError must retain the snapshot failure")
+	}
+	if got := vg.Match(rdf.Term{}, laiPred, rdf.Term{}); got != nil {
+		t.Fatalf("Match during outage = %d triples, want nil", len(got))
+	}
+
+	// Upstream recovered: the same virtual graph works again and the
+	// sticky error clears.
+	triples, err := vg.MatchErr(rdf.Term{}, laiPred, rdf.Term{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 13 { // positives in the fixture grid
+		t.Fatalf("recovered MatchErr = %d triples, want 13", len(triples))
+	}
+	if vg.LastError() != nil {
+		t.Fatalf("LastError after recovery = %v", vg.LastError())
+	}
+}
+
+func TestVirtualGraphQueryFailsLoudOnOutage(t *testing.T) {
+	db, adapter, _, closeFn := laiServer(t, 0)
+	defer closeFn()
+	script := faults.FailN(1, faults.Step{Kind: faults.ConnError})
+	adapter.client.HTTP = &http.Client{Transport: faults.NewRoundTripper(script, nil)}
+
+	ms, err := ParseMappings(listing2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg := NewVirtualGraph(db, ms)
+	if _, err := vg.Query(`SELECT ?s WHERE { ?s lai:lai ?v }`); err == nil {
+		t.Fatal("on-the-fly query over a dead upstream must error, not answer empty")
+	}
+	// Retry after recovery succeeds.
+	res, err := vg.Query(`SELECT ?s WHERE { ?s lai:lai ?v }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 13 {
+		t.Fatalf("recovered query = %d rows, want 13", len(res.Bindings))
+	}
+}

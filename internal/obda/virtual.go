@@ -23,8 +23,9 @@ type VirtualGraph struct {
 	db       *madis.DB
 	mappings []Mapping
 
-	mu   sync.Mutex
-	snap *rdf.Graph // per-query transient view; nil = stale
+	mu      sync.Mutex
+	snap    *rdf.Graph // per-query transient view; nil = stale
+	lastErr error      // most recent Snapshot failure; nil after success
 }
 
 // NewVirtualGraph builds a virtual graph over db with the given mappings.
@@ -54,7 +55,8 @@ func (vg *VirtualGraph) Snapshot() (*rdf.Graph, error) {
 	for _, m := range vg.mappings {
 		table, err := vg.db.Query(m.Source)
 		if err != nil {
-			return nil, fmt.Errorf("obda: mapping %s: %v", m.ID, err)
+			vg.lastErr = fmt.Errorf("obda: mapping %s: %v", m.ID, err)
+			return nil, vg.lastErr
 		}
 		cols := make([]string, len(table.Cols))
 		for i, c := range table.Cols {
@@ -90,17 +92,42 @@ func (vg *VirtualGraph) Snapshot() (*rdf.Graph, error) {
 		}
 	}
 	vg.snap = g
+	vg.lastErr = nil
 	return g, nil
 }
 
 // Match implements sparql.Source over the current snapshot (building it on
-// first use).
+// first use). An upstream failure (e.g. the OPeNDAP server behind the
+// opendap virtual table is down) yields empty results here — the Source
+// contract has no error channel — but is retained for LastError and
+// surfaced by MatchErr, so callers never mistake an outage for an empty
+// dataset.
 func (vg *VirtualGraph) Match(s, p, o rdf.Term) []rdf.Triple {
-	g, err := vg.Snapshot()
+	triples, err := vg.MatchErr(s, p, o)
 	if err != nil {
 		return nil
 	}
-	return g.Match(s, p, o)
+	return triples
+}
+
+// MatchErr implements sparql.ErrorSource: Match with mapping-source
+// failures surfaced instead of swallowed. The federation engine uses it
+// to report a broken OBDA member rather than treating it as empty.
+func (vg *VirtualGraph) MatchErr(s, p, o rdf.Term) ([]rdf.Triple, error) {
+	g, err := vg.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return g.Match(s, p, o), nil
+}
+
+// LastError reports the most recent snapshot failure (nil once a
+// snapshot succeeds). Callers of the plain Source interface check it to
+// distinguish "no data" from "source down".
+func (vg *VirtualGraph) LastError() error {
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+	return vg.lastErr
 }
 
 // Query evaluates a GeoSPARQL query on-the-fly: the mapping sources are

@@ -11,6 +11,9 @@ import (
 type CacheStats struct {
 	Hits   int64
 	Misses int64
+	// Stale counts responses served from an expired entry because the
+	// upstream was down (WindowCache stale-while-error mode).
+	Stale int64
 }
 
 // HitRatio returns hits / (hits+misses), 0 for an unused cache.
@@ -37,10 +40,40 @@ type WindowCache struct {
 	window time.Duration
 	// Now allows tests to control the clock; time.Now when nil.
 	Now func() time.Time
+	// StaleWhileError, when set, serves the last cached window — even an
+	// expired one — when the upstream fetch fails, instead of failing the
+	// query. Served datasets are flagged via the StaleAttr attribute
+	// (check with IsStale) so callers can distinguish live from stale
+	// data. Requires window > 0: with caching disabled there is nothing
+	// to fall back to.
+	StaleWhileError bool
 
 	mu      sync.Mutex
 	entries map[string]windowEntry
 	stats   CacheStats
+}
+
+// StaleAttr is the global attribute set on datasets served from an
+// expired cache entry while the upstream is down.
+const StaleAttr = "applab_stale"
+
+// IsStale reports whether a dataset was served stale by a WindowCache
+// in stale-while-error mode.
+func IsStale(ds *netcdf.Dataset) bool {
+	return ds != nil && ds.Attrs[StaleAttr] == "true"
+}
+
+// markStale returns a shallow copy of ds flagged as stale. The copy
+// shares variable data with the cached entry but gets its own attribute
+// map, so the cache's canonical entry is never mutated.
+func markStale(ds *netcdf.Dataset) *netcdf.Dataset {
+	cp := *ds
+	cp.Attrs = make(map[string]string, len(ds.Attrs)+1)
+	for k, v := range ds.Attrs {
+		cp.Attrs[k] = v
+	}
+	cp.Attrs[StaleAttr] = "true"
+	return &cp
 }
 
 type windowEntry struct {
@@ -75,6 +108,15 @@ func (c *WindowCache) Fetch(name string, constraint Constraint) (*netcdf.Dataset
 	}
 	ds, err := c.inner.Fetch(name, constraint)
 	if err != nil {
+		if c.StaleWhileError && c.window > 0 {
+			c.mu.Lock()
+			if e, ok := c.entries[key]; ok {
+				c.stats.Stale++
+				c.mu.Unlock()
+				return markStale(e.ds), nil
+			}
+			c.mu.Unlock()
+		}
 		return nil, err
 	}
 	c.mu.Lock()

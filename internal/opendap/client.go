@@ -1,15 +1,24 @@
 package opendap
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
 
 	"applab/internal/netcdf"
 )
 
-// Client talks to an OPeNDAP server.
+// Client talks to an OPeNDAP server. The zero-value resilience knobs
+// reproduce the old naive behaviour (one attempt, no deadline, no
+// breaker); NewResilientClient selects production defaults. All requests
+// are idempotent GETs, so retrying is always safe.
 type Client struct {
 	// Base is the server base URL, e.g. "http://host:port".
 	Base string
@@ -18,10 +27,48 @@ type Client struct {
 	// Token, when set, authenticates data requests against a server with
 	// access control enabled.
 	Token string
+
+	// Timeout bounds each individual request attempt; 0 means no
+	// deadline (the historic behaviour).
+	Timeout time.Duration
+	// MaxRetries is how many additional attempts follow a retryable
+	// failure (transport error, 5xx, truncated/corrupt body); 0 disables
+	// retrying.
+	MaxRetries int
+	// BackoffBase and BackoffMax bound the exponential backoff between
+	// attempts (defaults 100ms and 5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Breaker, when set, fail-fasts requests after consecutive upstream
+	// failures instead of stacking them behind timeouts.
+	Breaker *Breaker
+
+	// Sleep is the backoff hook; time.Sleep when nil. Tests install a
+	// recorder so the retry matrix runs with zero real-time sleeps.
+	Sleep func(time.Duration)
+	// After is the deadline clock hook; time.After when nil. Tests drive
+	// it from a faults.Clock.
+	After func(time.Duration) <-chan time.Time
+	// Jitter maps a backoff duration to the actually slept duration;
+	// the default picks uniformly from [d/2, d].
+	Jitter func(time.Duration) time.Duration
 }
 
-// NewClient returns a client for the given base URL.
+// NewClient returns a client for the given base URL with the historic
+// non-resilient behaviour (no deadline, no retries, no breaker).
 func NewClient(base string) *Client { return &Client{Base: base} }
+
+// NewResilientClient returns a client with the production resilience
+// defaults: 30s per-request timeout, 3 retries with exponential backoff
+// and jitter, and a 5-failure/10s-cooldown circuit breaker.
+func NewResilientClient(base string) *Client {
+	return &Client{
+		Base:       base,
+		Timeout:    30 * time.Second,
+		MaxRetries: 3,
+		Breaker:    NewBreaker(5, 10*time.Second),
+	}
+}
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
@@ -30,24 +77,183 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) get(path, query string) ([]byte, error) {
-	u := c.Base + path
-	if query != "" {
-		u += "?" + query
+func (c *Client) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
 	}
-	resp, err := c.httpClient().Get(u)
+	time.Sleep(d)
+}
+
+func (c *Client) after(d time.Duration) <-chan time.Time {
+	if c.After != nil {
+		return c.After(d)
+	}
+	return time.After(d)
+}
+
+// backoff computes the sleep before retry attempt n (n >= 1).
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.BackoffBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	ceil := c.BackoffMax
+	if ceil <= 0 {
+		ceil = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= ceil || d <= 0 {
+			d = ceil
+			break
+		}
+	}
+	if d > ceil {
+		d = ceil
+	}
+	if c.Jitter != nil {
+		return c.Jitter(d)
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// buildURL joins the base URL with a request path and raw query. Using
+// url.Parse (rather than string concatenation) keeps trailing slashes,
+// empty tokens and escaping correct by construction.
+func (c *Client) buildURL(path, rawQuery string) (string, error) {
+	base, err := url.Parse(c.Base)
 	if err != nil {
-		return nil, fmt.Errorf("opendap: GET %s: %v", u, err)
+		return "", fmt.Errorf("opendap: bad base URL %q: %v", c.Base, err)
+	}
+	u := *base
+	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	u.RawQuery = rawQuery
+	return u.String(), nil
+}
+
+// attempt is the outcome of a single request attempt.
+type attempt struct {
+	body []byte
+	err  error
+	// retryable marks failures worth another attempt (transport errors,
+	// 5xx, short reads). 4xx responses are final.
+	retryable bool
+	// upstreamFault marks failures that count against the breaker. A 4xx
+	// means the upstream is alive and answering, so it does not.
+	upstreamFault bool
+}
+
+// once performs a single GET attempt with the per-request deadline.
+func (c *Client) once(u string) attempt {
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return attempt{err: fmt.Errorf("opendap: GET %s: %v", u, err)}
+	}
+	var timedOut atomic.Bool
+	if c.Timeout > 0 {
+		ctx, cancel := context.WithCancel(req.Context())
+		defer cancel()
+		stop := make(chan struct{})
+		defer close(stop)
+		timer := c.after(c.Timeout)
+		go func() {
+			select {
+			case <-timer:
+				timedOut.Store(true)
+				cancel()
+			case <-stop:
+			}
+		}()
+		req = req.WithContext(ctx)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		if timedOut.Load() {
+			err = fmt.Errorf("opendap: GET %s: deadline %v exceeded: %v", u, c.Timeout, err)
+		} else {
+			err = fmt.Errorf("opendap: GET %s: %v", u, err)
+		}
+		return attempt{err: err, retryable: true, upstreamFault: true}
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("opendap: read %s: %v", u, err)
+		return attempt{err: fmt.Errorf("opendap: read %s: %v", u, err),
+			retryable: true, upstreamFault: true}
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("opendap: %s: %s: %s", u, resp.Status, string(body))
+		err := fmt.Errorf("opendap: %s: %s: %s", u, resp.Status, string(body))
+		if resp.StatusCode >= 500 {
+			return attempt{err: err, retryable: true, upstreamFault: true}
+		}
+		return attempt{err: err}
 	}
-	return body, nil
+	return attempt{body: body}
+}
+
+// do runs the full resilient request cycle: breaker admission, bounded
+// retries with backoff, per-attempt deadline, and decode validation
+// (a body that fails to decode is treated like a truncated stream and
+// retried).
+func (c *Client) do(path, rawQuery string, decode func([]byte) error) error {
+	u, err := c.buildURL(path, rawQuery)
+	if err != nil {
+		return err
+	}
+	attempts := c.MaxRetries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.sleep(c.backoff(i))
+		}
+		if b := c.Breaker; b != nil {
+			if err := b.Allow(); err != nil {
+				if lastErr != nil {
+					return fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+				}
+				return err
+			}
+		}
+		a := c.once(u)
+		if a.err == nil && decode != nil {
+			if derr := decode(a.body); derr != nil {
+				a = attempt{err: fmt.Errorf("opendap: decode %s: %v", u, derr),
+					retryable: true, upstreamFault: true}
+			}
+		}
+		if b := c.Breaker; b != nil {
+			if a.upstreamFault {
+				b.Record(a.err)
+			} else {
+				b.Record(nil)
+			}
+		}
+		if a.err == nil {
+			return nil
+		}
+		lastErr = a.err
+		if !a.retryable {
+			return a.err
+		}
+	}
+	if attempts > 1 {
+		return fmt.Errorf("opendap: giving up after %d attempts: %w", attempts, lastErr)
+	}
+	return lastErr
+}
+
+func (c *Client) get(path, rawQuery string) ([]byte, error) {
+	var body []byte
+	err := c.do(path, rawQuery, func(b []byte) error {
+		body = b
+		return nil
+	})
+	return body, err
 }
 
 // Catalog lists the datasets published by the server.
@@ -81,22 +287,27 @@ func (c *Client) NcML(name string) (string, error) {
 }
 
 // Fetch retrieves a hyperslab of a dataset variable. An empty range list
-// requests the whole array.
+// requests the whole array. The constraint expression and token travel
+// in the query string with standard query escaping (the server strips
+// the token pair and unescapes the rest).
 func (c *Client) Fetch(name string, constraint Constraint) (*netcdf.Dataset, error) {
-	u := c.Base + "/" + name + ".dods?"
+	rawQuery := url.QueryEscape(constraint.String())
 	if c.Token != "" {
-		u += "token=" + url.QueryEscape(c.Token) + "&"
+		rawQuery = "token=" + url.QueryEscape(c.Token) + "&" + rawQuery
 	}
-	resp, err := c.httpClient().Get(u + url.PathEscape(constraint.String()))
+	var ds *netcdf.Dataset
+	err := c.do("/"+name+".dods", rawQuery, func(body []byte) error {
+		d, derr := netcdf.Read(bytes.NewReader(body))
+		if derr != nil {
+			return derr
+		}
+		ds = d
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("opendap: fetch %s: %v", name, err)
+		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		return nil, fmt.Errorf("opendap: fetch %s: %s: %s", name, resp.Status, string(body))
-	}
-	return netcdf.Read(resp.Body)
+	return ds, nil
 }
 
 func splitLines(s string) []string {

@@ -96,7 +96,14 @@ func ParseDDS(doc string) (name string, vars []DDSVar, err error) {
 		case line == "":
 			continue
 		case strings.HasPrefix(line, "}"):
-			name = strings.TrimSuffix(strings.TrimSpace(line[1:]), ";")
+			tail := strings.TrimSpace(line[1:])
+			if !strings.HasSuffix(tail, ";") {
+				return "", nil, fmt.Errorf("opendap: dds: bad footer %q", line)
+			}
+			name = strings.TrimSpace(strings.TrimSuffix(tail, ";"))
+			if name == "" || strings.ContainsAny(name, "{}[]; \t") {
+				return "", nil, fmt.Errorf("opendap: dds: bad dataset name %q", name)
+			}
 			return name, vars, nil
 		case strings.HasPrefix(line, "Float64 "):
 			decl := strings.TrimSuffix(strings.TrimPrefix(line, "Float64 "), ";")

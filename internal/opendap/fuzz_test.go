@@ -1,0 +1,115 @@
+package opendap
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseConstraint checks that the DAP2 hyperslab parser never panics
+// and that accepted constraints survive a String→Parse round trip — the
+// client renders constraints with String before sending them, so any
+// accepted form must re-parse to the same hyperslab.
+func FuzzParseConstraint(f *testing.F) {
+	for _, seed := range []string{
+		"LAI",
+		"LAI[0:3]",
+		"LAI[0:3][1:2:9][4]",
+		"NDVI[10:1:10]",
+		"t[0]",
+		"",
+		"[0:3]",
+		"x[3:1]",
+		"x[0:0:0]",
+		"x[1:2",
+		"x]0[",
+		"x[-1:4]",
+		"x[1:2:3:4]",
+		"x[ 1 : 3 ]",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseConstraint(s)
+		if err != nil {
+			return
+		}
+		rendered := c.String()
+		c2, err := ParseConstraint(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but re-parse of %q failed: %v", s, rendered, err)
+		}
+		if c2.String() != rendered {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", s, rendered, c2.String())
+		}
+		if c2.Var != c.Var || len(c2.Ranges) != len(c.Ranges) {
+			t.Fatalf("round trip changed constraint: %+v -> %+v", c, c2)
+		}
+		for i := range c.Ranges {
+			if c2.Ranges[i] != c.Ranges[i] {
+				t.Fatalf("range %d changed: %+v -> %+v", i, c.Ranges[i], c2.Ranges[i])
+			}
+		}
+	})
+}
+
+// FuzzParseDDS checks the DDS document parser against arbitrary (and
+// mutated well-formed) input: it must reject or accept without panicking,
+// and accepted documents must yield sane variable records.
+func FuzzParseDDS(f *testing.F) {
+	f.Add(RenderDDS(testDataset(f)))
+	f.Add("Dataset {\n} product;\n")
+	f.Add("Dataset {\n  Float64 LAI[time = 2][lat = 2][lon = 3];\n} lai;\n")
+	f.Add("Dataset {\n  Float64 x[y = -1];\n} d;\n")
+	f.Add("garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, doc string) {
+		name, vars, err := ParseDDS(doc)
+		if err != nil {
+			return
+		}
+		if strings.ContainsAny(name, "\n{}") {
+			t.Fatalf("accepted dataset name %q", name)
+		}
+		for _, v := range vars {
+			if v.Name == "" {
+				t.Fatalf("accepted unnamed variable in %q", doc)
+			}
+			if len(v.Dims) != len(v.Shape) {
+				t.Fatalf("variable %s: %d dims vs %d shape entries", v.Name, len(v.Dims), len(v.Shape))
+			}
+		}
+	})
+}
+
+// FuzzApplyConstraint drives Constraint.Apply with parser-accepted
+// hyperslabs over a small real dataset: it must either error cleanly or
+// return a subset whose value count matches the selected shape.
+func FuzzApplyConstraint(f *testing.F) {
+	f.Add("LAI[0:1][0:1][0:2]")
+	f.Add("LAI[0:1:1]")
+	f.Add("LAI[5:9]")
+	f.Add("lat[0]")
+	f.Add("missing[0:1]")
+	ds := testDataset(f)
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseConstraint(s)
+		if err != nil {
+			return
+		}
+		sub, err := c.Apply(ds)
+		if err != nil {
+			return
+		}
+		v, ok := sub.Var(c.Var)
+		if !ok {
+			t.Fatalf("constraint %q: subset lost its variable", s)
+		}
+		want := 1
+		for _, n := range v.Shape(sub) {
+			want *= n
+		}
+		if len(v.Data) != want {
+			t.Fatalf("constraint %q: %d values for shape product %d", s, len(v.Data), want)
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package opendap
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"applab/internal/faults"
+	"applab/internal/netcdf"
+)
+
+// randomDataset builds a small dataset with 1–3 dimensions of size 1–6
+// and one data variable, fully determined by rng.
+func randomDataset(t *testing.T, rng *rand.Rand, name string) *netcdf.Dataset {
+	t.Helper()
+	d := netcdf.NewDataset(name)
+	nDims := 1 + rng.Intn(3)
+	dims := make([]string, nDims)
+	total := 1
+	for i := range dims {
+		dims[i] = fmt.Sprintf("d%d", i)
+		size := 1 + rng.Intn(6)
+		d.AddDim(dims[i], size)
+		total *= size
+	}
+	data := make([]float64, total)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 10
+	}
+	if err := d.AddVar(&netcdf.Variable{Name: "V", Dims: dims, Data: data,
+		Attrs: map[string]string{"units": "1"}}); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// randomConstraint picks a valid stride-1 hyperslab of V within the
+// dataset's shape.
+func randomConstraint(rng *rand.Rand, d *netcdf.Dataset) Constraint {
+	v, _ := d.Var("V")
+	c := Constraint{Var: "V"}
+	for _, size := range v.Shape(d) {
+		start := rng.Intn(size)
+		stop := start + rng.Intn(size-start)
+		c.Ranges = append(c.Ranges, netcdf.Range{Start: start, Stride: 1, Stop: stop})
+	}
+	return c
+}
+
+// TestFetchRoundTripProperty checks the end-to-end property: for random
+// datasets and random hyperslabs, values fetched over the DAP wire equal
+// the constraint applied locally — including when a single transient
+// connection fault is injected and absorbed by one retry.
+func TestFetchRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20190326))
+	for iter := 0; iter < 40; iter++ {
+		name := fmt.Sprintf("prod%d", iter)
+		ds := randomDataset(t, rng, name)
+		srv := NewServer()
+		srv.Publish(ds)
+
+		injectFault := iter%2 == 1
+		var script *faults.Script
+		if injectFault {
+			script = faults.FailN(1, faults.Step{Kind: faults.ConnError})
+		} else {
+			script = faults.Seq()
+		}
+		ts := httptest.NewServer(srv)
+		c := NewClient(ts.URL)
+		c.HTTP = &http.Client{Transport: faults.NewRoundTripper(script, nil)}
+		c.MaxRetries = 1
+		c.Sleep = func(time.Duration) {}
+
+		constraint := randomConstraint(rng, ds)
+		got, err := c.Fetch(name, constraint)
+		if err != nil {
+			t.Fatalf("iter %d (fault=%v) constraint %s: %v", iter, injectFault, constraint, err)
+		}
+		want, err := constraint.Apply(ds)
+		if err != nil {
+			t.Fatalf("iter %d: local apply: %v", iter, err)
+		}
+		gv, ok := got.Var("V")
+		wv, ok2 := want.Var("V")
+		if !ok || !ok2 {
+			t.Fatalf("iter %d: variable V missing from result", iter)
+		}
+		if len(gv.Data) != len(wv.Data) {
+			t.Fatalf("iter %d constraint %s: fetched %d values, want %d",
+				iter, constraint, len(gv.Data), len(wv.Data))
+		}
+		for i := range gv.Data {
+			if gv.Data[i] != wv.Data[i] {
+				t.Fatalf("iter %d constraint %s: value %d = %v, want %v",
+					iter, constraint, i, gv.Data[i], wv.Data[i])
+			}
+		}
+		if injectFault && script.Remaining() != 0 {
+			t.Fatalf("iter %d: injected fault was not consumed", iter)
+		}
+		ts.Close()
+	}
+}

@@ -16,6 +16,18 @@ type Source interface {
 	Match(s, p, o rdf.Term) []rdf.Triple
 }
 
+// ErrorSource is an optional extension of Source for backends whose
+// Match can fail (remote endpoints, OBDA virtual graphs over live
+// OPeNDAP calls). Match's signature has no error channel, so plain
+// sources swallow failures into empty results; callers that care —
+// the federation engine's per-member error reports, resilience tests —
+// type-assert for ErrorSource and use MatchErr instead.
+type ErrorSource interface {
+	Source
+	// MatchErr is Match with the upstream error surfaced.
+	MatchErr(s, p, o rdf.Term) ([]rdf.Triple, error)
+}
+
 // Results is the outcome of query evaluation.
 type Results struct {
 	// Vars is the projection in order.
