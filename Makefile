@@ -3,9 +3,9 @@ GO ?= go
 # Packages exercised under the race detector: the concurrent query stack
 # (sharded store, OPeNDAP caches, federation fan-out, interlinking) plus
 # the fault-injection harness and the SPARQL HTTP transport it exercises.
-RACE_PKGS = ./internal/strabon/ ./internal/opendap/ ./internal/federation/ ./internal/interlink/ ./internal/faults/ ./internal/endpoint/
+RACE_PKGS = ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ ./internal/federation/ ./internal/interlink/ ./internal/faults/ ./internal/endpoint/
 
-.PHONY: all build test lint race fmt vet fuzz ci
+.PHONY: all build test lint race fmt vet fuzz bench ci
 
 all: build
 
@@ -35,6 +35,13 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzParseConstraint$$' -fuzztime=2s ./internal/opendap/
 	$(GO) test -run='^$$' -fuzz='^FuzzParseDDS$$' -fuzztime=2s ./internal/opendap/
 	$(GO) test -run='^$$' -fuzz='^FuzzApplyConstraint$$' -fuzztime=2s ./internal/opendap/
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=3s ./internal/sparql/
+
+# Engine benchmarks: the in-package BenchmarkEngine_* family, plus the
+# seed-vs-compiled comparison recorded machine-readably in BENCH_PR3.json.
+bench:
+	$(GO) test -run=NONE -bench=BenchmarkEngine_ -benchmem ./internal/sparql/
+	$(GO) run ./cmd/applab-bench -json BENCH_PR3.json
 
 # The full gate: fmt + vet + lint + tests + race in one invocation.
 ci:

@@ -24,7 +24,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent query stack + fault injection)"
-go test -race ./internal/strabon/ ./internal/opendap/ \
+go test -race ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ \
     ./internal/federation/ ./internal/interlink/ \
     ./internal/faults/ ./internal/endpoint/
 
@@ -55,5 +55,11 @@ go test -run='^$' -fuzz='^FuzzRead$' -fuzztime=3s ./internal/netcdf/
 go test -run='^$' -fuzz='^FuzzParseConstraint$' -fuzztime=2s ./internal/opendap/
 go test -run='^$' -fuzz='^FuzzParseDDS$' -fuzztime=2s ./internal/opendap/
 go test -run='^$' -fuzz='^FuzzApplyConstraint$' -fuzztime=2s ./internal/opendap/
+go test -run='^$' -fuzz='^FuzzParse$' -fuzztime=3s ./internal/sparql/
+
+echo "== bench compile smoke"
+# Benchmarks must at least compile and run one iteration; keeps the
+# BenchmarkEngine_* family (and BENCH_PR3.json's source) from rotting.
+go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
 
 echo "CI OK"

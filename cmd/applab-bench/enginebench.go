@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"applab/internal/rdf"
+	"applab/internal/sparql"
+)
+
+// The -json mode benchmarks the SPARQL engine (seed map evaluator vs
+// the compiled slot engine) on the tentpole workloads and records the
+// numbers machine-readably, so a PR can ship its measured speedups.
+
+type benchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// engineBenchGraph mirrors the graph of the in-package
+// BenchmarkEngine_* family: n subjects, 5 triples each.
+func engineBenchGraph(n int) *rdf.Graph {
+	g := rdf.NewGraph()
+	person := rdf.NewIRI("http://ex.org/Person")
+	a := rdf.NewIRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+	name := rdf.NewIRI("http://ex.org/name")
+	age := rdf.NewIRI("http://ex.org/age")
+	city := rdf.NewIRI("http://ex.org/city")
+	knows := rdf.NewIRI("http://ex.org/knows")
+	cities := []string{"Paris", "Athens", "Berlin", "Madrid"}
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://ex.org/p%d", i))
+		g.Add(rdf.NewTriple(s, a, person))
+		g.Add(rdf.NewTriple(s, name, rdf.NewLiteral(fmt.Sprintf("n%d", i))))
+		g.Add(rdf.NewTriple(s, age, rdf.NewInteger(int64(20+i%50))))
+		g.Add(rdf.NewTriple(s, city, rdf.NewLiteral(cities[i%len(cities)])))
+		g.Add(rdf.NewTriple(s, knows, rdf.NewIRI(fmt.Sprintf("http://ex.org/p%d", (i+1)%n))))
+	}
+	return g
+}
+
+var engineBenchQueries = []struct{ name, query string }{
+	{"Engine_BGPJoin", `PREFIX ex: <http://ex.org/>
+SELECT ?s ?n ?a WHERE { ?s a ex:Person . ?s ex:city "Paris" . ?s ex:name ?n . ?s ex:age ?a }`},
+	{"Engine_StarJoin", `PREFIX ex: <http://ex.org/>
+SELECT ?s ?o ?n WHERE { ?s ex:city "Athens" . ?s ex:knows ?o . ?o ex:name ?n }`},
+	{"Engine_FilterBind", `PREFIX ex: <http://ex.org/>
+SELECT ?s ?b WHERE { ?s ex:age ?a . FILTER(?a > 40) BIND(?a + 1 AS ?b) }`},
+}
+
+// runEngineBenchJSON measures every query with both engines and writes
+// the records to path.
+func runEngineBenchJSON(path string) error {
+	g := engineBenchGraph(5000)
+	var records []benchRecord
+	for _, bq := range engineBenchQueries {
+		parsed, err := sparql.Parse(bq.query)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", bq.name, err)
+		}
+		engines := []struct {
+			suffix string
+			eval   func() (*sparql.Results, error)
+		}{
+			{"Seed", func() (*sparql.Results, error) { return parsed.EvalSeed(g) }},
+			{"Compiled", func() (*sparql.Results, error) { return parsed.Eval(g) }},
+		}
+		for _, eng := range engines {
+			eval := eng.eval
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := eval()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Bindings) == 0 {
+						b.Fatal("empty result")
+					}
+				}
+			})
+			rec := benchRecord{
+				Name:        bq.name + eng.suffix,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+			records = append(records, rec)
+			fmt.Printf("%-24s %14.0f ns/op %8d allocs/op\n", rec.Name, rec.NsPerOp, rec.AllocsPerOp)
+		}
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -27,11 +27,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("applab-bench: ")
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment ids (e1..e7, f1..f4) or 'all'")
-		outPath = flag.String("out", "paris.svg", "output path for F4's SVG")
-		quick   = flag.Bool("quick", false, "smaller scales for a fast smoke run")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (e1..e7, f1..f4) or 'all'")
+		outPath  = flag.String("out", "paris.svg", "output path for F4's SVG")
+		quick    = flag.Bool("quick", false, "smaller scales for a fast smoke run")
+		jsonPath = flag.String("json", "", "benchmark the SPARQL engine (seed vs compiled) and write the records to this file, then exit")
 	)
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := runEngineBenchJSON(*jsonPath); err != nil {
+			log.Fatalf("engine bench: %v", err)
+		}
+		return
+	}
 
 	cfg := scaleConfig(*quick)
 	experiments := []experiment{

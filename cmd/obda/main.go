@@ -20,6 +20,7 @@ import (
 	"applab/internal/madis"
 	"applab/internal/obda"
 	"applab/internal/opendap"
+	"applab/internal/sparql"
 )
 
 func main() {
@@ -35,8 +36,13 @@ func main() {
 		brkFails = flag.Int("breaker-failures", 5, "consecutive OPeNDAP failures before the circuit opens (0 disables the breaker)")
 		brkCool  = flag.Duration("breaker-cooldown", 10*time.Second, "how long an open circuit waits before a half-open probe")
 		staleOK  = flag.Bool("serve-stale", false, "serve stale cached OPeNDAP windows when the upstream is down")
+
+		queryWorkers      = flag.Int("query-workers", 0, "SPARQL evaluator worker pool size (0 = GOMAXPROCS; capped at GOMAXPROCS; parallel execution stays off for remote-backed sources)")
+		parallelThreshold = flag.Int("parallel-threshold", 0, "minimum intermediate solutions before the evaluator parallelizes a stage (0 = default)")
 	)
 	flag.Parse()
+	sparql.SetQueryWorkers(*queryWorkers)
+	sparql.SetParallelThreshold(*parallelThreshold)
 	if *mappingPath == "" || *query == "" {
 		flag.Usage()
 		os.Exit(2)

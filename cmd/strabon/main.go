@@ -40,8 +40,13 @@ func main() {
 		memberTimeout = flag.Duration("member-timeout", 0, "per-member deadline for federated pattern fan-outs (0 waits forever)")
 		demoteAfter   = flag.Int("demote-after", 3, "consecutive failures before a federation member is demoted (-1 disables)")
 		retryDemoted  = flag.Duration("retry-demoted", 30*time.Second, "how long a demoted member sits out before being probed again")
+
+		queryWorkers      = flag.Int("query-workers", 0, "SPARQL evaluator worker pool size (0 = GOMAXPROCS; capped at GOMAXPROCS)")
+		parallelThreshold = flag.Int("parallel-threshold", 0, "minimum intermediate solutions before the evaluator parallelizes a stage (0 = default)")
 	)
 	flag.Parse()
+	sparql.SetQueryWorkers(*queryWorkers)
+	sparql.SetParallelThreshold(*parallelThreshold)
 
 	var src sparql.Source
 	var load func([]rdf.Triple)

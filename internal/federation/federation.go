@@ -486,6 +486,11 @@ type reportingSource struct {
 }
 
 func (r *reportingSource) Match(s, p, o rdf.Term) []rdf.Triple {
+	triples, _ := r.record(s, p, o)
+	return triples
+}
+
+func (r *reportingSource) record(s, p, o rdf.Term) ([]rdf.Triple, Report) {
 	triples, rep := r.f.MatchReport(s, p, o)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -511,7 +516,57 @@ func (r *reportingSource) Match(s, p, o rdf.Term) []rdf.Triple {
 			agg.Answers++
 		}
 	}
-	return triples
+	return triples, rep
+}
+
+// MatchErr implements sparql.ErrorSource with the federation's
+// per-pattern all-members-failed rule, so the evaluator treats a
+// partial-results query as remote-backed (sequential Match calls, no
+// parallel fan-out on top of the federation's own).
+func (r *reportingSource) MatchErr(s, p, o rdf.Term) ([]rdf.Triple, error) {
+	triples, rep := r.record(s, p, o)
+	if len(rep.Results) > 0 {
+		ok := 0
+		for _, m := range rep.Results {
+			if m.OK() {
+				ok++
+			}
+		}
+		if ok == 0 {
+			return triples, fmt.Errorf("federation: all %d members failed: %v",
+				len(rep.Results), describeFailures(rep.failed()))
+		}
+	}
+	return triples, nil
+}
+
+// Cardinality forwards the planner's statistics probe to the federation.
+func (r *reportingSource) Cardinality(s, p, o rdf.Term) int {
+	return r.f.Cardinality(s, p, o)
+}
+
+// Cardinality implements sparql.StatsSource by summing the members'
+// estimates. It stays unknown (-1) — keeping the planner in textual
+// order — unless every member provides statistics: a partial sum would
+// bias the plan toward whichever members happen to be introspectable.
+// No requests are counted and no capabilities are learned.
+func (f *Federation) Cardinality(s, p, o rdf.Term) int {
+	f.mu.Lock()
+	members := append([]Member(nil), f.members...)
+	f.mu.Unlock()
+	total := 0
+	for _, m := range members {
+		st, ok := m.Source.(sparql.StatsSource)
+		if !ok {
+			return -1
+		}
+		est := st.Cardinality(s, p, o)
+		if est < 0 {
+			return -1
+		}
+		total += est
+	}
+	return total
 }
 
 // QueryPartial evaluates a query in partial-results mode: slow and

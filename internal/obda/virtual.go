@@ -121,6 +121,20 @@ func (vg *VirtualGraph) MatchErr(s, p, o rdf.Term) ([]rdf.Triple, error) {
 	return g.Match(s, p, o), nil
 }
 
+// Cardinality implements sparql.StatsSource over the current snapshot.
+// It never triggers mapping execution: with no snapshot materialized it
+// reports unknown (-1) and the planner keeps textual pattern order, so
+// statistics stay side-effect free for on-the-fly queries.
+func (vg *VirtualGraph) Cardinality(s, p, o rdf.Term) int {
+	vg.mu.Lock()
+	snap := vg.snap
+	vg.mu.Unlock()
+	if snap == nil {
+		return -1
+	}
+	return snap.Cardinality(s, p, o)
+}
+
 // LastError reports the most recent snapshot failure (nil once a
 // snapshot succeeds). Callers of the plain Source interface check it to
 // distinguish "no data" from "source down".

@@ -118,6 +118,33 @@ func (g *Graph) Match(s, p, o Term) []Triple {
 	return out
 }
 
+// Cardinality estimates how many triples match the pattern without
+// materializing them: the size of the smallest index bucket among the
+// bound positions (an upper bound on the true count, exact when one
+// position is bound). Zero terms are wildcards; an all-wildcard pattern
+// estimates the graph size. Implements the query planner's StatsSource.
+func (g *Graph) Cardinality(s, p, o Term) int {
+	est := -1
+	take := func(n int) {
+		if est < 0 || n < est {
+			est = n
+		}
+	}
+	if !s.IsZero() {
+		take(len(g.bySubject[s.Key()]))
+	}
+	if !p.IsZero() {
+		take(len(g.byPredicate[p.Key()]))
+	}
+	if !o.IsZero() {
+		take(len(g.byObject[o.Key()]))
+	}
+	if est < 0 {
+		return len(g.triples)
+	}
+	return est
+}
+
 func matches(t Triple, s, p, o Term) bool {
 	if !s.IsZero() && !t.S.Equal(s) {
 		return false

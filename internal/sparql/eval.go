@@ -3,6 +3,7 @@ package sparql
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"applab/internal/rdf"
@@ -49,9 +50,28 @@ func Eval(src Source, query string) (*Results, error) {
 	return q.Eval(src)
 }
 
-// Eval evaluates the query against src.
+// Eval evaluates the query against src with the compiled slot engine:
+// the WHERE clause is lowered onto a per-query variable table and run as
+// flat []rdf.Term rows, BGPs are reordered by estimated selectivity when
+// src provides statistics (StatsSource), patterns may be joined by hash
+// join or cross-join materialization, and large solution sets are
+// partitioned across a worker pool (see SetQueryWorkers). Results are
+// identical to the original evaluator up to the order of un-ORDER-BY'd
+// rows; EvalSeed retains the original path.
 func (q *Query) Eval(src Source) (*Results, error) {
-	sols := evalGroup(src, q.Where, []Binding{{}})
+	return q.eval(src, QueryWorkers(), ParallelThreshold())
+}
+
+func (q *Query) eval(src Source, workers, threshold int) (*Results, error) {
+	if _, remote := src.(ErrorSource); remote {
+		// Remote-backed sources keep sequential, single-flight Match
+		// calls: error reporting and federation deadlines depend on it.
+		workers = 1
+	}
+	prog := compileQuery(q, src)
+	ec := &execCtx{src: src, workers: workers, threshold: threshold}
+	rows := runOps(ec, prog.ops, []row{make(row, prog.vt.size())})
+	sols := rowsToBindings(rows, prog.vt)
 	switch q.Type {
 	case QueryAsk:
 		return &Results{Bool: len(sols) > 0}, nil
@@ -157,10 +177,21 @@ func (q *Query) project(sols []Binding) (*Results, error) {
 	if q.Limit >= 0 && q.Limit < len(sols) {
 		sols = sols[:q.Limit]
 	}
-	// Restrict bindings to projected vars.
+	// Restrict bindings to projected vars. A binding that carries only
+	// projected vars is kept as-is rather than rebuilt.
 	if len(q.Projection) > 0 {
 		restricted := make([]Binding, len(sols))
 		for i, b := range sols {
+			present := 0
+			for _, v := range res.Vars {
+				if _, ok := b[v]; ok {
+					present++
+				}
+			}
+			if present == len(b) {
+				restricted[i] = b
+				continue
+			}
 			nb := make(Binding, len(res.Vars))
 			for _, v := range res.Vars {
 				if t, ok := b[v]; ok {
@@ -187,11 +218,11 @@ func (q *Query) aggregate(sols []Binding) ([]Binding, error) {
 		var sb strings.Builder
 		key := Binding{}
 		for _, v := range q.GroupBy {
-			if t, ok := b[v]; ok {
-				sb.WriteString(t.Key())
+			t, ok := b[v]
+			if ok {
 				key[v] = t
 			}
-			sb.WriteByte('|')
+			appendSolutionKey(&sb, t, ok)
 		}
 		k := sb.String()
 		g, ok := groups[k]
@@ -342,10 +373,8 @@ func distinct(sols []Binding, vars []string) []Binding {
 	for _, b := range sols {
 		var sb strings.Builder
 		for _, v := range vars {
-			if t, ok := b[v]; ok {
-				sb.WriteString(t.Key())
-			}
-			sb.WriteByte('|')
+			t, ok := b[v]
+			appendSolutionKey(&sb, t, ok)
 		}
 		k := sb.String()
 		if !seen[k] {
@@ -356,151 +385,17 @@ func distinct(sols []Binding, vars []string) []Binding {
 	return out
 }
 
-// evalGroup evaluates a group graph pattern, extending each input binding.
-func evalGroup(src Source, g *Group, input []Binding) []Binding {
-	cur := input
-	for _, el := range g.Elements {
-		switch e := el.(type) {
-		case BGP:
-			for _, tp := range e.Patterns {
-				cur = evalPattern(src, tp, cur)
-				if len(cur) == 0 {
-					return nil
-				}
-			}
-		case Filter:
-			var out []Binding
-			for _, b := range cur {
-				if v, err := ebv(e.Expr, b); err == nil && v {
-					out = append(out, b)
-				}
-			}
-			cur = out
-		case Optional:
-			var out []Binding
-			for _, b := range cur {
-				ext := evalGroup(src, e.Group, []Binding{b})
-				if len(ext) == 0 {
-					out = append(out, b)
-				} else {
-					out = append(out, ext...)
-				}
-			}
-			cur = out
-		case Union:
-			var out []Binding
-			for _, alt := range e.Alternatives {
-				out = append(out, evalGroup(src, alt, cur)...)
-			}
-			cur = out
-		case SubGroup:
-			cur = evalGroup(src, e.Group, cur)
-		case Exists:
-			var out []Binding
-			for _, b := range cur {
-				matched := len(evalGroup(src, e.Group, []Binding{b})) > 0
-				if matched != e.Negated {
-					out = append(out, b)
-				}
-			}
-			cur = out
-		case Bind:
-			var out []Binding
-			for _, b := range cur {
-				if v, err := e.Expr.Eval(b); err == nil {
-					if old, exists := b[e.Var]; exists {
-						// Re-binding must agree (join semantics).
-						if !old.Equal(v) {
-							continue
-						}
-						out = append(out, b)
-						continue
-					}
-					nb := b.clone()
-					nb[e.Var] = v
-					out = append(out, nb)
-				} else {
-					out = append(out, b) // expression error leaves var unbound
-				}
-			}
-			cur = out
-		case Values:
-			var out []Binding
-			for _, b := range cur {
-				for _, row := range e.Rows {
-					nb := b
-					cloned := false
-					ok := true
-					for i, vn := range e.Vars {
-						val := row[i]
-						if old, exists := nb[vn]; exists {
-							if !old.Equal(val) {
-								ok = false
-								break
-							}
-							continue
-						}
-						if !cloned {
-							nb = nb.clone()
-							cloned = true
-						}
-						nb[vn] = val
-					}
-					if ok {
-						out = append(out, nb)
-					}
-				}
-			}
-			cur = out
-		}
-		if len(cur) == 0 {
-			return nil
-		}
+// appendSolutionKey writes one solution position into a composite group
+// key. Bound positions are length-prefixed so no literal content — '|',
+// digits, NULs — can make two different solutions collide; unbound
+// positions write a marker that no length-prefixed entry can produce.
+func appendSolutionKey(sb *strings.Builder, t rdf.Term, bound bool) {
+	if !bound {
+		sb.WriteString("u;")
+		return
 	}
-	return cur
-}
-
-// evalPattern extends every binding with matches of a triple pattern.
-func evalPattern(src Source, tp TriplePattern, input []Binding) []Binding {
-	var out []Binding
-	for _, b := range input {
-		s := resolvePos(tp.S, b)
-		p := resolvePos(tp.P, b)
-		o := resolvePos(tp.O, b)
-		for _, t := range src.Match(s, p, o) {
-			nb := b
-			cloned := false
-			bindVar := func(name string, val rdf.Term) bool {
-				if name == "" {
-					return true
-				}
-				if old, ok := nb[name]; ok {
-					return old.Equal(val)
-				}
-				if !cloned {
-					nb = nb.clone()
-					cloned = true
-				}
-				nb[name] = val
-				return true
-			}
-			if !bindVar(tp.S.Var, t.S) || !bindVar(tp.P.Var, t.P) || !bindVar(tp.O.Var, t.O) {
-				continue
-			}
-			out = append(out, nb)
-		}
-	}
-	return out
-}
-
-// resolvePos returns the constant to match at a pattern position: the bound
-// value of a variable, the constant term, or the zero-term wildcard.
-func resolvePos(pt PatternTerm, b Binding) rdf.Term {
-	if pt.IsVar() {
-		if t, ok := b[pt.Var]; ok {
-			return t
-		}
-		return rdf.Term{}
-	}
-	return pt.Term
+	k := t.Key()
+	sb.WriteString(strconv.Itoa(len(k)))
+	sb.WriteByte(':')
+	sb.WriteString(k)
 }

@@ -106,13 +106,21 @@ func (e BinaryExpr) Eval(b Binding) (rdf.Term, error) {
 	if err != nil {
 		return rdf.Term{}, err
 	}
-	switch e.Op {
+	return applyBinary(e.Op, l, r)
+}
+
+// applyBinary applies a non-short-circuiting binary operator to two
+// evaluated operands. Shared by the tree-walking Eval above and the
+// compiled (slot-based) expression closures, so both engines agree on
+// operator semantics by construction.
+func applyBinary(op string, l, r rdf.Term) (rdf.Term, error) {
+	switch op {
 	case "=", "!=":
 		eq, err := termsEqual(l, r)
 		if err != nil {
 			return rdf.Term{}, err
 		}
-		if e.Op == "!=" {
+		if op == "!=" {
 			eq = !eq
 		}
 		return rdf.NewBool(eq), nil
@@ -122,7 +130,7 @@ func (e BinaryExpr) Eval(b Binding) (rdf.Term, error) {
 			return rdf.Term{}, err
 		}
 		var v bool
-		switch e.Op {
+		switch op {
 		case "<":
 			v = c < 0
 		case "<=":
@@ -137,10 +145,10 @@ func (e BinaryExpr) Eval(b Binding) (rdf.Term, error) {
 		lf, lok := l.Float()
 		rf, rok := r.Float()
 		if !lok || !rok {
-			return rdf.Term{}, fmt.Errorf("sparql: non-numeric operand for %q", e.Op)
+			return rdf.Term{}, fmt.Errorf("sparql: non-numeric operand for %q", op)
 		}
 		var v float64
-		switch e.Op {
+		switch op {
 		case "+":
 			v = lf + rf
 		case "-":
@@ -153,12 +161,12 @@ func (e BinaryExpr) Eval(b Binding) (rdf.Term, error) {
 			}
 			v = lf / rf
 		}
-		if l.Datatype == rdf.XSDInteger && r.Datatype == rdf.XSDInteger && e.Op != "/" {
+		if l.Datatype == rdf.XSDInteger && r.Datatype == rdf.XSDInteger && op != "/" {
 			return rdf.NewInteger(int64(v)), nil
 		}
 		return rdf.NewDouble(v), nil
 	}
-	return rdf.Term{}, fmt.Errorf("sparql: unknown operator %q", e.Op)
+	return rdf.Term{}, fmt.Errorf("sparql: unknown operator %q", op)
 }
 
 func (e BinaryExpr) String() string {
@@ -185,16 +193,21 @@ func (e UnaryExpr) Eval(b Binding) (rdf.Term, error) {
 		if err != nil {
 			return rdf.Term{}, err
 		}
-		f, ok := v.Float()
-		if !ok {
-			return rdf.Term{}, fmt.Errorf("sparql: unary minus on non-number")
-		}
-		if v.Datatype == rdf.XSDInteger {
-			return rdf.NewInteger(-int64(f)), nil
-		}
-		return rdf.NewDouble(-f), nil
+		return applyNeg(v)
 	}
 	return rdf.Term{}, fmt.Errorf("sparql: unknown unary operator %q", e.Op)
+}
+
+// applyNeg negates a numeric operand (shared with the compiled engine).
+func applyNeg(v rdf.Term) (rdf.Term, error) {
+	f, ok := v.Float()
+	if !ok {
+		return rdf.Term{}, fmt.Errorf("sparql: unary minus on non-number")
+	}
+	if v.Datatype == rdf.XSDInteger {
+		return rdf.NewInteger(-int64(f)), nil
+	}
+	return rdf.NewDouble(-f), nil
 }
 
 func (e UnaryExpr) String() string { return e.Op + e.X.String() }
@@ -230,13 +243,19 @@ func (e CallExpr) Eval(b Binding) (rdf.Term, error) {
 		}
 		args[i] = v
 	}
-	if fn, ok := builtins[e.IRI]; ok {
+	return applyCall(e.IRI, args)
+}
+
+// applyCall dispatches an already-evaluated argument list to a builtin
+// or registered extension function (shared with the compiled engine).
+func applyCall(iri string, args []rdf.Term) (rdf.Term, error) {
+	if fn, ok := builtins[iri]; ok {
 		return fn(args)
 	}
-	if fn, ok := LookupFunction(e.IRI); ok {
+	if fn, ok := LookupFunction(iri); ok {
 		return fn(args)
 	}
-	return rdf.Term{}, fmt.Errorf("sparql: unknown function %q", e.IRI)
+	return rdf.Term{}, fmt.Errorf("sparql: unknown function %q", iri)
 }
 
 func (e CallExpr) String() string {

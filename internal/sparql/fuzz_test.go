@@ -1,0 +1,58 @@
+package sparql
+
+import (
+	"testing"
+
+	"applab/internal/rdf"
+)
+
+// FuzzParse drives the SPARQL parser with mutated query strings. The
+// invariants are crash freedom and that anything the parser accepts can
+// be evaluated by both engines without panicking — the compiler
+// (slots/planner) must cope with every AST the parser can produce.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT ?s WHERE { ?s ?p ?o }`,
+		`PREFIX ex: <http://ex.org/> SELECT * WHERE { ?s a ex:Person . ?s ex:name ?n }`,
+		`SELECT ?s WHERE { ?s <p> ?o . FILTER(?o > 3 && BOUND(?s)) }`,
+		`SELECT ?s ?n WHERE { ?s <p> ?o . OPTIONAL { ?s <name> ?n } }`,
+		`SELECT ?s WHERE { { ?s <a> ?x } UNION { ?s <b> ?x } }`,
+		`SELECT ?s WHERE { ?s <p> ?o . BIND(?o + 1 AS ?q) FILTER(?q != 0) }`,
+		`SELECT ?s WHERE { VALUES ?s { <x> <y> } ?s <p> ?o }`,
+		`SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p`,
+		`SELECT DISTINCT ?o WHERE { ?s ?p ?o } ORDER BY DESC(?o) LIMIT 3 OFFSET 1`,
+		`ASK { ?s ?p "lit"@en }`,
+		`CONSTRUCT { ?s <q> ?o } WHERE { ?s <p> ?o }`,
+		`SELECT ?s WHERE { ?s <p> ?o . FILTER NOT EXISTS { ?s <q> ?o } }`,
+		`SELECT ?s WHERE { ?s <p> "1"^^<http://www.w3.org/2001/XMLSchema#integer> }`,
+		"SELECT ?s WHERE { ?s <p> ?o } \x00",
+		`SELECT`,
+		`{{{`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	g := rdf.NewGraph()
+	p := rdf.NewIRI("p")
+	q := rdf.NewIRI("q")
+	for _, s := range []string{"x", "y", "z"} {
+		g.Add(rdf.NewTriple(rdf.NewIRI(s), p, rdf.NewLiteral("v"+s)))
+		g.Add(rdf.NewTriple(rdf.NewIRI(s), q, rdf.NewInteger(int64(len(s)))))
+	}
+
+	f.Fuzz(func(t *testing.T, query string) {
+		parsed, err := Parse(query)
+		if err != nil {
+			return // rejection is fine; crashing is not
+		}
+		// Accepted queries must evaluate on both engines without
+		// panicking. Results may legally differ in row order only.
+		if _, err := parsed.Eval(g); err != nil {
+			_ = err // evaluation errors (e.g. AVG over empty) are legal
+		}
+		if _, err := parsed.EvalSeed(g); err != nil {
+			_ = err
+		}
+	})
+}

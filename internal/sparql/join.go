@@ -1,0 +1,262 @@
+package sparql
+
+import (
+	"strconv"
+	"strings"
+
+	"applab/internal/rdf"
+)
+
+// scanOp joins the solution set with one triple pattern. Three
+// strategies, chosen per pattern at compile/run time:
+//
+//   - indexed nested loop (the seed strategy): one Match call per row
+//     with the row's bindings substituted into the pattern. Default.
+//   - cross-join materialization: when no pattern position can be bound
+//     by incoming rows, every per-row Match would be the same call;
+//     issue it once and extend each row from the shared result.
+//   - hash join: when the pattern shares definitely-bound variables
+//     with the rows and the estimated build side is small relative to
+//     the probe side, Match once with constants only, hash the result
+//     on the shared positions, and probe per row.
+//
+// All strategies extend rows through the same extend method, so they
+// produce identical rows in identical per-row order; only the number of
+// Source.Match calls differs.
+type scanOp struct {
+	sSlot, pSlot, oSlot int      // slot (>= 0) or -1 with the constant below
+	s, p, o             rdf.Term // constants; zero when the position is a slot
+
+	keys    []int // slots definitely bound by earlier ops (dedup'd)
+	canHash bool  // no pattern position is only maybe-bound
+	est     int   // constants-only cardinality estimate, < 0 unknown
+}
+
+// hashJoinMinRows is the probe-side size below which per-row index
+// lookups beat building a hash table.
+const hashJoinMinRows = 32
+
+// newScanOp lowers one triple pattern using the compiler's current
+// variable-state knowledge.
+func (c *compiler) newScanOp(tp TriplePattern) *scanOp {
+	sc := &scanOp{sSlot: -1, pSlot: -1, oSlot: -1, est: -1, canHash: true}
+	keySeen := map[int]bool{}
+	lower := func(pt PatternTerm, slot *int, constant *rdf.Term) {
+		if !pt.IsVar() {
+			*constant = pt.Term
+			return
+		}
+		s := c.vt.slot(pt.Var)
+		*slot = s
+		switch c.states[pt.Var] {
+		case varDef:
+			if !keySeen[s] {
+				keySeen[s] = true
+				sc.keys = append(sc.keys, s)
+			}
+		case varMaybe:
+			sc.canHash = false
+		}
+	}
+	lower(tp.S, &sc.sSlot, &sc.s)
+	lower(tp.P, &sc.pSlot, &sc.p)
+	lower(tp.O, &sc.oSlot, &sc.o)
+	if c.stats != nil {
+		sc.est = c.stats.Cardinality(sc.s, sc.p, sc.o)
+	}
+	return sc
+}
+
+// rowArena block-allocates result rows so a scan producing thousands of
+// rows costs a handful of slice allocations instead of one per row.
+// Arena rows follow the same discipline as cloned rows: extended
+// copy-on-write, never mutated in place. Arenas are per goroutine
+// (created inside each chunk closure), so they need no locking.
+type rowArena struct {
+	buf   []rdf.Term
+	block int // rows per block, grows geometrically
+}
+
+// arenaMaxBlockRows caps arena block growth so small result sets never
+// pay for large blocks.
+const arenaMaxBlockRows = 512
+
+// clone copies src into arena-backed storage.
+func (a *rowArena) clone(src row) row {
+	n := len(src)
+	if len(a.buf) < n {
+		switch {
+		case a.block == 0:
+			a.block = 8
+		case a.block < arenaMaxBlockRows:
+			a.block *= 4
+			if a.block > arenaMaxBlockRows {
+				a.block = arenaMaxBlockRows
+			}
+		}
+		a.buf = make([]rdf.Term, n*a.block)
+	}
+	dst := a.buf[:n:n]
+	a.buf = a.buf[n:]
+	copy(dst, src)
+	return dst
+}
+
+// extend binds the pattern's variable positions from a matched triple,
+// copying the row (into the arena) on the first new binding. Repeated
+// variables and already-bound slots are checked for agreement. Written
+// straight-line so a no-new-binding extension is allocation free.
+func (sc *scanOp) extend(r row, t rdf.Triple, ar *rowArena) (row, bool) {
+	nr := r
+	cloned := false
+	if sc.sSlot >= 0 {
+		if cur := nr[sc.sSlot]; !cur.IsZero() {
+			if !cur.Equal(t.S) {
+				return nil, false
+			}
+		} else {
+			nr = ar.clone(nr)
+			cloned = true
+			nr[sc.sSlot] = t.S
+		}
+	}
+	if sc.pSlot >= 0 {
+		if cur := nr[sc.pSlot]; !cur.IsZero() {
+			if !cur.Equal(t.P) {
+				return nil, false
+			}
+		} else {
+			if !cloned {
+				nr = ar.clone(nr)
+				cloned = true
+			}
+			nr[sc.pSlot] = t.P
+		}
+	}
+	if sc.oSlot >= 0 {
+		if cur := nr[sc.oSlot]; !cur.IsZero() {
+			if !cur.Equal(t.O) {
+				return nil, false
+			}
+		} else {
+			if !cloned {
+				nr = ar.clone(nr)
+			}
+			nr[sc.oSlot] = t.O
+		}
+	}
+	return nr, true
+}
+
+// resolve substitutes a row's binding into a pattern position (zero =
+// wildcard for unbound slots, like the seed evaluator).
+func resolve(slot int, constant rdf.Term, r row) rdf.Term {
+	if slot < 0 {
+		return constant
+	}
+	return r[slot]
+}
+
+func (sc *scanOp) run(ec *execCtx, in []row) []row {
+	if sc.canHash && len(sc.keys) == 0 {
+		// No position can be bound by incoming rows: one Match serves
+		// every row (cross-join materialization).
+		matches := ec.src.Match(sc.s, sc.p, sc.o)
+		if len(matches) == 0 {
+			return nil
+		}
+		return chunked(ec, in, func(rows []row) []row {
+			var out []row
+			var ar rowArena
+			for _, r := range rows {
+				for _, t := range matches {
+					if nr, ok := sc.extend(r, t, &ar); ok {
+						out = append(out, nr)
+					}
+				}
+			}
+			return out
+		})
+	}
+	// Hash join only pays when the build side (constants-only match) is
+	// no larger than the probe side: per-row index probes are cheap, so
+	// materializing and keying a big build set loses outright.
+	if sc.canHash && len(in) >= hashJoinMinRows && sc.est >= 0 && sc.est <= len(in) {
+		return sc.hashJoin(ec, in)
+	}
+	return chunked(ec, in, func(rows []row) []row {
+		var out []row
+		var ar rowArena
+		for _, r := range rows {
+			s := resolve(sc.sSlot, sc.s, r)
+			p := resolve(sc.pSlot, sc.p, r)
+			o := resolve(sc.oSlot, sc.o, r)
+			for _, t := range ec.src.Match(s, p, o) {
+				if nr, ok := sc.extend(r, t, &ar); ok {
+					out = append(out, nr)
+				}
+			}
+		}
+		return out
+	})
+}
+
+// hashJoin matches the pattern once with constants only, hashes the
+// result on the shared (definitely-bound) slots, and probes per row.
+// Buckets keep Match order, so each row's extensions come out in the
+// same order the nested-loop strategy would produce them; extend
+// re-checks every bound position, so the key only has to be sound, not
+// exact.
+func (sc *scanOp) hashJoin(ec *execCtx, in []row) []row {
+	build := ec.src.Match(sc.s, sc.p, sc.o)
+	if len(build) == 0 {
+		return nil
+	}
+	table := make(map[string][]rdf.Triple, len(build))
+	var sb strings.Builder
+	tripleKey := func(t rdf.Triple) string {
+		sb.Reset()
+		for _, slot := range sc.keys {
+			appendSolutionKey(&sb, sc.tripleAt(t, slot), true)
+		}
+		return sb.String()
+	}
+	for _, t := range build {
+		k := tripleKey(t)
+		table[k] = append(table[k], t)
+	}
+	return chunked(ec, in, func(rows []row) []row {
+		var out []row
+		var ar rowArena
+		var kb []byte
+		for _, r := range rows {
+			kb = kb[:0]
+			for _, slot := range sc.keys {
+				k := r[slot].Key()
+				kb = strconv.AppendInt(kb, int64(len(k)), 10)
+				kb = append(kb, ':')
+				kb = append(kb, k...)
+			}
+			// map lookup on string(kb) does not allocate.
+			for _, t := range table[string(kb)] {
+				if nr, ok := sc.extend(r, t, &ar); ok {
+					out = append(out, nr)
+				}
+			}
+		}
+		return out
+	})
+}
+
+// tripleAt returns the triple's term at the first pattern position
+// carrying the given slot.
+func (sc *scanOp) tripleAt(t rdf.Triple, slot int) rdf.Term {
+	switch {
+	case sc.sSlot == slot:
+		return t.S
+	case sc.pSlot == slot:
+		return t.P
+	default:
+		return t.O
+	}
+}

@@ -39,8 +39,22 @@ type parser struct {
 	prefixes *rdf.Prefixes
 }
 
-func (p *parser) cur() token  { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+// cur and next clamp at the trailing EOF token: error paths may consume
+// it and still need a position for their message.
+func (p *parser) cur() token {
+	if p.pos >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.cur()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
 
 func (p *parser) errf(format string, args ...any) error {
 	return fmt.Errorf("sparql: near offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))

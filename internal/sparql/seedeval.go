@@ -1,0 +1,182 @@
+package sparql
+
+import (
+	"applab/internal/rdf"
+)
+
+// This file keeps the original binding-at-a-time map evaluator. The
+// compiled slot engine (plan.go, join.go, slots.go) replaced it behind
+// Eval; the seed path stays as the differential-testing oracle (see
+// engine_equiv_test.go) and as the baseline for the BenchmarkEngine_*
+// comparisons recorded in BENCH_PR3.json.
+
+// EvalSeed parses and evaluates a query with the original map-based
+// evaluator: no plan reordering, no hash joins, no parallelism.
+func EvalSeed(src Source, query string) (*Results, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return q.EvalSeed(src)
+}
+
+// EvalSeed evaluates the query with the original map-based evaluator.
+func (q *Query) EvalSeed(src Source) (*Results, error) {
+	sols := seedEvalGroup(src, q.Where, []Binding{{}})
+	switch q.Type {
+	case QueryAsk:
+		return &Results{Bool: len(sols) > 0}, nil
+	case QueryConstruct:
+		return q.construct(sols)
+	}
+	return q.project(sols)
+}
+
+// seedEvalGroup evaluates a group graph pattern, extending each input binding.
+func seedEvalGroup(src Source, g *Group, input []Binding) []Binding {
+	cur := input
+	for _, el := range g.Elements {
+		switch e := el.(type) {
+		case BGP:
+			for _, tp := range e.Patterns {
+				cur = seedEvalPattern(src, tp, cur)
+				if len(cur) == 0 {
+					return nil
+				}
+			}
+		case Filter:
+			var out []Binding
+			for _, b := range cur {
+				if v, err := ebv(e.Expr, b); err == nil && v {
+					out = append(out, b)
+				}
+			}
+			cur = out
+		case Optional:
+			var out []Binding
+			for _, b := range cur {
+				ext := seedEvalGroup(src, e.Group, []Binding{b})
+				if len(ext) == 0 {
+					out = append(out, b)
+				} else {
+					out = append(out, ext...)
+				}
+			}
+			cur = out
+		case Union:
+			var out []Binding
+			for _, alt := range e.Alternatives {
+				out = append(out, seedEvalGroup(src, alt, cur)...)
+			}
+			cur = out
+		case SubGroup:
+			cur = seedEvalGroup(src, e.Group, cur)
+		case Exists:
+			var out []Binding
+			for _, b := range cur {
+				matched := len(seedEvalGroup(src, e.Group, []Binding{b})) > 0
+				if matched != e.Negated {
+					out = append(out, b)
+				}
+			}
+			cur = out
+		case Bind:
+			var out []Binding
+			for _, b := range cur {
+				if v, err := e.Expr.Eval(b); err == nil {
+					if old, exists := b[e.Var]; exists {
+						// Re-binding must agree (join semantics).
+						if !old.Equal(v) {
+							continue
+						}
+						out = append(out, b)
+						continue
+					}
+					nb := b.clone()
+					nb[e.Var] = v
+					out = append(out, nb)
+				} else {
+					out = append(out, b) // expression error leaves var unbound
+				}
+			}
+			cur = out
+		case Values:
+			var out []Binding
+			for _, b := range cur {
+				for _, row := range e.Rows {
+					nb := b
+					cloned := false
+					ok := true
+					for i, vn := range e.Vars {
+						val := row[i]
+						if old, exists := nb[vn]; exists {
+							if !old.Equal(val) {
+								ok = false
+								break
+							}
+							continue
+						}
+						if !cloned {
+							nb = nb.clone()
+							cloned = true
+						}
+						nb[vn] = val
+					}
+					if ok {
+						out = append(out, nb)
+					}
+				}
+			}
+			cur = out
+		}
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// seedEvalPattern extends every binding with matches of a triple pattern.
+func seedEvalPattern(src Source, tp TriplePattern, input []Binding) []Binding {
+	var out []Binding
+	for _, b := range input {
+		s := seedResolvePos(tp.S, b)
+		p := seedResolvePos(tp.P, b)
+		o := seedResolvePos(tp.O, b)
+		for _, t := range src.Match(s, p, o) {
+			nb := b
+			cloned := false
+			bindVar := func(name string, val rdf.Term) bool {
+				if name == "" {
+					return true
+				}
+				if old, ok := nb[name]; ok {
+					return old.Equal(val)
+				}
+				if !cloned {
+					nb = nb.clone()
+					cloned = true
+				}
+				nb[name] = val
+				return true
+			}
+			if !bindVar(tp.S.Var, t.S) || !bindVar(tp.P.Var, t.P) || !bindVar(tp.O.Var, t.O) {
+				continue
+			}
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// seedResolvePos returns the constant to match at a pattern position: the
+// bound value of a variable, the constant term, or the zero-term wildcard.
+func seedResolvePos(pt PatternTerm, b Binding) rdf.Term {
+	if pt.IsVar() {
+		if t, ok := b[pt.Var]; ok {
+			return t
+		}
+		return rdf.Term{}
+	}
+	return pt.Term
+}

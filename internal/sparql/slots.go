@@ -1,0 +1,234 @@
+package sparql
+
+import (
+	"fmt"
+
+	"applab/internal/rdf"
+)
+
+// The compiled engine runs solutions as flat []rdf.Term rows instead of
+// map[string]rdf.Term bindings: the query compiler assigns every variable
+// a slot in a per-query variable table, row extension is a single slice
+// copy, and variable lookup is an array index. The zero rdf.Term marks an
+// unbound slot — the same convention Source.Match already uses for
+// wildcards, so a term that IsZero can never be produced by data.
+
+// varTable assigns query variables to row slots.
+type varTable struct {
+	index map[string]int
+	names []string
+}
+
+func newVarTable() *varTable {
+	return &varTable{index: map[string]int{}}
+}
+
+// slot returns the slot for name, assigning the next free one on first
+// use. All slots are assigned at compile time, before any row exists.
+func (vt *varTable) slot(name string) int {
+	if s, ok := vt.index[name]; ok {
+		return s
+	}
+	s := len(vt.names)
+	vt.index[name] = s
+	vt.names = append(vt.names, name)
+	return s
+}
+
+// lookup returns the slot for name without assigning one.
+func (vt *varTable) lookup(name string) (int, bool) {
+	s, ok := vt.index[name]
+	return s, ok
+}
+
+func (vt *varTable) size() int { return len(vt.names) }
+
+// row is one solution: term-per-slot, zero term = unbound.
+type row []rdf.Term
+
+// bound reports whether the slot carries a binding.
+func (r row) bound(slot int) bool { return !r[slot].IsZero() }
+
+// clone copies the row so it can be extended without mutating shared
+// ancestors (rows fan out through UNION and OPTIONAL).
+func (r row) clone() row {
+	c := make(row, len(r))
+	copy(c, r)
+	return c
+}
+
+// asBinding converts a row back to the public map representation.
+func (r row) asBinding(vt *varTable) Binding {
+	b := make(Binding, len(r))
+	for s, t := range r {
+		if !t.IsZero() {
+			b[vt.names[s]] = t
+		}
+	}
+	return b
+}
+
+// rowsToBindings converts an executed solution set to map bindings for
+// the (unchanged) projection / aggregation / ordering machinery.
+func rowsToBindings(rows []row, vt *varTable) []Binding {
+	out := make([]Binding, len(rows))
+	for i, r := range rows {
+		out[i] = r.asBinding(vt)
+	}
+	return out
+}
+
+// compiledExpr is a slot-resolved expression evaluator: variable lookups
+// are array indexes fixed at compile time, and the operator semantics are
+// shared with the tree-walking Expr.Eval via applyBinary/applyNeg/
+// applyCall, so both paths agree by construction.
+type compiledExpr func(r row) (rdf.Term, error)
+
+// compileExpr lowers an expression tree onto the slot table. Expression
+// types the compiler does not know (external Expr implementations) fall
+// back to building a map binding per evaluation — correct, just slower.
+func compileExpr(e Expr, vt *varTable) compiledExpr {
+	switch x := e.(type) {
+	case VarExpr:
+		s := vt.slot(x.Name)
+		return func(r row) (rdf.Term, error) {
+			if t := r[s]; !t.IsZero() {
+				return t, nil
+			}
+			return rdf.Term{}, errUnbound
+		}
+	case ConstExpr:
+		t := x.Term
+		return func(row) (rdf.Term, error) { return t, nil }
+	case UnaryExpr:
+		sub := compileExpr(x.X, vt)
+		switch x.Op {
+		case "!":
+			return func(r row) (rdf.Term, error) {
+				v, err := sub(r)
+				if err != nil {
+					return rdf.Term{}, err
+				}
+				bv, err := TermEBV(v)
+				if err != nil {
+					return rdf.Term{}, err
+				}
+				return rdf.NewBool(!bv), nil
+			}
+		case "-":
+			return func(r row) (rdf.Term, error) {
+				v, err := sub(r)
+				if err != nil {
+					return rdf.Term{}, err
+				}
+				return applyNeg(v)
+			}
+		}
+		op := x.Op
+		return func(row) (rdf.Term, error) {
+			return rdf.Term{}, fmt.Errorf("sparql: unknown unary operator %q", op)
+		}
+	case BinaryExpr:
+		l := compileExpr(x.L, vt)
+		r := compileExpr(x.R, vt)
+		switch x.Op {
+		case "||":
+			return func(rw row) (rdf.Term, error) {
+				lv, lerr := compiledEBV(l, rw)
+				if lerr == nil && lv {
+					return rdf.NewBool(true), nil
+				}
+				rv, rerr := compiledEBV(r, rw)
+				if rerr == nil && rv {
+					return rdf.NewBool(true), nil
+				}
+				if lerr != nil {
+					return rdf.Term{}, lerr
+				}
+				if rerr != nil {
+					return rdf.Term{}, rerr
+				}
+				return rdf.NewBool(false), nil
+			}
+		case "&&":
+			return func(rw row) (rdf.Term, error) {
+				lv, lerr := compiledEBV(l, rw)
+				if lerr == nil && !lv {
+					return rdf.NewBool(false), nil
+				}
+				rv, rerr := compiledEBV(r, rw)
+				if rerr == nil && !rv {
+					return rdf.NewBool(false), nil
+				}
+				if lerr != nil {
+					return rdf.Term{}, lerr
+				}
+				if rerr != nil {
+					return rdf.Term{}, rerr
+				}
+				return rdf.NewBool(true), nil
+			}
+		}
+		op := x.Op
+		return func(rw row) (rdf.Term, error) {
+			lv, err := l(rw)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			rv, err := r(rw)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			return applyBinary(op, lv, rv)
+		}
+	case CallExpr:
+		// BOUND inspects the raw variable, not its evaluation.
+		if x.IRI == "BOUND" {
+			if len(x.Args) != 1 {
+				return func(row) (rdf.Term, error) {
+					return rdf.Term{}, fmt.Errorf("sparql: BOUND takes one variable")
+				}
+			}
+			v, ok := x.Args[0].(VarExpr)
+			if !ok {
+				return func(row) (rdf.Term, error) {
+					return rdf.Term{}, fmt.Errorf("sparql: BOUND argument must be a variable")
+				}
+			}
+			s := vt.slot(v.Name)
+			return func(r row) (rdf.Term, error) {
+				return rdf.NewBool(r.bound(s)), nil
+			}
+		}
+		args := make([]compiledExpr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = compileExpr(a, vt)
+		}
+		iri := x.IRI
+		return func(r row) (rdf.Term, error) {
+			vals := make([]rdf.Term, len(args))
+			for i, a := range args {
+				v, err := a(r)
+				if err != nil {
+					return rdf.Term{}, err
+				}
+				vals[i] = v
+			}
+			return applyCall(iri, vals)
+		}
+	default:
+		// Unknown Expr implementation: bridge through a map binding.
+		return func(r row) (rdf.Term, error) {
+			return e.Eval(r.asBinding(vt))
+		}
+	}
+}
+
+// compiledEBV is ebv over a compiled expression.
+func compiledEBV(ce compiledExpr, r row) (bool, error) {
+	v, err := ce(r)
+	if err != nil {
+		return false, err
+	}
+	return TermEBV(v)
+}

@@ -170,6 +170,27 @@ func (s *ShardedStore) Match(sub, pred, obj rdf.Term) []rdf.Triple {
 	return out
 }
 
+// Cardinality implements sparql.StatsSource. Subject-bound patterns are
+// estimated by the owning shard alone (0 when no shard owns the
+// subject); other patterns sum the per-shard estimates sequentially —
+// estimates are index-bucket lookups, too cheap to fan out.
+func (s *ShardedStore) Cardinality(sub, pred, obj rdf.Term) int {
+	if !sub.IsZero() {
+		s.mu.RLock()
+		sh, ok := s.owner[sub.Key()]
+		s.mu.RUnlock()
+		if ok {
+			return s.shards[sh].Cardinality(sub, pred, obj)
+		}
+		return 0
+	}
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.Cardinality(sub, pred, obj)
+	}
+	return total
+}
+
 // FeaturesIntersecting merges the per-shard spatial answers, sorted by
 // term key like Store.FeaturesIntersecting.
 func (s *ShardedStore) FeaturesIntersecting(q geom.Geometry) []rdf.Term {

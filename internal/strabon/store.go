@@ -113,6 +113,14 @@ func (s *Store) Match(sub, pred, obj rdf.Term) []rdf.Triple {
 	return s.graph.Match(sub, pred, obj)
 }
 
+// Cardinality implements sparql.StatsSource: the graph's index-bucket
+// estimate under the read lock.
+func (s *Store) Cardinality(sub, pred, obj rdf.Term) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graph.Cardinality(sub, pred, obj)
+}
+
 // Query parses and evaluates a (Geo)SPARQL query against the store.
 func (s *Store) Query(q string) (*sparql.Results, error) {
 	return sparql.Eval(s, q)
