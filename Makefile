@@ -3,9 +3,13 @@ GO ?= go
 # Packages exercised under the race detector: the concurrent query stack
 # (sharded store, OPeNDAP caches, federation fan-out, interlinking) plus
 # the fault-injection harness and the SPARQL HTTP transport it exercises.
-RACE_PKGS = ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ ./internal/federation/ ./internal/interlink/ ./internal/faults/ ./internal/endpoint/
+RACE_PKGS = ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ ./internal/federation/ ./internal/interlink/ ./internal/faults/ ./internal/endpoint/ ./internal/telemetry/ ./internal/e2e/
 
-.PHONY: all build test lint race fmt vet fuzz bench ci
+# End-to-end suites: the golden two-workflow test over live loopback
+# servers plus the cmd-level boot/query/shutdown tests.
+E2E_PKGS = ./internal/e2e/ ./cmd/strabon/ ./cmd/opendapd/
+
+.PHONY: all build test lint race fmt vet fuzz bench bench-telemetry e2e ci
 
 all: build
 
@@ -42,6 +46,17 @@ fuzz:
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkEngine_ -benchmem ./internal/sparql/
 	$(GO) run ./cmd/applab-bench -json BENCH_PR3.json
+
+# Telemetry overhead comparison (instrumented vs uninstrumented engine),
+# recorded in BENCH_PR4.json; fails if Engine_BGPJoin exceeds the 5%
+# ns/op budget.
+bench-telemetry:
+	$(GO) run ./cmd/applab-bench -telemetry-json BENCH_PR4.json
+
+# End-to-end golden suite: boots both Figure-1 workflows on loopback
+# servers and asserts exact telemetry counters (see internal/e2e).
+e2e:
+	$(GO) test -count=1 $(E2E_PKGS)
 
 # The full gate: fmt + vet + lint + tests + race in one invocation.
 ci:

@@ -23,10 +23,14 @@ go run ./cmd/applab-lint ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (concurrent query stack + fault injection)"
+echo "== go test -race (concurrent query stack + fault injection + telemetry)"
 go test -race ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ \
     ./internal/federation/ ./internal/interlink/ \
-    ./internal/faults/ ./internal/endpoint/
+    ./internal/faults/ ./internal/endpoint/ \
+    ./internal/telemetry/ ./internal/e2e/
+
+echo "== e2e golden suite (both workflows over live loopback servers)"
+make e2e
 
 echo "== coverage gate (resilience stack)"
 # The retry/breaker/deadline machinery is all error paths; a coverage
@@ -47,6 +51,8 @@ check_cover() {
 }
 check_cover ./internal/opendap/ 85
 check_cover ./internal/federation/ 85
+check_cover ./internal/telemetry/ 90
+check_cover ./internal/sparql/ 80
 
 echo "== fuzz smoke (seed corpus + a few seconds of mutation)"
 # One -fuzz target per invocation: the flag rejects patterns matching

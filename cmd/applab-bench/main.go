@@ -31,12 +31,19 @@ func main() {
 		outPath  = flag.String("out", "paris.svg", "output path for F4's SVG")
 		quick    = flag.Bool("quick", false, "smaller scales for a fast smoke run")
 		jsonPath = flag.String("json", "", "benchmark the SPARQL engine (seed vs compiled) and write the records to this file, then exit")
+		telePath = flag.String("telemetry-json", "", "benchmark the engine instrumented vs uninstrumented, write the comparison to this file (enforcing the Engine_BGPJoin overhead budget), then exit")
 	)
 	flag.Parse()
 
 	if *jsonPath != "" {
 		if err := runEngineBenchJSON(*jsonPath); err != nil {
 			log.Fatalf("engine bench: %v", err)
+		}
+		return
+	}
+	if *telePath != "" {
+		if err := runTelemetryBenchJSON(*telePath); err != nil {
+			log.Fatalf("telemetry bench: %v", err)
 		}
 		return
 	}

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -21,6 +23,7 @@ import (
 	"applab/internal/obda"
 	"applab/internal/opendap"
 	"applab/internal/sparql"
+	"applab/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +42,8 @@ func main() {
 
 		queryWorkers      = flag.Int("query-workers", 0, "SPARQL evaluator worker pool size (0 = GOMAXPROCS; capped at GOMAXPROCS; parallel execution stays off for remote-backed sources)")
 		parallelThreshold = flag.Int("parallel-threshold", 0, "minimum intermediate solutions before the evaluator parallelizes a stage (0 = default)")
+
+		metricsAddr = flag.String("metrics-addr", "", "address to serve /metrics and /debug/applab on while the query runs; the final Prometheus text is also dumped to stderr")
 	)
 	flag.Parse()
 	sparql.SetQueryWorkers(*queryWorkers)
@@ -46,6 +51,21 @@ func main() {
 	if *mappingPath == "" || *query == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	reg := telemetry.NewRegistry()
+	sparql.SetMetrics(reg)
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("metrics on http://%s/metrics (JSON at /debug/applab)", ln.Addr())
+		//lint:ignore goleak metrics server lives for the one-shot process; the OS reaps it at exit
+		go func() {
+			//lint:ignore errcheck metrics server dies with the one-shot process
+			http.Serve(ln, telemetry.NewHandler(reg))
+		}()
 	}
 
 	doc, err := os.ReadFile(*mappingPath)
@@ -62,11 +82,14 @@ func main() {
 		client := opendap.NewClient(*opendapURL)
 		client.Timeout = *timeout
 		client.MaxRetries = *retries
+		client.Metrics = reg
 		if *brkFails > 0 {
 			client.Breaker = opendap.NewBreaker(*brkFails, *brkCool)
+			client.Breaker.Metrics = reg
 		}
 		adapter := obda.NewOpendapAdapter(client)
 		adapter.ServeStale = *staleOK
+		adapter.Metrics = reg
 		adapter.Register(db)
 	}
 
@@ -86,4 +109,7 @@ func main() {
 		fmt.Println(strings.Join(row, "\t"))
 	}
 	fmt.Fprintf(os.Stderr, "%d rows\n", len(res.Bindings))
+	if *metricsAddr != "" {
+		fmt.Fprint(os.Stderr, reg.RenderText())
+	}
 }

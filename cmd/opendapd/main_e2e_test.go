@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startRun drives run() in a goroutine and returns the named listener
+// addresses once every listener in want has reported ready.
+func startRun(t *testing.T, args []string, want ...string) (addrs map[string]string, cancel context.CancelFunc, result chan error) {
+	t.Helper()
+	log.SetOutput(io.Discard)
+	t.Cleanup(func() { log.SetOutput(os.Stderr) })
+
+	type bound struct{ name, addr string }
+	readyCh := make(chan bound, 4)
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	result = make(chan error, 1)
+	go func() {
+		result <- run(ctx, args, func(name, addr string) { readyCh <- bound{name, addr} })
+	}()
+
+	addrs = make(map[string]string)
+	for len(addrs) < len(want) {
+		select {
+		case b := <-readyCh:
+			addrs[b.name] = b.addr
+		case err := <-result:
+			cancelCtx()
+			t.Fatalf("run exited before listeners were ready: %v", err)
+		case <-time.After(10 * time.Second):
+			cancelCtx()
+			t.Fatal("timed out waiting for listeners")
+		}
+	}
+	for _, name := range want {
+		if addrs[name] == "" {
+			cancelCtx()
+			t.Fatalf("listener %q never reported ready (got %v)", name, addrs)
+		}
+	}
+	return addrs, cancelCtx, result
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestRunDemoEndToEnd boots the demo server on ephemeral ports, fetches
+// DAP documents, checks the request counter on the metrics server, and
+// shuts down gracefully via context cancellation.
+func TestRunDemoEndToEnd(t *testing.T) {
+	addrs, cancel, result := startRun(t,
+		[]string{"-addr", "127.0.0.1:0", "-demo", "-metrics-addr", "127.0.0.1:0", "-drain", "5s"},
+		"dap", "metrics")
+	defer cancel()
+
+	code, body := httpGet(t, "http://"+addrs["dap"]+"/catalog")
+	if code != http.StatusOK {
+		t.Fatalf("catalog status = %d", code)
+	}
+	for _, ds := range []string{"lai", "ndvi", "ba300"} {
+		if !strings.Contains(body, ds) {
+			t.Errorf("catalog missing dataset %q:\n%s", ds, body)
+		}
+	}
+	if code, _ := httpGet(t, "http://"+addrs["dap"]+"/lai.dds"); code != http.StatusOK {
+		t.Fatalf("lai.dds status = %d", code)
+	}
+
+	code, metrics := httpGet(t, "http://"+addrs["metrics"]+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status = %d", code)
+	}
+	if !strings.Contains(metrics, "opendap_server_requests_total 2") {
+		t.Errorf("metrics output missing opendap_server_requests_total 2:\n%s", metrics)
+	}
+
+	cancel()
+	select {
+	case err := <-result:
+		if err != nil {
+			t.Fatalf("run = %v, want nil after graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancellation")
+	}
+}
+
+// TestRunBadTokens: malformed -tokens entries are rejected up front.
+func TestRunBadTokens(t *testing.T) {
+	log.SetOutput(io.Discard)
+	t.Cleanup(func() { log.SetOutput(os.Stderr) })
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-tokens", "nope"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "bad -tokens") {
+		t.Fatalf("run = %v, want bad -tokens error", err)
+	}
+}

@@ -7,16 +7,26 @@
 //
 //	strabon -load data.nt -query 'SELECT ...'
 //	strabon -load data.nt -serve :7860          # GET /sparql?query=...
+//	strabon -load data.nt -serve :7860 -metrics-addr :9090
 //	strabon -load gadm.nt -federate http://other:7860 -query '...'
+//
+// The server drains in-flight queries on SIGINT/SIGTERM (see -drain).
+// With -metrics-addr the telemetry registry is served as Prometheus text
+// at /metrics and JSON (including recent query traces) at /debug/applab.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"applab/internal/endpoint"
@@ -24,40 +34,70 @@ import (
 	"applab/internal/rdf"
 	"applab/internal/sparql"
 	"applab/internal/strabon"
+	"applab/internal/telemetry"
 )
+
+// errUsage marks a bad invocation (usage already printed by the FlagSet).
+var errUsage = errors.New("usage")
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("strabon: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		if errors.Is(err, errUsage) || errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run is the whole command, factored out of main so tests can drive it:
+// ctx cancellation triggers graceful shutdown of the servers, and ready
+// (when non-nil) receives each listener's name and bound address — how
+// e2e tests learn the :0 ports they asked for.
+func run(ctx context.Context, args []string, ready func(name, addr string)) error {
+	fs := flag.NewFlagSet("strabon", flag.ContinueOnError)
 	var (
-		loads    = flag.String("load", "", "comma-separated RDF files (Turtle/N-Triples, or .astr store images)")
-		query    = flag.String("query", "", "GeoSPARQL query to answer")
-		serve    = flag.String("serve", "", "address to serve a SPARQL endpoint on (e.g. :7860)")
-		federate = flag.String("federate", "", "comma-separated remote SPARQL endpoints to federate with")
-		shards   = flag.Int("shards", 1, "number of store shards (>1 enables the partitioned store)")
-		save     = flag.String("save", "", "write the loaded store as a binary image (.astr) and exit")
+		loads    = fs.String("load", "", "comma-separated RDF files (Turtle/N-Triples, or .astr store images)")
+		query    = fs.String("query", "", "GeoSPARQL query to answer")
+		serve    = fs.String("serve", "", "address to serve a SPARQL endpoint on (e.g. :7860)")
+		federate = fs.String("federate", "", "comma-separated remote SPARQL endpoints to federate with")
+		shards   = fs.Int("shards", 1, "number of store shards (>1 enables the partitioned store)")
+		save     = fs.String("save", "", "write the loaded store as a binary image (.astr) and exit")
 
-		memberTimeout = flag.Duration("member-timeout", 0, "per-member deadline for federated pattern fan-outs (0 waits forever)")
-		demoteAfter   = flag.Int("demote-after", 3, "consecutive failures before a federation member is demoted (-1 disables)")
-		retryDemoted  = flag.Duration("retry-demoted", 30*time.Second, "how long a demoted member sits out before being probed again")
+		memberTimeout = fs.Duration("member-timeout", 0, "per-member deadline for federated pattern fan-outs (0 waits forever)")
+		demoteAfter   = fs.Int("demote-after", 3, "consecutive failures before a federation member is demoted (-1 disables)")
+		retryDemoted  = fs.Duration("retry-demoted", 30*time.Second, "how long a demoted member sits out before being probed again")
 
-		queryWorkers      = flag.Int("query-workers", 0, "SPARQL evaluator worker pool size (0 = GOMAXPROCS; capped at GOMAXPROCS)")
-		parallelThreshold = flag.Int("parallel-threshold", 0, "minimum intermediate solutions before the evaluator parallelizes a stage (0 = default)")
+		queryWorkers      = fs.Int("query-workers", 0, "SPARQL evaluator worker pool size (0 = GOMAXPROCS; capped at GOMAXPROCS)")
+		parallelThreshold = fs.Int("parallel-threshold", 0, "minimum intermediate solutions before the evaluator parallelizes a stage (0 = default)")
+
+		metricsAddr = fs.String("metrics-addr", "", "address to serve /metrics (Prometheus text) and /debug/applab (JSON) on")
+		drain       = fs.Duration("drain", 5*time.Second, "how long in-flight queries may drain on shutdown (0 waits forever)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	sparql.SetQueryWorkers(*queryWorkers)
 	sparql.SetParallelThreshold(*parallelThreshold)
+
+	reg := telemetry.NewRegistry()
+	sparql.SetMetrics(reg)
 
 	var src sparql.Source
 	var load func([]rdf.Triple)
 	var count func() int
+	var registerStore func(*telemetry.Registry)
 	if *shards > 1 {
 		st := strabon.NewSharded(*shards)
-		src, load, count = st, st.AddAll, st.Len
+		src, load, count, registerStore = st, st.AddAll, st.Len, st.RegisterMetrics
 	} else {
 		st := strabon.New()
-		src, load, count = st, st.AddAll, st.Len
+		src, load, count, registerStore = st, st.AddAll, st.Len, st.RegisterMetrics
 	}
+	registerStore(reg)
 
 	var allTriples []rdf.Triple
 	for _, path := range strings.Split(*loads, ",") {
@@ -67,20 +107,21 @@ func main() {
 		}
 		f, err := os.Open(path)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		var triples []rdf.Triple
 		if strings.HasSuffix(path, ".astr") {
 			st, lerr := strabon.Load(f)
 			if lerr != nil {
-				log.Fatalf("%s: %v", path, lerr)
+				f.Close()
+				return fmt.Errorf("%s: %v", path, lerr)
 			}
 			triples = st.Graph().Triples()
 		} else {
 			triples, _, err = rdf.ParseTurtle(f)
 			if err != nil {
 				f.Close()
-				log.Fatalf("%s: %v", path, err)
+				return fmt.Errorf("%s: %v", path, err)
 			}
 		}
 		f.Close()
@@ -94,16 +135,17 @@ func main() {
 		tmp.AddAll(allTriples)
 		f, err := os.Create(*save)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := tmp.Save(f); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("saved %d triples to %s", tmp.Len(), *save)
-		return
+		return nil
 	}
 
 	var fed *federation.Federation
@@ -112,6 +154,7 @@ func main() {
 		fed.MemberTimeout = *memberTimeout
 		fed.DemoteAfter = *demoteAfter
 		fed.RetryDemoted = *retryDemoted
+		fed.Metrics = reg
 		for i, u := range strings.Split(*federate, ",") {
 			u = strings.TrimSpace(u)
 			if u == "" {
@@ -120,7 +163,7 @@ func main() {
 			remote := endpoint.NewRemoteSource(u)
 			remote.Timeout = *memberTimeout
 			if err := remote.Probe(); err != nil {
-				log.Fatalf("federation member %s: %v", u, err)
+				return fmt.Errorf("federation member %s: %v", u, err)
 			}
 			fed.AddMember(federation.Member{Name: fmt.Sprintf("remote%d", i+1), Source: remote})
 			log.Printf("federated with %s", u)
@@ -128,11 +171,16 @@ func main() {
 		src = fed
 	}
 
+	metricsDone, err := serveMetrics(ctx, reg, *metricsAddr, *drain, ready)
+	if err != nil {
+		return err
+	}
+
 	switch {
 	case *query != "" && fed != nil:
 		res, report, err := fed.QueryPartial(*query)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		printResults(res)
 		if report.Partial {
@@ -152,15 +200,68 @@ func main() {
 	case *query != "":
 		res, err := sparql.Eval(src, *query)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		printResults(res)
 	case *serve != "":
-		log.Printf("serving SPARQL endpoint on %s/sparql", *serve)
-		log.Fatal(http.ListenAndServe(*serve, endpoint.Handler(src)))
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			return err
+		}
+		if ready != nil {
+			ready("sparql", ln.Addr().String())
+		}
+		log.Printf("serving SPARQL endpoint on %s/sparql", ln.Addr())
+		srv := &http.Server{Handler: endpoint.NewHandler(src, reg)}
+		err = endpoint.ServeGraceful(ctx, srv, ln, *drain, nil)
+		if metricsDone != nil {
+			if merr := <-metricsDone; err == nil {
+				err = merr
+			}
+		}
+		return err
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errUsage
+	}
+	if metricsDone != nil {
+		return waitMetrics(metricsDone)
+	}
+	return nil
+}
+
+// serveMetrics starts the observability server on addr ("" disables),
+// shutting down gracefully when ctx is cancelled. The returned channel
+// (nil when disabled) yields the server's exit error.
+func serveMetrics(ctx context.Context, reg *telemetry.Registry, addr string, drain time.Duration, ready func(name, addr string)) (chan error, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if ready != nil {
+		ready("metrics", ln.Addr().String())
+	}
+	log.Printf("metrics on http://%s/metrics (JSON at /debug/applab)", ln.Addr())
+	srv := &http.Server{Handler: telemetry.NewHandler(reg)}
+	done := make(chan error, 1)
+	go func() { done <- endpoint.ServeGraceful(ctx, srv, ln, drain, nil) }()
+	return done, nil
+}
+
+// waitMetrics tears down a metrics server left running after a one-shot
+// command: there is nothing to keep serving, so the exit error (if any)
+// is the verdict.
+func waitMetrics(done chan error) error {
+	select {
+	case err := <-done:
+		return err
+	default:
+		// One-shot commands finish with the metrics server still up;
+		// nothing is draining, so nothing to wait for.
+		return nil
 	}
 }
 

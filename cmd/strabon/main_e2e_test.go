@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const e2eTriples = `<http://example.org/a> <http://example.org/p> "1" .
+<http://example.org/b> <http://example.org/p> "2" .
+`
+
+// startRun drives run() in a goroutine and returns the named listener
+// addresses once every listener in want has reported ready.
+func startRun(t *testing.T, args []string, want ...string) (addrs map[string]string, cancel context.CancelFunc, result chan error) {
+	t.Helper()
+	log.SetOutput(io.Discard)
+	t.Cleanup(func() { log.SetOutput(os.Stderr) })
+
+	type bound struct{ name, addr string }
+	readyCh := make(chan bound, 4)
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	result = make(chan error, 1)
+	go func() {
+		result <- run(ctx, args, func(name, addr string) { readyCh <- bound{name, addr} })
+	}()
+
+	addrs = make(map[string]string)
+	for len(addrs) < len(want) {
+		select {
+		case b := <-readyCh:
+			addrs[b.name] = b.addr
+		case err := <-result:
+			cancelCtx()
+			t.Fatalf("run exited before listeners were ready: %v", err)
+		case <-time.After(10 * time.Second):
+			cancelCtx()
+			t.Fatal("timed out waiting for listeners")
+		}
+	}
+	for _, name := range want {
+		if addrs[name] == "" {
+			cancelCtx()
+			t.Fatalf("listener %q never reported ready (got %v)", name, addrs)
+		}
+	}
+	return addrs, cancelCtx, result
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestRunServeEndToEnd boots the full command on ephemeral ports, runs a
+// query through the live SPARQL endpoint, checks the metrics server saw
+// it, and shuts down gracefully via context cancellation.
+func TestRunServeEndToEnd(t *testing.T) {
+	nt := filepath.Join(t.TempDir(), "data.nt")
+	if err := os.WriteFile(nt, []byte(e2eTriples), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addrs, cancel, result := startRun(t,
+		[]string{"-load", nt, "-serve", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0", "-drain", "5s"},
+		"sparql", "metrics")
+	defer cancel()
+
+	q := url.QueryEscape(`SELECT ?s ?o WHERE { ?s <http://example.org/p> ?o }`)
+	code, body := httpGet(t, "http://"+addrs["sparql"]+"/sparql?query="+q)
+	if code != http.StatusOK {
+		t.Fatalf("query status = %d, body %s", code, body)
+	}
+	var doc struct {
+		Results struct {
+			Bindings []map[string]any `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("bad results JSON: %v", err)
+	}
+	if len(doc.Results.Bindings) != 2 {
+		t.Fatalf("got %d bindings, want 2", len(doc.Results.Bindings))
+	}
+
+	code, metrics := httpGet(t, "http://"+addrs["metrics"]+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"endpoint_requests_total 1",
+		"strabon_triples 2",
+		"sparql_patterns_planned_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, metrics)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-result:
+		if err != nil {
+			t.Fatalf("run = %v, want nil after graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancellation")
+	}
+}
+
+// TestRunOneShotQuery: -query answers on stdout-free paths and exits nil
+// without any serve loop.
+func TestRunOneShotQuery(t *testing.T) {
+	log.SetOutput(io.Discard)
+	t.Cleanup(func() { log.SetOutput(os.Stderr) })
+	nt := filepath.Join(t.TempDir(), "data.nt")
+	if err := os.WriteFile(nt, []byte(e2eTriples), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(),
+		[]string{"-load", nt, "-query", `SELECT ?s WHERE { ?s <http://example.org/p> ?o }`}, nil)
+	if err != nil {
+		t.Fatalf("run = %v, want nil", err)
+	}
+}
+
+// TestRunUsage: no mode flags is a usage error, not a hang.
+func TestRunUsage(t *testing.T) {
+	log.SetOutput(io.Discard)
+	t.Cleanup(func() { log.SetOutput(os.Stderr) })
+	fs := startQuiet(t)
+	defer fs()
+	if err := run(context.Background(), nil, nil); err != errUsage {
+		t.Fatalf("run() = %v, want errUsage", err)
+	}
+}
+
+// startQuiet silences the FlagSet usage text spewed to stderr.
+func startQuiet(t *testing.T) func() {
+	t.Helper()
+	old := os.Stderr
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = devnull
+	return func() {
+		os.Stderr = old
+		devnull.Close()
+	}
+}

@@ -67,6 +67,7 @@ func All() []Checker {
 		lockioChecker(),
 		nakedtimeChecker(),
 		sharedmapChecker(),
+		telemetryChecker(),
 	}
 }
 

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// telemetryPkgPath is the metrics registry package whose registration
+// calls this checker audits.
+const telemetryPkgPath = "applab/internal/telemetry"
+
+// telemetryRegistration lists the Registry methods that mint a metric
+// series from a name.
+var telemetryRegistration = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"GaugeFunc": true,
+	"Histogram": true,
+}
+
+// metricNameRE is the Prometheus-compatible subset the registry accepts;
+// the checker enforces it statically so a bad name fails the lint gate
+// instead of panicking at runtime.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// telemetryChecker enforces the observability layer's conventions: every
+// metric name handed to telemetry.Registry registration methods
+// (Counter, Gauge, GaugeFunc, Histogram) must be a lowercase_snake
+// string literal, and each name must be registered at exactly one call
+// site per package. One site per name keeps the metric inventory
+// greppable and makes kind/bucket conflicts impossible by construction.
+func telemetryChecker() Checker {
+	return Checker{
+		Name: "telemetry",
+		Doc:  "metric names must be lowercase_snake string literals, each registered at one call site per package",
+		Run:  runTelemetry,
+	}
+}
+
+func runTelemetry(pass *Pass) []Finding {
+	var out []Finding
+	sites := map[string][]token.Pos{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || !telemetryRegistration[fn.Name()] ||
+				fn.Pkg() == nil || fn.Pkg().Path() != telemetryPkgPath {
+				return true
+			}
+			if !strings.HasSuffix(recvTypeString(fn), ".Registry") || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				out = append(out, pass.finding(call.Args[0].Pos(), "telemetry",
+					"metric name must be a string literal so the series inventory stays greppable"))
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !metricNameRE.MatchString(name) {
+				out = append(out, pass.finding(lit.Pos(), "telemetry",
+					"metric name %q is not lowercase_snake ([a-z][a-z0-9_]*)", name))
+				return true
+			}
+			sites[name] = append(sites[name], call.Pos())
+			return true
+		})
+	}
+	names := make([]string, 0, len(sites))
+	for name := range sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ps := sites[name]
+		if len(ps) < 2 {
+			continue
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		for _, p := range ps[1:] {
+			out = append(out, pass.finding(p, "telemetry",
+				"metric %q is registered at %d call sites in this package; route every use through one helper",
+				name, len(ps)))
+		}
+	}
+	return out
+}

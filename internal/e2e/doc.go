@@ -1,0 +1,7 @@
+// Package e2e hosts the end-to-end golden test suite of the stack: both
+// Figure-1 workflows (materialized and on-the-fly) are booted on loopback
+// servers, the paper's Listing 3 query runs through each, and the shared
+// telemetry registry is asserted counter-by-counter — exact values, with
+// a fake clock so every latency histogram sums to zero. The package has
+// no library code; everything lives in the _test files.
+package e2e

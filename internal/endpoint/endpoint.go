@@ -12,34 +12,84 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
 	"applab/internal/rdf"
 	"applab/internal/sparql"
+	"applab/internal/telemetry"
 )
 
-// Handler serves GET/POST /sparql?query=... over src.
-func Handler(src sparql.Source) http.Handler {
+// Handler serves GET/POST /sparql?query=... over src without
+// instrumentation. Equivalent to NewHandler(src, nil).
+func Handler(src sparql.Source) http.Handler { return NewHandler(src, nil) }
+
+// NewHandler serves GET/POST /sparql?query=... over src. When reg is
+// non-nil every request is counted and traced: a "sparql_query" trace
+// with parse/eval/encode stage spans lands in the registry's recent
+// ring (visible at /debug/applab), stage latencies feed the
+// endpoint_stage_seconds histogram, and the trace rides the request
+// context so downstream sources can attach their own spans. Timestamps
+// come from the registry's clock, so with a fake clock every stage
+// duration is exact.
+func NewHandler(src sparql.Source, reg *telemetry.Registry) http.Handler {
+	requests := reg.Counter("endpoint_requests_total")
+	errors := reg.Counter("endpoint_errors_total")
+	stageSeconds := func(stage string) *telemetry.Histogram {
+		return reg.Histogram("endpoint_stage_seconds", nil, "stage", stage)
+	}
+	parseSec, evalSec, encodeSec := stageSeconds("parse"), stageSeconds("eval"), stageSeconds("encode")
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sparql", func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
 		q := r.URL.Query().Get("query")
 		if q == "" && r.Method == http.MethodPost {
 			body, _ := io.ReadAll(r.Body)
 			q = string(body)
 		}
 		if q == "" {
+			errors.Inc()
 			http.Error(w, "endpoint: missing query parameter", http.StatusBadRequest)
 			return
 		}
-		res, err := sparql.Eval(src, q)
+		tr := reg.StartTrace("sparql_query")
+		r = r.WithContext(telemetry.WithTrace(r.Context(), tr))
+
+		sp := tr.StartSpan("parse", reg.Time())
+		query, err := sparql.Parse(q)
+		now := reg.Time()
+		sp.End(now)
+		parseSec.ObserveDuration(sp.Duration())
 		if err != nil {
+			errors.Inc()
+			tr.End(reg, now)
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+
+		sp = tr.StartSpan("eval", now)
+		res, err := query.Eval(src)
+		now = reg.Time()
+		sp.End(now)
+		evalSec.ObserveDuration(sp.Duration())
+		if err != nil {
+			errors.Inc()
+			tr.End(reg, now)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		sp.Annotate("rows", strconv.Itoa(len(res.Bindings)))
+
+		sp = tr.StartSpan("encode", now)
 		w.Header().Set("Content-Type", "application/sparql-results+json")
 		//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
 		json.NewEncoder(w).Encode(ResultsJSON(res))
+		now = reg.Time()
+		sp.End(now)
+		encodeSec.ObserveDuration(sp.Duration())
+		tr.End(reg, now)
 	})
 	return mux
 }

@@ -1,0 +1,59 @@
+package endpoint
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ServeGraceful runs srv on ln until ctx is cancelled, then shuts the
+// server down gracefully: the listener closes immediately, in-flight
+// requests get up to drain to finish, and connections still open after
+// the drain deadline are force-closed. after is the drain clock hook
+// (time.After when nil), so the deadline is testable with a fake clock;
+// drain <= 0 waits for in-flight requests indefinitely.
+//
+// The daemons (cmd/strabon, cmd/opendapd) pair this with
+// signal.NotifyContext so SIGINT/SIGTERM drains queries instead of
+// dropping them mid-response.
+//
+// Returns nil after a clean drain, the Shutdown context error when the
+// drain deadline forced connections closed, or the Serve error when the
+// server failed before any shutdown.
+func ServeGraceful(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, after func(time.Duration) <-chan time.Time) error {
+	if after == nil {
+		after = time.After
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Shutdown stops accepting and waits for in-flight requests; its
+	// context is cancelled when the drain deadline fires, at which point
+	// remaining connections are torn down hard.
+	drainCtx, cancelDrain := context.WithCancel(context.Background())
+	defer cancelDrain()
+	if drain > 0 {
+		timer := after(drain)
+		go func() {
+			select {
+			case <-timer:
+				cancelDrain()
+			case <-drainCtx.Done():
+			}
+		}()
+	}
+	err := srv.Shutdown(drainCtx)
+	if err != nil {
+		//lint:ignore errcheck forced teardown after the drain deadline; the Shutdown error is the one reported
+		srv.Close()
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed by now
+	return err
+}

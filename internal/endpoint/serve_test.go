@@ -1,0 +1,132 @@
+package endpoint
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"applab/internal/faults"
+)
+
+// blockingHandler serves requests that block until released, signalling
+// entry so tests can sequence against in-flight requests.
+type blockingHandler struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (h *blockingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.entered <- struct{}{}
+	<-h.release
+	io.WriteString(w, "done")
+}
+
+func startGraceful(t *testing.T, h http.Handler, drain time.Duration, after func(time.Duration) <-chan time.Time) (base string, cancel context.CancelFunc, result chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	srv := &http.Server{Handler: h}
+	result = make(chan error, 1)
+	go func() { result <- ServeGraceful(ctx, srv, ln, drain, after) }()
+	return "http://" + ln.Addr().String(), cancelCtx, result
+}
+
+// TestServeGracefulDrainsInFlight: a request in flight when shutdown
+// begins completes, and ServeGraceful returns nil — without the fake
+// drain clock ever advancing, proving no real deadline was involved.
+func TestServeGracefulDrainsInFlight(t *testing.T) {
+	clk := faults.NewClock(time.Unix(0, 0))
+	h := &blockingHandler{entered: make(chan struct{}), release: make(chan struct{})}
+	base, cancel, result := startGraceful(t, h, time.Minute, clk.After)
+
+	got := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(base + "/x")
+		if err == nil {
+			defer resp.Body.Close()
+			_, err = io.ReadAll(resp.Body)
+		}
+		got <- err
+	}()
+	<-h.entered // the request is now in flight
+	cancel()    // begin shutdown
+	clk.AwaitTimers(1)
+	close(h.release) // let the in-flight request finish
+
+	if err := <-got; err != nil {
+		t.Fatalf("in-flight request failed: %v", err)
+	}
+	if err := <-result; err != nil {
+		t.Fatalf("ServeGraceful = %v, want nil (clean drain)", err)
+	}
+	// New connections are refused after shutdown.
+	if _, err := http.Get(base + "/x"); err == nil {
+		t.Fatal("request after shutdown succeeded")
+	}
+}
+
+// TestServeGracefulDrainDeadline: when the fake clock passes the drain
+// budget with a request still blocked, ServeGraceful force-closes and
+// reports the drain context error.
+func TestServeGracefulDrainDeadline(t *testing.T) {
+	clk := faults.NewClock(time.Unix(0, 0))
+	h := &blockingHandler{entered: make(chan struct{}), release: make(chan struct{})}
+	base, cancel, result := startGraceful(t, h, 30*time.Second, clk.After)
+
+	go func() {
+		resp, err := http.Get(base + "/x")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-h.entered
+	cancel()
+	clk.AwaitTimers(1)       // the drain timer is armed
+	clk.Advance(time.Minute) // blow the deadline
+
+	err := <-result
+	if err == nil {
+		t.Fatal("ServeGraceful = nil, want drain-deadline error")
+	}
+	close(h.release)
+}
+
+// TestServeGracefulServeError: a listener failure surfaces as the Serve
+// error without waiting for ctx.
+func TestServeGracefulServeError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // Serve will fail immediately on the closed listener
+	srv := &http.Server{Handler: http.NotFoundHandler()}
+	if err := ServeGraceful(context.Background(), srv, ln, 0, nil); err == nil {
+		t.Fatal("ServeGraceful on closed listener = nil, want error")
+	}
+}
+
+// TestServeGracefulNoDrainBudget: drain <= 0 waits for in-flight
+// requests with no deadline at all.
+func TestServeGracefulNoDrainBudget(t *testing.T) {
+	h := &blockingHandler{entered: make(chan struct{}), release: make(chan struct{})}
+	base, cancel, result := startGraceful(t, h, 0, nil)
+
+	go func() {
+		resp, err := http.Get(base + "/x")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-h.entered
+	cancel()
+	close(h.release)
+	if err := <-result; err != nil {
+		t.Fatalf("ServeGraceful = %v, want nil", err)
+	}
+}

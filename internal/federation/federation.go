@@ -31,6 +31,7 @@ import (
 
 	"applab/internal/rdf"
 	"applab/internal/sparql"
+	"applab/internal/telemetry"
 )
 
 // Member is one federated endpoint.
@@ -96,6 +97,9 @@ type Federation struct {
 	// collector processes it — an observability hook for metrics and for
 	// deterministic sequencing in tests.
 	OnResult func(MemberResult)
+	// Metrics, when set, records fan-out counts, per-member latency,
+	// failures and demotions in the registry (see metrics.go).
+	Metrics *telemetry.Registry
 
 	members []Member
 
@@ -282,7 +286,12 @@ func (f *Federation) MatchReport(s, p, o rdf.Term) ([]rdf.Triple, Report) {
 	resCh := make(chan result, len(targets))
 	for i, idx := range targets {
 		go func(pos, idx int) {
+			start := f.now()
 			triples, err := matchMember(members[idx].Source, s, p, o)
+			// Observed before the send, so once the collector has every
+			// answer the histogram is already settled — golden tests can
+			// assert it deterministically.
+			f.noteMemberLatency(members[idx].Name, f.now().Sub(start))
 			resCh <- result{pos: pos, triples: triples, err: err}
 		}(i, idx)
 	}
@@ -329,6 +338,7 @@ collect:
 	for i, idx := range targets {
 		name := members[idx].Name
 		f.stats[name]++
+		f.noteMemberRequest(name)
 		mr := MemberResult{Member: name}
 		if r := outcomes[i]; r == nil {
 			mr.TimedOut = true
@@ -339,12 +349,15 @@ collect:
 		f.recordHealthLocked(name, mr, now)
 		if !mr.OK() {
 			rep.Partial = true
+			f.noteMemberFailure(name)
 		}
 		rep.Results = append(rep.Results, mr)
 	}
 	for _, idx := range skipped {
-		mr := MemberResult{Member: members[idx].Name, Skipped: true}
+		name := members[idx].Name
+		mr := MemberResult{Member: name, Skipped: true}
 		rep.Partial = true
+		f.noteMemberSkip(name)
 		rep.Results = append(rep.Results, mr)
 	}
 	// Capability learning stays sound only on complete fan-outs: a member
@@ -361,6 +374,7 @@ collect:
 		}
 	}
 	f.mu.Unlock()
+	f.noteFanout(rep.Partial)
 
 	if f.OnResult != nil {
 		for _, mr := range rep.Results {
@@ -410,6 +424,9 @@ func (f *Federation) recordHealthLocked(name string, mr MemberResult, now time.T
 	}
 	h.consecFails++
 	if f.demoteAfter() > 0 && h.consecFails >= f.demoteAfter() {
+		if !h.demoted {
+			f.noteDemotion(name)
+		}
 		h.demoted = true
 		h.demotedAt = now
 	}

@@ -1,0 +1,13 @@
+package obda
+
+// Metric registration helpers for the OBDA layer. The adapter's
+// window caches and client report under the opendap_* names; the only
+// obda-native series counts physical fetches across all windows (the
+// Calls counter the benchmarks already read). One call site per name
+// literal, nil-safe throughout.
+
+// notePhysicalFetch counts one fetch that reached the OPeNDAP server
+// (i.e. was not absorbed by a window cache).
+func (a *OpendapAdapter) notePhysicalFetch() {
+	a.Metrics.Counter("obda_physical_fetches_total").Inc()
+}

@@ -10,6 +10,7 @@ import (
 	"applab/internal/madis"
 	"applab/internal/netcdf"
 	"applab/internal/opendap"
+	"applab/internal/telemetry"
 )
 
 // OpendapAdapter registers the `opendap` virtual table function with a
@@ -46,6 +47,11 @@ type OpendapAdapter struct {
 	// earlier keep their setting.
 	ServeStale bool
 
+	// Metrics, when set, counts physical fetches and flows into every
+	// window cache the adapter creates (set before the first query, like
+	// ServeStale).
+	Metrics *telemetry.Registry
+
 	mu     sync.Mutex
 	caches map[time.Duration]*opendap.WindowCache
 	// Now overrides the cache clock in tests.
@@ -73,6 +79,7 @@ func (a *OpendapAdapter) cacheFor(w time.Duration) *opendap.WindowCache {
 	if !ok {
 		c = opendap.NewWindowCache(countingFetcher{a}, w)
 		c.StaleWhileError = a.ServeStale
+		c.Metrics = a.Metrics
 		if a.Now != nil {
 			c.Now = a.Now
 		}
@@ -89,6 +96,7 @@ func (f countingFetcher) Fetch(name string, c opendap.Constraint) (*netcdf.Datas
 	f.a.mu.Lock()
 	f.a.calls++
 	f.a.mu.Unlock()
+	f.a.notePhysicalFetch()
 	return f.a.client.Fetch(name, c)
 }
 

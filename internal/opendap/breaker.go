@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"applab/internal/telemetry"
 )
 
 // ErrCircuitOpen is returned by Client calls (and Breaker.Allow) while
@@ -51,6 +53,9 @@ type Breaker struct {
 	Cooldown time.Duration
 	// Now allows tests to control the clock; time.Now when nil.
 	Now func() time.Time
+	// Metrics, when set, tracks the circuit state and its transitions
+	// (see metrics.go).
+	Metrics *telemetry.Registry
 
 	mu       sync.Mutex
 	state    BreakerState
@@ -86,6 +91,16 @@ func (b *Breaker) cooldown() time.Duration {
 	return 10 * time.Second
 }
 
+// setState transitions the circuit, recording real changes in the
+// registry. Called with b.mu held.
+func (b *Breaker) setState(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	b.noteState(s)
+}
+
 // Allow reports whether a request may proceed, transitioning open →
 // half-open when the cooldown has elapsed. Every successful Allow must
 // be matched by a Record call with the request's outcome.
@@ -99,7 +114,7 @@ func (b *Breaker) Allow() error {
 		if b.now().Sub(b.openedAt) < b.cooldown() {
 			return ErrCircuitOpen
 		}
-		b.state = BreakerHalfOpen
+		b.setState(BreakerHalfOpen)
 		b.probing = true
 		return nil
 	default: // BreakerHalfOpen
@@ -117,13 +132,13 @@ func (b *Breaker) Record(err error) {
 	defer b.mu.Unlock()
 	b.probing = false
 	if err == nil {
-		b.state = BreakerClosed
+		b.setState(BreakerClosed)
 		b.consec = 0
 		return
 	}
 	b.consec++
 	if b.state == BreakerHalfOpen || b.consec >= b.threshold() {
-		b.state = BreakerOpen
+		b.setState(BreakerOpen)
 		b.openedAt = b.now()
 	}
 }

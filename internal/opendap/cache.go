@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"applab/internal/netcdf"
+	"applab/internal/telemetry"
 )
 
 // CacheStats reports cache effectiveness.
@@ -40,6 +41,9 @@ type WindowCache struct {
 	window time.Duration
 	// Now allows tests to control the clock; time.Now when nil.
 	Now func() time.Time
+	// Metrics, when set, mirrors the hit/miss/stale counters into the
+	// registry (see metrics.go) so they are visible outside tests.
+	Metrics *telemetry.Registry
 	// StaleWhileError, when set, serves the last cached window — even an
 	// expired one — when the upstream fetch fails, instead of failing the
 	// query. Served datasets are flagged via the StaleAttr attribute
@@ -102,6 +106,7 @@ func (c *WindowCache) Fetch(name string, constraint Constraint) (*netcdf.Dataset
 		if e, ok := c.entries[key]; ok && now.Sub(e.fetched) < c.window {
 			c.stats.Hits++
 			c.mu.Unlock()
+			c.cacheHit()
 			return e.ds, nil
 		}
 		c.mu.Unlock()
@@ -113,6 +118,7 @@ func (c *WindowCache) Fetch(name string, constraint Constraint) (*netcdf.Dataset
 			if e, ok := c.entries[key]; ok {
 				c.stats.Stale++
 				c.mu.Unlock()
+				c.cacheStale()
 				return markStale(e.ds), nil
 			}
 			c.mu.Unlock()
@@ -125,6 +131,7 @@ func (c *WindowCache) Fetch(name string, constraint Constraint) (*netcdf.Dataset
 		c.entries[key] = windowEntry{ds: ds, fetched: now}
 	}
 	c.mu.Unlock()
+	c.cacheMiss()
 	return ds, nil
 }
 

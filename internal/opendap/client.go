@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"applab/internal/netcdf"
+	"applab/internal/telemetry"
 )
 
 // Client talks to an OPeNDAP server. The zero-value resilience knobs
@@ -42,6 +43,15 @@ type Client struct {
 	// Breaker, when set, fail-fasts requests after consecutive upstream
 	// failures instead of stacking them behind timeouts.
 	Breaker *Breaker
+
+	// Metrics, when set, records fetch latency, retries and final
+	// failures (see metrics.go). Nil disables instrumentation at zero
+	// cost.
+	Metrics *telemetry.Registry
+	// Now is the latency clock used for the fetch histogram; time.Now
+	// when nil. Tests drive it from a faults.Clock so observed
+	// durations are exact.
+	Now func() time.Time
 
 	// Sleep is the backoff hook; time.Sleep when nil. Tests install a
 	// recorder so the retry matrix runs with zero real-time sleeps.
@@ -90,6 +100,13 @@ func (c *Client) after(d time.Duration) <-chan time.Time {
 		return c.After(d)
 	}
 	return time.After(d)
+}
+
+func (c *Client) clock() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
 }
 
 // backoff computes the sleep before retry attempt n (n >= 1).
@@ -209,17 +226,21 @@ func (c *Client) do(path, rawQuery string, decode func([]byte) error) error {
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			c.metricRetries().Inc()
 			c.sleep(c.backoff(i))
 		}
 		if b := c.Breaker; b != nil {
 			if err := b.Allow(); err != nil {
+				c.metricRequestErrors().Inc()
 				if lastErr != nil {
 					return fmt.Errorf("%w (last attempt: %v)", err, lastErr)
 				}
 				return err
 			}
 		}
+		start := c.clock()
 		a := c.once(u)
+		c.metricFetchSeconds().ObserveDuration(c.clock().Sub(start))
 		if a.err == nil && decode != nil {
 			if derr := decode(a.body); derr != nil {
 				a = attempt{err: fmt.Errorf("opendap: decode %s: %v", u, derr),
@@ -238,9 +259,11 @@ func (c *Client) do(path, rawQuery string, decode func([]byte) error) error {
 		}
 		lastErr = a.err
 		if !a.retryable {
+			c.metricRequestErrors().Inc()
 			return a.err
 		}
 	}
+	c.metricRequestErrors().Inc()
 	if attempts > 1 {
 		return fmt.Errorf("opendap: giving up after %d attempts: %w", attempts, lastErr)
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"applab/internal/netcdf"
+	"applab/internal/telemetry"
 )
 
 // Server is an OPeNDAP (DAP2-subset) HTTP server over a set of named
@@ -36,6 +37,10 @@ type Server struct {
 	// tokens and tracks per-user dataset usage (the paper's §5 RAMANI
 	// token scheme). Metadata routes stay open.
 	Auth *AccessControl
+
+	// Metrics, when set, counts handled requests in the registry (see
+	// metrics.go).
+	Metrics *telemetry.Registry
 
 	requests atomic.Int64
 }
@@ -66,6 +71,7 @@ func (s *Server) Requests() int64 { return s.requests.Load() }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	s.noteServerRequest()
 	path := strings.TrimPrefix(r.URL.Path, "/")
 	if path == "catalog" {
 		s.mu.RLock()

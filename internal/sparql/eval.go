@@ -71,6 +71,7 @@ func (q *Query) eval(src Source, workers, threshold int) (*Results, error) {
 	prog := compileQuery(q, src)
 	ec := &execCtx{src: src, workers: workers, threshold: threshold}
 	rows := runOps(ec, prog.ops, []row{make(row, prog.vt.size())})
+	noteRows(len(rows))
 	sols := rowsToBindings(rows, prog.vt)
 	switch q.Type {
 	case QueryAsk:

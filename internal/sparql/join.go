@@ -161,6 +161,7 @@ func (sc *scanOp) run(ec *execCtx, in []row) []row {
 	if sc.canHash && len(sc.keys) == 0 {
 		// No position can be bound by incoming rows: one Match serves
 		// every row (cross-join materialization).
+		noteJoinStrategy("cross")
 		matches := ec.src.Match(sc.s, sc.p, sc.o)
 		if len(matches) == 0 {
 			return nil
@@ -182,8 +183,10 @@ func (sc *scanOp) run(ec *execCtx, in []row) []row {
 	// no larger than the probe side: per-row index probes are cheap, so
 	// materializing and keying a big build set loses outright.
 	if sc.canHash && len(in) >= hashJoinMinRows && sc.est >= 0 && sc.est <= len(in) {
+		noteJoinStrategy("hash")
 		return sc.hashJoin(ec, in)
 	}
+	noteJoinStrategy("nested_loop")
 	return chunked(ec, in, func(rows []row) []row {
 		var out []row
 		var ar rowArena

@@ -1,0 +1,56 @@
+package sparql
+
+import (
+	"sync/atomic"
+
+	"applab/internal/telemetry"
+)
+
+// The compiled engine is configured package-wide (like SetQueryWorkers),
+// so its registry hookup is too: SetMetrics installs the registry all
+// query evaluations report into. Every sparql metric name literal lives
+// in this file, one call site each (enforced by the applab-lint
+// telemetry checker), and everything no-ops while no registry is set.
+
+var engineMetrics atomic.Pointer[telemetry.Registry]
+
+// SetMetrics installs (or, with nil, removes) the registry the query
+// engine reports planning and execution metrics into. Safe for
+// concurrent use with running queries.
+func SetMetrics(r *telemetry.Registry) {
+	engineMetrics.Store(r)
+}
+
+func metricsReg() *telemetry.Registry {
+	return engineMetrics.Load()
+}
+
+// notePatternsPlanned counts triple patterns lowered through the BGP
+// planner.
+func notePatternsPlanned(n int) {
+	metricsReg().Counter("sparql_patterns_planned_total").Add(int64(n))
+}
+
+// noteJoinStrategy counts one scan operator execution by the join
+// strategy its run chose: "cross" (cross-join materialization), "hash"
+// (hash join) or "nested_loop" (per-row index probes).
+func noteJoinStrategy(strategy string) {
+	metricsReg().Counter("sparql_join_strategy_total", "strategy", strategy).Inc()
+}
+
+// noteRows counts solution rows produced by WHERE-clause evaluation
+// (before projection/aggregation).
+func noteRows(n int) {
+	metricsReg().Counter("sparql_rows_total").Add(int64(n))
+}
+
+// noteParallelStage tracks worker-pool occupancy around one parallel
+// stage: the chunk counter records fan-out volume, the busy gauge holds
+// the number of in-flight chunk goroutines.
+func noteParallelStage(chunks int) func() {
+	reg := metricsReg()
+	reg.Counter("sparql_parallel_chunks_total").Add(int64(chunks))
+	busy := reg.Gauge("sparql_workers_busy")
+	busy.Add(float64(chunks))
+	return func() { busy.Add(-float64(chunks)) }
+}

@@ -119,6 +119,8 @@ func chunked(ec *execCtx, in []row, fn func([]row) []row) []row {
 	}
 	size := (len(in) + w - 1) / w
 	nchunks := (len(in) + size - 1) / size
+	done := noteParallelStage(nchunks)
+	defer done()
 	outs := make([][]row, nchunks)
 	var wg sync.WaitGroup
 	for i := 0; i < nchunks; i++ {
@@ -465,6 +467,7 @@ func mergeUnionStates(base map[string]varState, branches []map[string]varState) 
 // pattern to a scan operator.
 func (c *compiler) compileBGP(pats []TriplePattern) []op {
 	ordered := c.plan(pats)
+	notePatternsPlanned(len(ordered))
 	ops := make([]op, 0, len(ordered))
 	for _, tp := range ordered {
 		ops = append(ops, c.newScanOp(tp))

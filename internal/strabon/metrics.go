@@ -1,0 +1,36 @@
+package strabon
+
+import (
+	"strconv"
+
+	"applab/internal/telemetry"
+)
+
+// Store sizes are values the stores already track, so they surface as
+// callback gauges evaluated at snapshot time — zero cost on the write
+// path. GaugeFunc panics on double registration, so RegisterMetrics
+// must be called once per store per registry (daemon startup does).
+// Every strabon metric name literal lives here, one call site each.
+
+// RegisterMetrics exposes the store's triple count as the
+// strabon_triples gauge.
+func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
+	registerTriplesGauge(reg, s.Len)
+}
+
+// RegisterMetrics exposes the total triple count as strabon_triples and
+// each shard's size as strabon_shard_triples{shard="i"}.
+func (s *ShardedStore) RegisterMetrics(reg *telemetry.Registry) {
+	registerTriplesGauge(reg, s.Len)
+	for i, sh := range s.shards {
+		reg.GaugeFunc("strabon_shard_triples", lenGauge(sh.Len), "shard", strconv.Itoa(i))
+	}
+}
+
+func registerTriplesGauge(reg *telemetry.Registry, n func() int) {
+	reg.GaugeFunc("strabon_triples", lenGauge(n))
+}
+
+func lenGauge(n func() int) func() float64 {
+	return func() float64 { return float64(n()) }
+}

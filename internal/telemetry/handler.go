@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// NewHandler returns the observability mux: Prometheus text format at
+// /metrics and a JSON dump (snapshot + recent traces) at /debug/applab.
+// The same handler is what -metrics-addr serves in the daemons.
+func NewHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//lint:ignore errcheck best-effort HTTP response write; a vanished scraper is not a server error
+		w.Write([]byte(r.RenderText()))
+	})
+	mux.HandleFunc("/debug/applab", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
+		enc.Encode(struct {
+			Metrics Snapshot    `json:"metrics"`
+			Traces  []TraceView `json:"traces"`
+		}{r.Snapshot(), r.RecentTraces()})
+	})
+	return mux
+}
+
+// RenderText renders the registry in the Prometheus text exposition
+// format, series sorted by key, histograms expanded into cumulative
+// _bucket{le=...} series plus _sum and _count. Nil-safe.
+func (r *Registry) RenderText() string {
+	snap := r.Snapshot()
+	var sb strings.Builder
+	for _, k := range sortedKeys(snap.Counters) {
+		fmt.Fprintf(&sb, "%s %d\n", k, snap.Counters[k])
+	}
+	for _, k := range sortedKeys(snap.Gauges) {
+		fmt.Fprintf(&sb, "%s %s\n", k, formatFloat(snap.Gauges[k]))
+	}
+	for _, k := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[k]
+		cum := int64(0)
+		for i, b := range h.Buckets {
+			cum += h.Counts[i]
+			fmt.Fprintf(&sb, "%s %d\n", histSeries(k, "_bucket", formatFloat(b)), cum)
+		}
+		fmt.Fprintf(&sb, "%s %d\n", histSeries(k, "_bucket", "+Inf"), cum+h.Inf)
+		fmt.Fprintf(&sb, "%s %s\n", suffixSeries(k, "_sum"), formatFloat(h.Sum))
+		fmt.Fprintf(&sb, "%s %d\n", suffixSeries(k, "_count"), h.Count)
+	}
+	return sb.String()
+}
+
+// suffixSeries inserts a name suffix into a series key, before any
+// label block: `h{k="v"}` + `_sum` -> `h_sum{k="v"}`.
+func suffixSeries(key, suffix string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i] + suffix + key[i:]
+	}
+	return key + suffix
+}
+
+// histSeries renders a bucket series key with the le label appended to
+// any existing labels.
+func histSeries(key, suffix, le string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i] + suffix + key[i:len(key)-1] + `,le="` + le + `"}`
+	}
+	return key + suffix + `{le="` + le + `"}`
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentWritersAndSnapshot hammers every metric kind from many
+// goroutines while a reader snapshots and renders, then asserts the
+// exact totals. Run under -race this is the package's memory-model
+// proof.
+func TestConcurrentWritersAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 1000
+
+	var wg sync.WaitGroup
+	var readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerWG.Add(1)
+	go func() { // snapshot + render reader racing the writers
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Snapshot()
+				_ = r.RenderText()
+			}
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Every writer touches shared series and its own labelled one.
+			c := r.Counter("race_ops_total")
+			own := r.Counter("race_writer_total", "writer", fmt.Sprint(w))
+			g := r.Gauge("race_level")
+			h := r.Histogram("race_seconds", []float64{0.5})
+			tr := r.StartTrace(fmt.Sprintf("trace_%d", w))
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				own.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+				sp := tr.StartSpan("step", r.now())
+				sp.End(r.now())
+			}
+			tr.End(r, r.now())
+		}(w)
+	}
+	// Writers race each other on first-use registration too.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.GaugeFunc("race_fixed", func() float64 { return 42 }, "writer", fmt.Sprint(w))
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	snap := r.Snapshot()
+	if got := snap.Counters["race_ops_total"]; got != writers*perWriter {
+		t.Fatalf("shared counter = %d, want %d", got, writers*perWriter)
+	}
+	for w := 0; w < writers; w++ {
+		key := fmt.Sprintf(`race_writer_total{writer="%d"}`, w)
+		if got := snap.Counters[key]; got != perWriter {
+			t.Fatalf("%s = %d, want %d", key, got, perWriter)
+		}
+	}
+	if got := snap.Gauges["race_level"]; got != writers*perWriter {
+		t.Fatalf("gauge = %v, want %d", got, writers*perWriter)
+	}
+	h := snap.Histograms["race_seconds"]
+	if h.Count != writers*perWriter || h.Counts[0] != writers*perWriter {
+		t.Fatalf("histogram count = %d/%v, want %d", h.Count, h.Counts, writers*perWriter)
+	}
+	if h.Sum != 0.25*writers*perWriter {
+		t.Fatalf("histogram sum = %v, want %v", h.Sum, 0.25*writers*perWriter)
+	}
+	if got := snap.Gauges[`race_fixed{writer="3"}`]; got != 42 {
+		t.Fatalf("gauge func = %v, want 42", got)
+	}
+}

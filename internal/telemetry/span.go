@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Trace is one request's span tree: a named root (e.g. the SPARQL query
+// endpoint hit) plus flat child spans for each stage or fan-out leg.
+// Spans record wall-clock instants from the registry's Now hook, so
+// under the fake clock every duration is exact.
+type Trace struct {
+	Name  string
+	Start time.Time
+
+	mu    sync.Mutex
+	end   time.Time
+	spans []*Span
+	done  bool
+}
+
+// Span is one timed stage within a trace.
+type Span struct {
+	Name  string
+	Start time.Time
+
+	mu    sync.Mutex
+	end   time.Time
+	attrs []Attr
+	done  bool
+}
+
+// Attr is one key/value annotation on a span (member name, row count…).
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// StartTrace begins a trace clocked by the registry. Nil-safe: a nil
+// registry returns a nil trace whose methods no-op, so handler code is
+// unconditional.
+func (r *Registry) StartTrace(name string) *Trace {
+	if r == nil {
+		return nil
+	}
+	return &Trace{Name: name, Start: r.now()}
+}
+
+// StartSpan opens a child span at now.
+func (t *Trace) StartSpan(name string, now time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{Name: name, Start: now}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// End closes the span at now; later Ends are ignored.
+func (s *Span) End(now time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done {
+		s.done = true
+		s.end = now
+	}
+	s.mu.Unlock()
+}
+
+// Annotate attaches a key/value attribute to the span.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Duration is End-Start, or zero while the span is open.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		return 0
+	}
+	return s.end.Sub(s.Start)
+}
+
+// End closes the trace at now and records it in the registry's recent
+// ring (if the registry is non-nil). Later Ends are ignored.
+func (t *Trace) End(r *Registry, now time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	already := t.done
+	if !already {
+		t.done = true
+		t.end = now
+	}
+	t.mu.Unlock()
+	if already || r == nil {
+		return
+	}
+	r.traceMu.Lock()
+	r.traces = append(r.traces, t)
+	if len(r.traces) > maxTraces {
+		r.traces = r.traces[len(r.traces)-maxTraces:]
+	}
+	r.traceMu.Unlock()
+}
+
+// Duration is End-Start, or zero while the trace is open.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.done {
+		return 0
+	}
+	return t.end.Sub(t.Start)
+}
+
+// SpanView is a frozen span for JSON exposition and test assertions.
+type SpanView struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Attrs   []Attr  `json:"attrs,omitempty"`
+}
+
+// TraceView is a frozen trace.
+type TraceView struct {
+	Name    string     `json:"name"`
+	Seconds float64    `json:"seconds"`
+	Spans   []SpanView `json:"spans,omitempty"`
+}
+
+// View freezes the trace. Open spans report zero seconds.
+func (t *Trace) View() TraceView {
+	if t == nil {
+		return TraceView{}
+	}
+	tv := TraceView{Name: t.Name, Seconds: t.Duration().Seconds()}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	for _, sp := range spans {
+		sp.mu.Lock()
+		sv := SpanView{Name: sp.Name, Attrs: append([]Attr(nil), sp.attrs...)}
+		if sp.done {
+			sv.Seconds = sp.end.Sub(sp.Start).Seconds()
+		}
+		sp.mu.Unlock()
+		tv.Spans = append(tv.Spans, sv)
+	}
+	return tv
+}
+
+// RecentTraces returns views of the registry's trace ring, oldest
+// first. Nil-safe.
+func (r *Registry) RecentTraces() []TraceView {
+	if r == nil {
+		return nil
+	}
+	r.traceMu.Lock()
+	traces := append([]*Trace(nil), r.traces...)
+	r.traceMu.Unlock()
+	out := make([]TraceView, len(traces))
+	for i, t := range traces {
+		out[i] = t.View()
+	}
+	return out
+}
+
+// traceKey is the context key for the active trace.
+type traceKey struct{}
+
+// WithTrace returns ctx carrying the trace.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
