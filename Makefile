@@ -3,13 +3,13 @@ GO ?= go
 # Packages exercised under the race detector: the concurrent query stack
 # (sharded store, OPeNDAP caches, federation fan-out, interlinking) plus
 # the fault-injection harness and the SPARQL HTTP transport it exercises.
-RACE_PKGS = ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ ./internal/federation/ ./internal/interlink/ ./internal/faults/ ./internal/endpoint/ ./internal/telemetry/ ./internal/e2e/
+RACE_PKGS = ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ ./internal/federation/ ./internal/interlink/ ./internal/faults/ ./internal/endpoint/ ./internal/telemetry/ ./internal/admission/ ./internal/e2e/
 
 # End-to-end suites: the golden two-workflow test over live loopback
 # servers plus the cmd-level boot/query/shutdown tests.
 E2E_PKGS = ./internal/e2e/ ./cmd/strabon/ ./cmd/opendapd/
 
-.PHONY: all build test lint race fmt vet fuzz bench bench-telemetry e2e ci
+.PHONY: all build test lint race fmt vet fuzz bench bench-telemetry bench-budget e2e ci
 
 all: build
 
@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzParseDDS$$' -fuzztime=2s ./internal/opendap/
 	$(GO) test -run='^$$' -fuzz='^FuzzApplyConstraint$$' -fuzztime=2s ./internal/opendap/
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=3s ./internal/sparql/
+	$(GO) test -run='^$$' -fuzz='^FuzzLoad$$' -fuzztime=3s ./internal/strabon/
 
 # Engine benchmarks: the in-package BenchmarkEngine_* family, plus the
 # seed-vs-compiled comparison recorded machine-readably in BENCH_PR3.json.
@@ -52,6 +53,11 @@ bench:
 # ns/op budget.
 bench-telemetry:
 	$(GO) run ./cmd/applab-bench -telemetry-json BENCH_PR4.json
+
+# Budget overhead comparison (budgeted vs unlimited engine), recorded in
+# BENCH_PR5.json; fails if Engine_BGPJoin exceeds the 5% ns/op budget.
+bench-budget:
+	$(GO) run ./cmd/applab-bench -budget-json BENCH_PR5.json
 
 # End-to-end golden suite: boots both Figure-1 workflows on loopback
 # servers and asserts exact telemetry counters (see internal/e2e).

@@ -27,7 +27,7 @@ echo "== go test -race (concurrent query stack + fault injection + telemetry)"
 go test -race ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ \
     ./internal/federation/ ./internal/interlink/ \
     ./internal/faults/ ./internal/endpoint/ \
-    ./internal/telemetry/ ./internal/e2e/
+    ./internal/telemetry/ ./internal/admission/ ./internal/e2e/
 
 echo "== e2e golden suite (both workflows over live loopback servers)"
 make e2e
@@ -53,6 +53,7 @@ check_cover ./internal/opendap/ 85
 check_cover ./internal/federation/ 85
 check_cover ./internal/telemetry/ 90
 check_cover ./internal/sparql/ 80
+check_cover ./internal/admission/ 90
 
 echo "== fuzz smoke (seed corpus + a few seconds of mutation)"
 # One -fuzz target per invocation: the flag rejects patterns matching
@@ -62,6 +63,12 @@ go test -run='^$' -fuzz='^FuzzParseConstraint$' -fuzztime=2s ./internal/opendap/
 go test -run='^$' -fuzz='^FuzzParseDDS$' -fuzztime=2s ./internal/opendap/
 go test -run='^$' -fuzz='^FuzzApplyConstraint$' -fuzztime=2s ./internal/opendap/
 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime=3s ./internal/sparql/
+go test -run='^$' -fuzz='^FuzzLoad$' -fuzztime=3s ./internal/strabon/
+
+echo "== budget overhead gate (budgeted vs unlimited engine)"
+# Query budgets may not slow the engine down: applab-bench fails when
+# Engine_BGPJoin's budgeted path exceeds the 5% ns/op overhead budget.
+go run ./cmd/applab-bench -budget-json BENCH_PR5.json
 
 echo "== bench compile smoke"
 # Benchmarks must at least compile and run one iteration; keeps the

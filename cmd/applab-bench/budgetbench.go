@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"applab/internal/admission"
+	"applab/internal/sparql"
+)
+
+// The -budget-json mode measures what query budgets cost the engine:
+// every engine workload runs on the unlimited path (plain Eval — no
+// budget, background context) and on the budgeted path (EvalContext
+// with per-query row caps generous enough never to trip, so only the
+// bookkeeping is measured: the per-row tick counters and the shared
+// atomic charge every budgetCheckInterval rows). The deadline dimension
+// is deliberately left off — it costs one goroutine+timer per query,
+// not per row, and arming tens of thousands of 30s timers inside a
+// benchmark loop measures the runtime timer heap, not the engine.
+
+// maxBudgetOverheadPct is the ns/op budget the budgeted engine must
+// meet on Engine_BGPJoin.
+const maxBudgetOverheadPct = 5.0
+
+type budgetBenchRecord struct {
+	Name            string  `json:"name"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	BudgetedNsPerOp float64 `json:"budgeted_ns_per_op"`
+	OverheadPct     float64 `json:"overhead_pct"`
+	BudgetPct       float64 `json:"budget_pct"`
+	Enforced        bool    `json:"enforced"`
+}
+
+// runBudgetBenchJSON measures budgeted-vs-unlimited engine evaluation,
+// writes the records to path, and fails when Engine_BGPJoin blows the
+// overhead budget.
+func runBudgetBenchJSON(path string) error {
+	g := engineBenchGraph(5000)
+	limits := admission.Limits{MaxIntermediate: 1 << 40, MaxRows: 1 << 40}
+	var records []budgetBenchRecord
+	for _, bq := range engineBenchQueries {
+		parsed, err := sparql.Parse(bq.query)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", bq.name, err)
+		}
+		base, err := bestNsPerOp(telemetryBenchTrials, func() (*sparql.Results, error) {
+			return parsed.Eval(g)
+		})
+		if err != nil {
+			return fmt.Errorf("%s baseline: %w", bq.name, err)
+		}
+		budgeted, err := bestNsPerOp(telemetryBenchTrials, func() (*sparql.Results, error) {
+			ctx := admission.WithBudget(context.Background(), admission.NewBudget(limits, nil))
+			return parsed.EvalContext(ctx, g)
+		})
+		if err != nil {
+			return fmt.Errorf("%s budgeted: %w", bq.name, err)
+		}
+
+		rec := budgetBenchRecord{
+			Name:            bq.name,
+			BaselineNsPerOp: base,
+			BudgetedNsPerOp: budgeted,
+			OverheadPct:     (budgeted - base) / base * 100,
+			BudgetPct:       maxBudgetOverheadPct,
+			Enforced:        bq.name == "Engine_BGPJoin",
+		}
+		records = append(records, rec)
+		fmt.Printf("%-18s unlimited %12.0f ns/op   budgeted %12.0f ns/op   overhead %+6.2f%%\n",
+			rec.Name, rec.BaselineNsPerOp, rec.BudgetedNsPerOp, rec.OverheadPct)
+	}
+
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, rec := range records {
+		if rec.Enforced && rec.OverheadPct >= rec.BudgetPct {
+			return fmt.Errorf("%s budget overhead %.2f%% exceeds the %.0f%% budget",
+				rec.Name, rec.OverheadPct, rec.BudgetPct)
+		}
+	}
+	return nil
+}

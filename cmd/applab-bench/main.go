@@ -27,11 +27,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("applab-bench: ")
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (e1..e7, f1..f4) or 'all'")
-		outPath  = flag.String("out", "paris.svg", "output path for F4's SVG")
-		quick    = flag.Bool("quick", false, "smaller scales for a fast smoke run")
-		jsonPath = flag.String("json", "", "benchmark the SPARQL engine (seed vs compiled) and write the records to this file, then exit")
-		telePath = flag.String("telemetry-json", "", "benchmark the engine instrumented vs uninstrumented, write the comparison to this file (enforcing the Engine_BGPJoin overhead budget), then exit")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (e1..e7, f1..f4) or 'all'")
+		outPath    = flag.String("out", "paris.svg", "output path for F4's SVG")
+		quick      = flag.Bool("quick", false, "smaller scales for a fast smoke run")
+		jsonPath   = flag.String("json", "", "benchmark the SPARQL engine (seed vs compiled) and write the records to this file, then exit")
+		telePath   = flag.String("telemetry-json", "", "benchmark the engine instrumented vs uninstrumented, write the comparison to this file (enforcing the Engine_BGPJoin overhead budget), then exit")
+		budgetPath = flag.String("budget-json", "", "benchmark the engine with vs without query budgets, write the comparison to this file (enforcing the Engine_BGPJoin overhead budget), then exit")
 	)
 	flag.Parse()
 
@@ -44,6 +45,12 @@ func main() {
 	if *telePath != "" {
 		if err := runTelemetryBenchJSON(*telePath); err != nil {
 			log.Fatalf("telemetry bench: %v", err)
+		}
+		return
+	}
+	if *budgetPath != "" {
+		if err := runBudgetBenchJSON(*budgetPath); err != nil {
+			log.Fatalf("budget bench: %v", err)
 		}
 		return
 	}

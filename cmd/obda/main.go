@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"applab/internal/admission"
 	"applab/internal/madis"
 	"applab/internal/obda"
 	"applab/internal/opendap"
@@ -42,6 +44,10 @@ func main() {
 
 		queryWorkers      = flag.Int("query-workers", 0, "SPARQL evaluator worker pool size (0 = GOMAXPROCS; capped at GOMAXPROCS; parallel execution stays off for remote-backed sources)")
 		parallelThreshold = flag.Int("parallel-threshold", 0, "minimum intermediate solutions before the evaluator parallelizes a stage (0 = default)")
+
+		queryDeadline   = flag.Duration("query-deadline", 0, "wall-clock budget for the query, including mapping execution (0 disables)")
+		maxRows         = flag.Int("max-rows", 0, "cap on final result rows (0 disables)")
+		maxIntermediate = flag.Int("max-intermediate", 0, "cap on intermediate solution rows examined (0 disables)")
 
 		metricsAddr = flag.String("metrics-addr", "", "address to serve /metrics and /debug/applab on while the query runs; the final Prometheus text is also dumped to stderr")
 	)
@@ -94,7 +100,20 @@ func main() {
 	}
 
 	vg := obda.NewVirtualGraph(db, mappings)
-	res, err := vg.Query(*query)
+	ctx := context.Background()
+	limits := admission.Limits{
+		Deadline:        *queryDeadline,
+		MaxRows:         *maxRows,
+		MaxIntermediate: *maxIntermediate,
+	}
+	if limits.Enabled() {
+		budget := admission.NewBudget(limits, reg)
+		var stopDeadline context.CancelFunc
+		ctx = admission.WithBudget(ctx, budget)
+		ctx, stopDeadline = budget.StartDeadline(ctx, nil)
+		defer stopDeadline()
+	}
+	res, err := vg.QueryContext(ctx, *query)
 	if err != nil {
 		log.Fatal(err)
 	}

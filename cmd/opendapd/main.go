@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"applab/internal/admission"
 	"applab/internal/drs"
 	"applab/internal/endpoint"
 	"applab/internal/netcdf"
@@ -61,6 +62,10 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 		tokens      = fs.String("tokens", "", "comma-separated user:token pairs; enables data access control")
 		metricsAddr = fs.String("metrics-addr", "", "address to serve /metrics (Prometheus text) and /debug/applab (JSON) on")
 		drain       = fs.Duration("drain", 5*time.Second, "how long in-flight requests may drain on shutdown (0 waits forever)")
+
+		maxInflight  = fs.Int("max-inflight", 0, "max concurrent DAP requests (0 disables admission control)")
+		maxQueue     = fs.Int("max-queue", 0, "max requests waiting for a slot; beyond this requests are shed with 503")
+		queueTimeout = fs.Duration("queue-timeout", 5*time.Second, "how long a request may wait in the admission queue before eviction (0 waits forever)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,7 +130,7 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 			ready("metrics", mln.Addr().String())
 		}
 		log.Printf("metrics on http://%s/metrics (JSON at /debug/applab)", mln.Addr())
-		msrv := &http.Server{Handler: telemetry.NewHandler(reg)}
+		msrv := endpoint.NewServer(telemetry.NewHandler(reg))
 		metricsDone = make(chan error, 1)
 		go func() { metricsDone <- endpoint.ServeGraceful(ctx, msrv, mln, *drain, nil) }()
 	}
@@ -138,7 +143,19 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 		ready("dap", ln.Addr().String())
 	}
 	log.Printf("OPeNDAP server on %s (try /catalog, /<name>.dds, /<name>.das, /<name>.ncml, /<name>.dods?VAR)", ln.Addr())
-	hsrv := &http.Server{Handler: srv}
+	var handler http.Handler = srv
+	if *maxInflight > 0 {
+		ctrl := &admission.Controller{
+			MaxInflight:  *maxInflight,
+			MaxQueue:     *maxQueue,
+			QueueTimeout: *queueTimeout,
+			Metrics:      reg,
+		}
+		handler = ctrl.Middleware(handler)
+		log.Printf("admission control: %d inflight, %d queued, %s queue timeout",
+			*maxInflight, *maxQueue, *queueTimeout)
+	}
+	hsrv := endpoint.NewServer(handler)
 	err = endpoint.ServeGraceful(ctx, hsrv, ln, *drain, nil)
 	if metricsDone != nil {
 		if merr := <-metricsDone; err == nil {

@@ -22,13 +22,13 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"applab/internal/admission"
 	"applab/internal/endpoint"
 	"applab/internal/federation"
 	"applab/internal/rdf"
@@ -73,6 +73,14 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 
 		queryWorkers      = fs.Int("query-workers", 0, "SPARQL evaluator worker pool size (0 = GOMAXPROCS; capped at GOMAXPROCS)")
 		parallelThreshold = fs.Int("parallel-threshold", 0, "minimum intermediate solutions before the evaluator parallelizes a stage (0 = default)")
+
+		maxInflight     = fs.Int("max-inflight", 0, "max concurrent query evaluations (0 disables admission control)")
+		maxQueue        = fs.Int("max-queue", 0, "max queries waiting for an evaluation slot; beyond this requests are shed with 503")
+		queueTimeout    = fs.Duration("queue-timeout", 5*time.Second, "how long a query may wait in the admission queue before eviction (0 waits forever)")
+		queryDeadline   = fs.Duration("query-deadline", 0, "per-query wall-clock budget (0 disables)")
+		maxRows         = fs.Int("max-rows", 0, "per-query cap on final result rows (0 disables)")
+		maxIntermediate = fs.Int("max-intermediate", 0, "per-query cap on intermediate solution rows examined (0 disables)")
+		maxFanout       = fs.Int("max-fanout", 0, "per-query cap on federation member requests (0 disables)")
 
 		metricsAddr = fs.String("metrics-addr", "", "address to serve /metrics (Prometheus text) and /debug/applab (JSON) on")
 		drain       = fs.Duration("drain", 5*time.Second, "how long in-flight queries may drain on shutdown (0 waits forever)")
@@ -148,6 +156,7 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 		return nil
 	}
 
+	localSrc := src
 	var fed *federation.Federation
 	if *federate != "" {
 		fed = federation.New(federation.Member{Name: "local", Source: src})
@@ -176,9 +185,27 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 		return err
 	}
 
+	limits := admission.Limits{
+		Deadline:        *queryDeadline,
+		MaxRows:         *maxRows,
+		MaxIntermediate: *maxIntermediate,
+		MaxFanout:       *maxFanout,
+	}
+	// One-shot queries enforce the budget directly; the serve path hands
+	// the limits to the endpoint handler, which builds one budget per
+	// request.
+	qctx := ctx
+	if limits.Enabled() && *query != "" {
+		budget := admission.NewBudget(limits, reg)
+		var stopDeadline context.CancelFunc
+		qctx = admission.WithBudget(qctx, budget)
+		qctx, stopDeadline = budget.StartDeadline(qctx, nil)
+		defer stopDeadline()
+	}
+
 	switch {
 	case *query != "" && fed != nil:
-		res, report, err := fed.QueryPartial(*query)
+		res, report, err := fed.QueryPartialContext(qctx, *query)
 		if err != nil {
 			return err
 		}
@@ -198,7 +225,11 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 			}
 		}
 	case *query != "":
-		res, err := sparql.Eval(src, *query)
+		q, err := sparql.Parse(*query)
+		if err != nil {
+			return err
+		}
+		res, err := q.EvalContext(qctx, src)
 		if err != nil {
 			return err
 		}
@@ -212,7 +243,23 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 			ready("sparql", ln.Addr().String())
 		}
 		log.Printf("serving SPARQL endpoint on %s/sparql", ln.Addr())
-		srv := &http.Server{Handler: endpoint.NewHandler(src, reg)}
+		opts := endpoint.Options{Limits: limits}
+		if *maxInflight > 0 {
+			opts.Admission = &admission.Controller{
+				MaxInflight:  *maxInflight,
+				MaxQueue:     *maxQueue,
+				QueueTimeout: *queueTimeout,
+				Metrics:      reg,
+			}
+			if fed != nil {
+				// Shed federated queries degrade to the local member: no
+				// remote fan-out, answered from data already on hand.
+				opts.Degraded = localSrc
+			}
+			log.Printf("admission control: %d inflight, %d queued, %s queue timeout",
+				*maxInflight, *maxQueue, *queueTimeout)
+		}
+		srv := endpoint.NewServer(endpoint.NewHandlerOpts(src, reg, opts))
 		err = endpoint.ServeGraceful(ctx, srv, ln, *drain, nil)
 		if metricsDone != nil {
 			if merr := <-metricsDone; err == nil {
@@ -245,7 +292,7 @@ func serveMetrics(ctx context.Context, reg *telemetry.Registry, addr string, dra
 		ready("metrics", ln.Addr().String())
 	}
 	log.Printf("metrics on http://%s/metrics (JSON at /debug/applab)", ln.Addr())
-	srv := &http.Server{Handler: telemetry.NewHandler(reg)}
+	srv := endpoint.NewServer(telemetry.NewHandler(reg))
 	done := make(chan error, 1)
 	go func() { done <- endpoint.ServeGraceful(ctx, srv, ln, drain, nil) }()
 	return done, nil

@@ -1,0 +1,257 @@
+// Package admission protects the serving path from upstream overload:
+// a bounded-concurrency Controller with a FIFO wait queue and load
+// shedding (503 + Retry-After), and per-query Budgets — wall-clock
+// deadline, result-row, intermediate-row and federation fan-out caps —
+// threaded through plan execution via context.Context. Both halves take
+// Now/After hooks so every timeout and Retry-After value is exact under
+// faults.Clock.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"applab/internal/telemetry"
+)
+
+// Limits configures one query's resource budget. Zero fields are
+// unlimited; a zero Limits disables budget enforcement entirely.
+type Limits struct {
+	// Deadline bounds the query's wall-clock evaluation time.
+	Deadline time.Duration
+	// MaxRows bounds the final result set (bindings or constructed
+	// triples), checked after projection.
+	MaxRows int
+	// MaxIntermediate bounds the intermediate solution rows examined by
+	// plan operators, charged at bounded intervals (the engine's check
+	// interval), so enforcement is approximate to within one interval.
+	MaxIntermediate int
+	// MaxFanout bounds how many federation member requests one query may
+	// issue in total.
+	MaxFanout int
+}
+
+// Enabled reports whether any limit is set.
+func (l Limits) Enabled() bool {
+	return l.Deadline > 0 || l.MaxRows > 0 || l.MaxIntermediate > 0 || l.MaxFanout > 0
+}
+
+// Kind names the budget dimension a query exhausted.
+type Kind string
+
+const (
+	KindDeadline     Kind = "deadline"
+	KindRows         Kind = "rows"
+	KindIntermediate Kind = "intermediate"
+	KindFanout       Kind = "fanout"
+)
+
+// BudgetError reports a budget violation. Its message carries only the
+// dimension and the configured limit — never the racy observed count —
+// so a query aborted mid-join yields an identical error for any worker
+// count.
+type BudgetError struct {
+	Kind  Kind
+	Limit int64
+}
+
+func (e *BudgetError) Error() string {
+	if e.Kind == KindDeadline {
+		return fmt.Sprintf("admission: query budget exceeded: %s %s elapsed", e.Kind, time.Duration(e.Limit))
+	}
+	return fmt.Sprintf("admission: query budget exceeded: %s limit %d", e.Kind, e.Limit)
+}
+
+// AsBudgetError unwraps err to a *BudgetError when it is one.
+func AsBudgetError(err error) (*BudgetError, bool) {
+	var be *BudgetError
+	if errors.As(err, &be) {
+		return be, true
+	}
+	return nil, false
+}
+
+// Aborted reports whether err should abort a query outright: a budget
+// violation or a context cancellation/deadline. Ordinary upstream
+// failures (a flaky member, a 500) are not aborts — sources keep the
+// seed "errors read as empty" semantics for those.
+func Aborted(err error) bool {
+	if err == nil {
+		return false
+	}
+	if _, ok := AsBudgetError(err); ok {
+		return true
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Budget is one query's resource meter. All methods are safe for
+// concurrent use by parallel plan workers and nil-safe, so engine code
+// can call them unconditionally. The first violation wins: every later
+// check returns the same *BudgetError, which keeps partial-error
+// results identical for any worker count.
+type Budget struct {
+	limits    Limits
+	metrics   *telemetry.Registry
+	inter     atomic.Int64
+	fanout    atomic.Int64
+	violation atomic.Pointer[BudgetError]
+}
+
+// NewBudget returns a budget enforcing l. reg (optional) receives the
+// admission_budget_exceeded_total counter on first violation.
+func NewBudget(l Limits, reg *telemetry.Registry) *Budget {
+	return &Budget{limits: l, metrics: reg}
+}
+
+// Limits returns the configured limits.
+func (b *Budget) Limits() Limits {
+	if b == nil {
+		return Limits{}
+	}
+	return b.limits
+}
+
+// Err returns the recorded violation, if any.
+func (b *Budget) Err() error {
+	if b == nil {
+		return nil
+	}
+	if be := b.violation.Load(); be != nil {
+		return be
+	}
+	return nil
+}
+
+// fail records a violation; the first one sticks.
+func (b *Budget) fail(k Kind, limit int64) *BudgetError {
+	be := &BudgetError{Kind: k, Limit: limit}
+	if b.violation.CompareAndSwap(nil, be) {
+		noteBudgetExceeded(b.metrics, k)
+		return be
+	}
+	return b.violation.Load()
+}
+
+// AddIntermediate charges n intermediate solution rows and returns the
+// violation once the cap is crossed (or an earlier one).
+func (b *Budget) AddIntermediate(n int) error {
+	if b == nil {
+		return nil
+	}
+	if be := b.violation.Load(); be != nil {
+		return be
+	}
+	if b.limits.MaxIntermediate <= 0 {
+		return nil
+	}
+	if b.inter.Add(int64(n)) > int64(b.limits.MaxIntermediate) {
+		return b.fail(KindIntermediate, int64(b.limits.MaxIntermediate))
+	}
+	return nil
+}
+
+// AddFanout charges n federation member requests.
+func (b *Budget) AddFanout(n int) error {
+	if b == nil {
+		return nil
+	}
+	if be := b.violation.Load(); be != nil {
+		return be
+	}
+	if b.limits.MaxFanout <= 0 {
+		return nil
+	}
+	if b.fanout.Add(int64(n)) > int64(b.limits.MaxFanout) {
+		return b.fail(KindFanout, int64(b.limits.MaxFanout))
+	}
+	return nil
+}
+
+// CheckRows validates the final result-row count against MaxRows.
+func (b *Budget) CheckRows(n int) error {
+	if b == nil {
+		return nil
+	}
+	if be := b.violation.Load(); be != nil {
+		return be
+	}
+	if b.limits.MaxRows <= 0 {
+		return nil
+	}
+	if n > b.limits.MaxRows {
+		return b.fail(KindRows, int64(b.limits.MaxRows))
+	}
+	return nil
+}
+
+// ExpireDeadline records the deadline violation directly. The deadline
+// watcher started by StartDeadline uses it; tests can too.
+func (b *Budget) ExpireDeadline() {
+	if b == nil || b.limits.Deadline <= 0 {
+		return
+	}
+	b.fail(KindDeadline, int64(b.limits.Deadline))
+}
+
+// StartDeadline arms the wall-clock deadline: when it fires the budget
+// records a deadline violation and the returned context is cancelled,
+// so both tick checks and blocking I/O observe it. after defaults to
+// time.After; pass a faults.Clock's After for deterministic tests. The
+// returned stop function releases the watcher and must be called.
+func (b *Budget) StartDeadline(ctx context.Context, after func(time.Duration) <-chan time.Time) (context.Context, context.CancelFunc) {
+	if b == nil || b.limits.Deadline <= 0 {
+		return ctx, func() {}
+	}
+	if after == nil {
+		after = time.After
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	timer := after(b.limits.Deadline)
+	stopped := make(chan struct{})
+	go func() {
+		select {
+		case <-timer:
+			b.ExpireDeadline()
+			cancel()
+		case <-stopped:
+		}
+	}()
+	var once sync.Once
+	return ctx, func() {
+		once.Do(func() { close(stopped) })
+		cancel()
+	}
+}
+
+// budgetKey carries a *Budget on a context.
+type budgetKey struct{}
+
+// WithBudget attaches b to ctx for the evaluation path to find.
+func WithBudget(ctx context.Context, b *Budget) context.Context {
+	return context.WithValue(ctx, budgetKey{}, b)
+}
+
+// FromContext returns the budget attached to ctx, or nil.
+func FromContext(ctx context.Context) *Budget {
+	b, _ := ctx.Value(budgetKey{}).(*Budget)
+	return b
+}
+
+// Check is the one-call cancellation checkpoint: the recorded budget
+// violation first (so a deadline expiry reads as a structured budget
+// error, not a bare context.Canceled), then the context error.
+func Check(ctx context.Context) error {
+	b := FromContext(ctx)
+	if err := b.Err(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package admission
+
+import "applab/internal/telemetry"
+
+// ctrlMetrics is the Controller's instrument family. Outcome counters
+// partition terminal verdicts — every Acquire ends admitted, shed or
+// evicted exactly once (requests admitted from the queue count in both
+// queued and admitted), so admitted+shed+evicted equals the requests
+// seen.
+type ctrlMetrics struct {
+	admitted, queued, shed, evicted *telemetry.Counter
+	depth, inflight                 *telemetry.Gauge
+	waitSeconds                     *telemetry.Histogram
+}
+
+func newCtrlMetrics(reg *telemetry.Registry) *ctrlMetrics {
+	return &ctrlMetrics{
+		admitted:    reg.Counter("admission_admitted_total"),
+		queued:      reg.Counter("admission_queued_total"),
+		shed:        reg.Counter("admission_shed_total"),
+		evicted:     reg.Counter("admission_evicted_total"),
+		depth:       reg.Gauge("admission_queue_depth"),
+		inflight:    reg.Gauge("admission_inflight"),
+		waitSeconds: reg.Histogram("admission_queue_wait_seconds", nil),
+	}
+}
+
+// noteBudgetExceeded counts first-violation budget failures by kind.
+func noteBudgetExceeded(reg *telemetry.Registry, kind Kind) {
+	reg.Counter("admission_budget_exceeded_total", "kind", string(kind)).Inc()
+}

@@ -62,6 +62,7 @@ type Checker struct {
 // All returns every registered checker in deterministic order.
 func All() []Checker {
 	return []Checker{
+		ctxcheckChecker(),
 		errcheckChecker(),
 		goleakChecker(),
 		lockioChecker(),

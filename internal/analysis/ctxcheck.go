@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxcheckChecker flags row loops in the compiled SPARQL engine's plan
+// operators that run without a cancellation checkpoint. The overload
+// protection work (admission budgets, query deadlines) relies on every
+// operator polling the execution context at bounded intervals; a loop
+// over solution rows or matched triples that neither calls an execCtx
+// method (tick/checkpoint/match) nor consults ctx.Err/Done nor a
+// budget can spin past a dead deadline for the whole join.
+func ctxcheckChecker() Checker {
+	return Checker{
+		Name: "ctxcheck",
+		Doc:  "row/triple loops in sparql plan operators must poll the execution context (execCtx tick/checkpoint, ctx.Err, or a budget method)",
+		Run:  runCtxcheck,
+	}
+}
+
+// ctxcheckPathSuffix scopes the rule to the compiled engine.
+const ctxcheckPathSuffix = "internal/sparql"
+
+func runCtxcheck(pass *Pass) []Finding {
+	if pass.Path != ctxcheckPathSuffix && !strings.HasSuffix(pass.Path, "/"+ctxcheckPathSuffix) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isPlanOperatorFunc(pass.Info, fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if !rangesOverSolutions(pass.Info, rng) {
+					return true
+				}
+				if !containsCancellationCheck(pass.Info, rng.Body) {
+					out = append(out, pass.finding(rng.Pos(), "ctxcheck",
+						"row loop in plan operator has no cancellation checkpoint; call the execCtx tick/checkpoint helpers (or check ctx.Err / the budget) so deadlines and budgets can stop it"))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isPlanOperatorFunc reports whether fn is part of the plan-execution
+// surface: its receiver or a parameter carries the engine's execution
+// context (a type named execCtx).
+func isPlanOperatorFunc(info *types.Info, fn *ast.FuncDecl) bool {
+	var fields []*ast.Field
+	if fn.Recv != nil {
+		fields = append(fields, fn.Recv.List...)
+	}
+	if fn.Type.Params != nil {
+		fields = append(fields, fn.Type.Params.List...)
+	}
+	for _, f := range fields {
+		if tv, ok := info.Types[f.Type]; ok && namedTypeName(tv.Type) == "execCtx" {
+			return true
+		}
+	}
+	return false
+}
+
+// rangesOverSolutions reports whether the range expression iterates
+// solution material: a slice of rows (the engine's flat []rdf.Term
+// binding rows) or of matched triples.
+func rangesOverSolutions(info *types.Info, rng *ast.RangeStmt) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	switch name := namedTypeName(sl.Elem()); name {
+	case "row", "Triple":
+		return true
+	}
+	// []row chunks ([][]row) count too: draining a chunk is still a row
+	// loop.
+	if inner, ok := sl.Elem().Underlying().(*types.Slice); ok {
+		return namedTypeName(inner.Elem()) == "row"
+	}
+	return false
+}
+
+// containsCancellationCheck walks body looking for any recognized
+// checkpoint: a method call on the execCtx (tick, checkpoint, match, or
+// future helpers), an Err/Done call (context polling), or a method call
+// on an admission Budget.
+func containsCancellationCheck(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// ctx.Err() / ctx.Done() / <-budget channels etc.: the method
+		// name alone marks context polling.
+		if sel.Sel.Name == "Err" || sel.Sel.Name == "Done" {
+			found = true
+			return false
+		}
+		if tv, ok := info.Types[sel.X]; ok {
+			switch namedTypeName(tv.Type) {
+			case "execCtx", "Budget":
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// namedTypeName unwraps pointers and returns the bare name of the named
+// type beneath ("execCtx", "row", "Triple"), or "".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if named := derefNamed(t); named != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,179 @@
+package analysis_test
+
+import "testing"
+
+// ctxcheckPrelude mimics the engine's shapes: an execution context
+// with checkpoint helpers, flat binding rows, and a triple type.
+const ctxcheckPrelude = `package fixture
+
+import "context"
+
+type row []int
+
+type Triple struct{ S, P, O int }
+
+type execCtx struct {
+	ctx context.Context
+}
+
+func (ec *execCtx) tick(n *int) error { return nil }
+
+func (ec *execCtx) checkpoint(rows int) error { return nil }
+
+type Budget struct{}
+
+func (b *Budget) AddIntermediate(n int) error { return nil }
+`
+
+func TestCtxcheck(t *testing.T) {
+	runCases(t, "ctxcheck", []checkerCase{
+		{
+			name: "unchecked row loop in operator is flagged",
+			path: "applab/internal/sparql",
+			src: ctxcheckPrelude + `
+func run(ec *execCtx, in []row) []row {
+	var out []row
+	for _, r := range in {
+		out = append(out, r)
+	}
+	return out
+}
+`,
+			want:       1,
+			wantSubstr: "cancellation checkpoint",
+		},
+		{
+			name: "tick in loop body satisfies the rule",
+			path: "applab/internal/sparql",
+			src: ctxcheckPrelude + `
+func run(ec *execCtx, in []row) ([]row, error) {
+	var out []row
+	n := 0
+	for _, r := range in {
+		if err := ec.tick(&n); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+`,
+			want: 0,
+		},
+		{
+			name: "ctx.Err in loop body satisfies the rule",
+			path: "applab/internal/sparql",
+			src: ctxcheckPrelude + `
+func run(ec *execCtx, in []row) error {
+	for range in {
+		if err := ec.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`,
+			want: 0,
+		},
+		{
+			name: "budget method in loop body satisfies the rule",
+			path: "applab/internal/sparql",
+			src: ctxcheckPrelude + `
+func run(ec *execCtx, b *Budget, in []row) error {
+	for range in {
+		if err := b.AddIntermediate(1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`,
+			want: 0,
+		},
+		{
+			name: "unchecked triple loop is flagged",
+			path: "applab/internal/sparql",
+			src: ctxcheckPrelude + `
+func scan(ec *execCtx, triples []Triple) int {
+	n := 0
+	for _, t := range triples {
+		n += t.S
+	}
+	return n
+}
+`,
+			want: 1,
+		},
+		{
+			name: "loops outside execCtx functions are not the rule's business",
+			path: "applab/internal/sparql",
+			src: ctxcheckPrelude + `
+func project(in []row) []row {
+	var out []row
+	for _, r := range in {
+		out = append(out, r)
+	}
+	return out
+}
+`,
+			want: 0,
+		},
+		{
+			name: "non-row loops inside operators are fine",
+			path: "applab/internal/sparql",
+			src: ctxcheckPrelude + `
+func run(ec *execCtx, names []string) int {
+	n := 0
+	for _, s := range names {
+		n += len(s)
+	}
+	return n
+}
+`,
+			want: 0,
+		},
+		{
+			name: "rule only applies to the sparql package",
+			path: "applab/internal/opendap",
+			src: ctxcheckPrelude + `
+func run(ec *execCtx, in []row) int {
+	n := 0
+	for range in {
+		n++
+	}
+	return n
+}
+`,
+			want: 0,
+		},
+		{
+			name: "chunk-of-rows loop without check is flagged",
+			path: "applab/internal/sparql",
+			src: ctxcheckPrelude + `
+func drain(ec *execCtx, chunks [][]row) int {
+	n := 0
+	for _, c := range chunks {
+		n += len(c)
+	}
+	return n
+}
+`,
+			want: 1,
+		},
+		{
+			name: "lint:ignore suppresses with a reason",
+			path: "applab/internal/sparql",
+			src: ctxcheckPrelude + `
+func run(ec *execCtx, in []row) int {
+	n := 0
+	//lint:ignore ctxcheck bounded by compile-time pattern count, not data size
+	for range in {
+		n++
+	}
+	return n
+}
+`,
+			want: 0,
+		},
+	})
+}

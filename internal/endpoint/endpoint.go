@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"applab/internal/admission"
 	"applab/internal/rdf"
 	"applab/internal/sparql"
 	"applab/internal/telemetry"
@@ -34,8 +35,40 @@ func Handler(src sparql.Source) http.Handler { return NewHandler(src, nil) }
 // come from the registry's clock, so with a fake clock every stage
 // duration is exact.
 func NewHandler(src sparql.Source, reg *telemetry.Registry) http.Handler {
+	return NewHandlerOpts(src, reg, Options{})
+}
+
+// Options configures the overload-protection behaviour of the handler.
+// The zero value serves every request with no admission control and no
+// budgets — the historic behaviour.
+type Options struct {
+	// Admission, when set, gates every query: beyond MaxInflight
+	// concurrent evaluations requests queue FIFO, and beyond the queue
+	// (or past the queue deadline) they are shed with 503 + Retry-After.
+	Admission *admission.Controller
+	// Limits is the per-query budget (deadline, result rows,
+	// intermediate rows, federation fan-out). Zero disables budgets.
+	Limits admission.Limits
+	// Degraded, when set, is the fallback source for shed requests —
+	// typically a snapshot or cache-backed view (the applab_stale path)
+	// that answers without touching live upstreams. A shed request whose
+	// query the degraded source can evaluate gets 200 with an
+	// X-Applab-Degraded header instead of 503.
+	Degraded sparql.Source
+	// After is the budget-deadline clock hook (time.After when nil);
+	// tests drive it from a faults.Clock.
+	After func(time.Duration) <-chan time.Time
+}
+
+// NewHandlerOpts is NewHandler with overload protection: an admission
+// controller in front of evaluation, a per-query budget threaded into
+// sparql.EvalContext, structured JSON errors for shed/evicted/over-
+// budget queries, and an optional degraded (stale-capable) source for
+// requests that would otherwise be shed.
+func NewHandlerOpts(src sparql.Source, reg *telemetry.Registry, opts Options) http.Handler {
 	requests := reg.Counter("endpoint_requests_total")
 	errors := reg.Counter("endpoint_errors_total")
+	degraded := reg.Counter("endpoint_degraded_total")
 	stageSeconds := func(stage string) *telemetry.Histogram {
 		return reg.Histogram("endpoint_stage_seconds", nil, "stage", stage)
 	}
@@ -54,6 +87,26 @@ func NewHandler(src sparql.Source, reg *telemetry.Registry) http.Handler {
 			http.Error(w, "endpoint: missing query parameter", http.StatusBadRequest)
 			return
 		}
+		if opts.Admission != nil {
+			release, aerr := opts.Admission.Acquire(r.Context())
+			if aerr != nil {
+				// Shed — but a cache-satisfiable query can still be
+				// answered from the degraded source without occupying an
+				// evaluation slot.
+				if opts.Degraded != nil {
+					if res, derr := sparql.Eval(opts.Degraded, q); derr == nil {
+						degraded.Inc()
+						w.Header().Set("X-Applab-Degraded", "stale")
+						writeResults(w, res)
+						return
+					}
+				}
+				errors.Inc()
+				writeOverload(w, aerr)
+				return
+			}
+			defer release()
+		}
 		tr := reg.StartTrace("sparql_query")
 		r = r.WithContext(telemetry.WithTrace(r.Context(), tr))
 
@@ -69,29 +122,80 @@ func NewHandler(src sparql.Source, reg *telemetry.Registry) http.Handler {
 			return
 		}
 
+		ctx := r.Context()
+		if opts.Limits.Enabled() {
+			budget := admission.NewBudget(opts.Limits, reg)
+			ctx = admission.WithBudget(ctx, budget)
+			var stop context.CancelFunc
+			ctx, stop = budget.StartDeadline(ctx, opts.After)
+			defer stop()
+		}
+
 		sp = tr.StartSpan("eval", now)
-		res, err := query.Eval(src)
+		res, err := query.EvalContext(ctx, src)
 		now = reg.Time()
 		sp.End(now)
 		evalSec.ObserveDuration(sp.Duration())
 		if err != nil {
 			errors.Inc()
 			tr.End(reg, now)
+			if be, ok := admission.AsBudgetError(err); ok {
+				writeBudgetError(w, be)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		sp.Annotate("rows", strconv.Itoa(len(res.Bindings)))
 
 		sp = tr.StartSpan("encode", now)
-		w.Header().Set("Content-Type", "application/sparql-results+json")
-		//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
-		json.NewEncoder(w).Encode(ResultsJSON(res))
+		writeResults(w, res)
 		now = reg.Time()
 		sp.End(now)
 		encodeSec.ObserveDuration(sp.Duration())
 		tr.End(reg, now)
 	})
 	return mux
+}
+
+// writeResults encodes a result set as SPARQL-results-JSON.
+func writeResults(w http.ResponseWriter, res *sparql.Results) {
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+	//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
+	json.NewEncoder(w).Encode(ResultsJSON(res))
+}
+
+// writeOverload renders an Acquire rejection: 503 with a Retry-After
+// header and a structured JSON error body so clients can distinguish
+// door-shed from queue-evicted and schedule their retry.
+func writeOverload(w http.ResponseWriter, err error) {
+	body := map[string]any{"code": "overloaded", "message": err.Error()}
+	if ov, ok := admission.AsOverload(err); ok {
+		w.Header().Set("Retry-After", strconv.Itoa(ov.RetryAfterSeconds()))
+		body["retry_after"] = ov.RetryAfterSeconds()
+		if ov.Evicted {
+			body["code"] = "evicted"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
+	json.NewEncoder(w).Encode(map[string]any{"error": body})
+}
+
+// writeBudgetError renders a budget violation as a structured SPARQL
+// error: 503 with the exhausted dimension and its limit, instead of a
+// hang or an opaque 400.
+func writeBudgetError(w http.ResponseWriter, be *admission.BudgetError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
+	json.NewEncoder(w).Encode(map[string]any{"error": map[string]any{
+		"code":    "budget_exceeded",
+		"kind":    string(be.Kind),
+		"limit":   be.Limit,
+		"message": be.Error(),
+	}})
 }
 
 // ResultsJSON renders results in SPARQL-results-JSON form (simplified: no
@@ -193,15 +297,22 @@ func (r *RemoteSource) Match(s, p, o rdf.Term) []rdf.Triple {
 // MatchErr implements sparql.ErrorSource: Match with transport, HTTP and
 // decode failures surfaced instead of swallowed into empty results.
 func (r *RemoteSource) MatchErr(s, p, o rdf.Term) ([]rdf.Triple, error) {
+	return r.MatchContext(context.Background(), s, p, o)
+}
+
+// MatchContext implements sparql.ContextSource: the pattern request
+// rides ctx (on top of the per-request Timeout), so a cancelled or
+// over-budget federated query aborts its member requests in flight.
+func (r *RemoteSource) MatchContext(ctx context.Context, s, p, o rdf.Term) ([]rdf.Triple, error) {
 	q := patternQuery(s, p, o)
-	req, err := http.NewRequest(http.MethodGet, r.URL+"?query="+url.QueryEscape(q), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.URL+"?query="+url.QueryEscape(q), nil)
 	if err != nil {
 		return nil, fmt.Errorf("endpoint: %s: %v", r.URL, err)
 	}
 	if r.Timeout > 0 {
-		ctx, cancel := context.WithTimeout(req.Context(), r.Timeout)
+		tctx, cancel := context.WithTimeout(req.Context(), r.Timeout)
 		defer cancel()
-		req = req.WithContext(ctx)
+		req = req.WithContext(tctx)
 	}
 	resp, err := r.httpClient().Do(req)
 	if err != nil {

@@ -7,6 +7,34 @@ import (
 	"time"
 )
 
+// Slow-loris protection defaults for every daemon HTTP server: a client
+// must finish its request headers and consume its response within these
+// bounds, so dribbling connections cannot pin server resources outside
+// the admission controller's accounting (the controller only sees a
+// request once headers are complete).
+const (
+	// DefaultReadHeaderTimeout bounds how long a connection may take to
+	// send its request headers.
+	DefaultReadHeaderTimeout = 10 * time.Second
+	// DefaultWriteTimeout bounds writing one whole response; generous,
+	// because large SPARQL result sets are written in one go.
+	DefaultWriteTimeout = 2 * time.Minute
+	// DefaultIdleTimeout reaps idle keep-alive connections.
+	DefaultIdleTimeout = 2 * time.Minute
+)
+
+// NewServer returns an *http.Server for h hardened with the slow-loris
+// timeouts above. All daemons (cmd/strabon, cmd/opendapd, cmd/obda's
+// metrics listener) build their servers through it.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		WriteTimeout:      DefaultWriteTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+	}
+}
+
 // ServeGraceful runs srv on ln until ctx is cancelled, then shuts the
 // server down gracefully: the listener closes immediately, in-flight
 // requests get up to drain to finish, and connections still open after

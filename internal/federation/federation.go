@@ -23,12 +23,14 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"applab/internal/admission"
 	"applab/internal/rdf"
 	"applab/internal/sparql"
 	"applab/internal/telemetry"
@@ -222,6 +224,32 @@ func matchMember(src sparql.Source, s, p, o rdf.Term) ([]rdf.Triple, error) {
 	return src.Match(s, p, o), nil
 }
 
+// matchMemberCtx is matchMember through the member's context-aware path
+// when it has one, so cancelling the fan-out aborts in-flight member
+// requests instead of just abandoning their answers.
+func matchMemberCtx(ctx context.Context, src sparql.Source, s, p, o rdf.Term) ([]rdf.Triple, error) {
+	if cs, ok := src.(sparql.ContextSource); ok {
+		return cs.MatchContext(ctx, s, p, o)
+	}
+	return matchMember(src, s, p, o)
+}
+
+// allFailedErr applies the federation's error rule: a fan-out fails only
+// when every targeted member failed, so a federation nests as a member
+// of another federation with sensible semantics.
+func allFailedErr(rep Report) error {
+	if len(rep.Results) == 0 {
+		return nil
+	}
+	for _, m := range rep.Results {
+		if m.OK() {
+			return nil
+		}
+	}
+	return fmt.Errorf("federation: all %d members failed: %v",
+		len(rep.Results), describeFailures(rep.failed()))
+}
+
 // Match implements sparql.Source: the pattern is sent to every member
 // that may hold matching triples (all members when the pattern class is
 // unknown), and the union is deduplicated. Failures degrade to partial
@@ -236,19 +264,20 @@ func (f *Federation) Match(s, p, o rdf.Term) []rdf.Triple {
 // federation with sensible semantics.
 func (f *Federation) MatchErr(s, p, o rdf.Term) ([]rdf.Triple, error) {
 	triples, rep := f.MatchReport(s, p, o)
-	if len(rep.Results) > 0 {
-		ok := 0
-		for _, m := range rep.Results {
-			if m.OK() {
-				ok++
-			}
-		}
-		if ok == 0 {
-			return triples, fmt.Errorf("federation: all %d members failed: %v",
-				len(rep.Results), describeFailures(rep.failed()))
-		}
+	return triples, allFailedErr(rep)
+}
+
+// MatchContext implements sparql.ContextSource: the fan-out is charged
+// against the context's federation fan-out budget before any member is
+// asked, member requests run under ctx, and a cancellation or budget
+// violation aborts collection (the union gathered so far is returned
+// with the error).
+func (f *Federation) MatchContext(ctx context.Context, s, p, o rdf.Term) ([]rdf.Triple, error) {
+	triples, rep, err := f.MatchReportContext(ctx, s, p, o)
+	if err != nil {
+		return triples, err
 	}
-	return triples, nil
+	return triples, allFailedErr(rep)
 }
 
 func describeFailures(failed []MemberResult) string {
@@ -273,10 +302,28 @@ func describeFailures(failed []MemberResult) string {
 // goroutines drain into a buffered channel) and the union is returned as
 // a partial result with the slow/broken members reported.
 func (f *Federation) MatchReport(s, p, o rdf.Term) ([]rdf.Triple, Report) {
+	triples, rep, _ := f.MatchReportContext(context.Background(), s, p, o)
+	return triples, rep
+}
+
+// MatchReportContext is MatchReport under a context: the fan-out size
+// is charged to the context's budget (admission.Limits.MaxFanout)
+// before any member is asked, members that support it are queried with
+// ctx, and a cancellation or budget violation stops collection early.
+// An abort marks unanswered members timed out in the report but does
+// not count against their health — the query ran out of budget, the
+// members did nothing wrong.
+func (f *Federation) MatchReportContext(ctx context.Context, s, p, o rdf.Term) ([]rdf.Triple, Report, error) {
+	if err := admission.Check(ctx); err != nil {
+		return nil, Report{}, err
+	}
 	// targets, skipped and members are snapshotted under the lock: a
 	// concurrent AddMember may reallocate f.members while the fan-out
 	// runs.
 	targets, skipped, members := f.selectSources(s, p, o)
+	if err := admission.FromContext(ctx).AddFanout(len(targets)); err != nil {
+		return nil, Report{}, err
+	}
 
 	type result struct {
 		pos     int // index into targets
@@ -287,7 +334,7 @@ func (f *Federation) MatchReport(s, p, o rdf.Term) ([]rdf.Triple, Report) {
 	for i, idx := range targets {
 		go func(pos, idx int) {
 			start := f.now()
-			triples, err := matchMember(members[idx].Source, s, p, o)
+			triples, err := matchMemberCtx(ctx, members[idx].Source, s, p, o)
 			// Observed before the send, so once the collector has every
 			// answer the histogram is already settled — golden tests can
 			// assert it deterministically.
@@ -328,8 +375,23 @@ collect:
 					break collect
 				}
 			}
+		case <-ctx.Done():
+			// Cancelled or over budget: keep what already arrived.
+			for got < len(targets) {
+				select {
+				case r := <-resCh:
+					outcomes[r.pos] = &r
+					got++
+					if f.onCollect != nil {
+						f.onCollect()
+					}
+				default:
+					break collect
+				}
+			}
 		}
 	}
+	abortErr := admission.Check(ctx)
 
 	// Build the report and update health/stats/capabilities.
 	rep := Report{Results: make([]MemberResult, 0, len(targets)+len(skipped))}
@@ -346,7 +408,9 @@ collect:
 			mr.Err = r.err
 			mr.Triples = len(r.triples)
 		}
-		f.recordHealthLocked(name, mr, now)
+		if abortErr == nil || outcomes[i] != nil {
+			f.recordHealthLocked(name, mr, now)
+		}
 		if !mr.OK() {
 			rep.Partial = true
 			f.noteMemberFailure(name)
@@ -405,7 +469,7 @@ collect:
 			}
 		}
 	}
-	return out, rep
+	return out, rep, abortErr
 }
 
 // recordHealthLocked folds one member outcome into the health table.
@@ -508,7 +572,12 @@ func (r *reportingSource) Match(s, p, o rdf.Term) []rdf.Triple {
 }
 
 func (r *reportingSource) record(s, p, o rdf.Term) ([]rdf.Triple, Report) {
-	triples, rep := r.f.MatchReport(s, p, o)
+	triples, rep, _ := r.recordCtx(context.Background(), s, p, o)
+	return triples, rep
+}
+
+func (r *reportingSource) recordCtx(ctx context.Context, s, p, o rdf.Term) ([]rdf.Triple, Report, error) {
+	triples, rep, err := r.f.MatchReportContext(ctx, s, p, o)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.qr.Patterns++
@@ -533,7 +602,7 @@ func (r *reportingSource) record(s, p, o rdf.Term) ([]rdf.Triple, Report) {
 			agg.Answers++
 		}
 	}
-	return triples, rep
+	return triples, rep, err
 }
 
 // MatchErr implements sparql.ErrorSource with the federation's
@@ -542,19 +611,18 @@ func (r *reportingSource) record(s, p, o rdf.Term) ([]rdf.Triple, Report) {
 // parallel fan-out on top of the federation's own).
 func (r *reportingSource) MatchErr(s, p, o rdf.Term) ([]rdf.Triple, error) {
 	triples, rep := r.record(s, p, o)
-	if len(rep.Results) > 0 {
-		ok := 0
-		for _, m := range rep.Results {
-			if m.OK() {
-				ok++
-			}
-		}
-		if ok == 0 {
-			return triples, fmt.Errorf("federation: all %d members failed: %v",
-				len(rep.Results), describeFailures(rep.failed()))
-		}
+	return triples, allFailedErr(rep)
+}
+
+// MatchContext implements sparql.ContextSource, so budgeted partial-
+// results evaluation (QueryPartialContext) threads cancellation and the
+// fan-out budget into every pattern.
+func (r *reportingSource) MatchContext(ctx context.Context, s, p, o rdf.Term) ([]rdf.Triple, error) {
+	triples, rep, err := r.recordCtx(ctx, s, p, o)
+	if err != nil {
+		return triples, err
 	}
-	return triples, nil
+	return triples, allFailedErr(rep)
 }
 
 // Cardinality forwards the planner's statistics probe to the federation.
@@ -592,9 +660,22 @@ func (f *Federation) Cardinality(s, p, o rdf.Term) int {
 // contribute and how. This is the resilient entry point of the paper's
 // §5 federation scenario — one dead endpoint must not kill the query.
 func (f *Federation) QueryPartial(q string) (*sparql.Results, *QueryReport, error) {
+	return f.QueryPartialContext(context.Background(), q)
+}
+
+// QueryPartialContext is QueryPartial under a context: with an
+// admission.Budget attached, every pattern fan-out charges the
+// federation fan-out budget and the evaluation stops cooperatively on
+// cancellation or violation, returning the structured budget error with
+// the report of whatever work was done.
+func (f *Federation) QueryPartialContext(ctx context.Context, q string) (*sparql.Results, *QueryReport, error) {
 	rec := &reportingSource{f: f}
 	rec.qr.Members = map[string]*MemberReport{}
-	res, err := sparql.Eval(rec, q)
+	query, err := sparql.Parse(q)
+	var res *sparql.Results
+	if err == nil {
+		res, err = query.EvalContext(ctx, rec)
+	}
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
 	qr := rec.qr

@@ -1,11 +1,13 @@
 package obda
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 	"sync"
 
+	"applab/internal/admission"
 	"applab/internal/geosparql"
 	"applab/internal/madis"
 	"applab/internal/rdf"
@@ -45,6 +47,16 @@ func (vg *VirtualGraph) Invalidate() {
 // Snapshot executes every mapping source and returns the resulting
 // (transient) RDF view.
 func (vg *VirtualGraph) Snapshot() (*rdf.Graph, error) {
+	return vg.SnapshotContext(context.Background())
+}
+
+// SnapshotContext is Snapshot with cooperative cancellation: between
+// mapping sources (each potentially a live OPeNDAP call through the
+// SQL layer) it polls ctx and the attached admission budget, so an
+// over-deadline query stops before the next expensive fetch instead of
+// materializing the rest of the view. An abort is not recorded in
+// LastError — the source is fine, the query ran out of budget.
+func (vg *VirtualGraph) SnapshotContext(ctx context.Context) (*rdf.Graph, error) {
 	vg.mu.Lock()
 	defer vg.mu.Unlock()
 	if vg.snap != nil {
@@ -53,6 +65,9 @@ func (vg *VirtualGraph) Snapshot() (*rdf.Graph, error) {
 	g := rdf.NewGraph()
 	seq := 0
 	for _, m := range vg.mappings {
+		if err := admission.Check(ctx); err != nil {
+			return nil, err
+		}
 		table, err := vg.db.Query(m.Source)
 		if err != nil {
 			vg.lastErr = fmt.Errorf("obda: mapping %s: %v", m.ID, err)
@@ -121,6 +136,21 @@ func (vg *VirtualGraph) MatchErr(s, p, o rdf.Term) ([]rdf.Triple, error) {
 	return g.Match(s, p, o), nil
 }
 
+// MatchContext implements sparql.ContextSource: pattern scans check the
+// context and budget before touching (or building) the snapshot, so the
+// compiled engine's budgeted evaluation path cancels OBDA queries
+// between mapping executions.
+func (vg *VirtualGraph) MatchContext(ctx context.Context, s, p, o rdf.Term) ([]rdf.Triple, error) {
+	if err := admission.Check(ctx); err != nil {
+		return nil, err
+	}
+	g, err := vg.SnapshotContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return g.Match(s, p, o), nil
+}
+
 // Cardinality implements sparql.StatsSource over the current snapshot.
 // It never triggers mapping execution: with no snapshot materialized it
 // reports unknown (-1) and the planner keeps textual pattern order, so
@@ -148,11 +178,23 @@ func (vg *VirtualGraph) LastError() error {
 // re-executed (subject to any adapter caches below the SQL layer), then the
 // query runs over the transient view.
 func (vg *VirtualGraph) Query(q string) (*sparql.Results, error) {
+	return vg.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query under a context: with an admission.Budget
+// attached (admission.WithBudget) the snapshot build and the query
+// evaluation both stop cooperatively on cancellation, deadline expiry
+// or budget violation, returning the structured budget error.
+func (vg *VirtualGraph) QueryContext(ctx context.Context, q string) (*sparql.Results, error) {
 	vg.Invalidate()
-	if _, err := vg.Snapshot(); err != nil {
+	if _, err := vg.SnapshotContext(ctx); err != nil {
 		return nil, err
 	}
-	return sparql.Eval(vg, q)
+	query, err := sparql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return query.EvalContext(ctx, vg)
 }
 
 // QueryCached evaluates a query against the existing snapshot without

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -109,16 +110,22 @@ func (c *Client) clock() time.Time {
 	return time.Now()
 }
 
+// backoffCeil is the effective maximum backoff (BackoffMax or its 5s
+// default); server Retry-After hints are capped at it too.
+func (c *Client) backoffCeil() time.Duration {
+	if c.BackoffMax > 0 {
+		return c.BackoffMax
+	}
+	return 5 * time.Second
+}
+
 // backoff computes the sleep before retry attempt n (n >= 1).
 func (c *Client) backoff(attempt int) time.Duration {
 	base := c.BackoffBase
 	if base <= 0 {
 		base = 100 * time.Millisecond
 	}
-	ceil := c.BackoffMax
-	if ceil <= 0 {
-		ceil = 5 * time.Second
-	}
+	ceil := c.backoffCeil()
 	d := base
 	for i := 1; i < attempt; i++ {
 		d *= 2
@@ -160,17 +167,35 @@ type attempt struct {
 	// upstreamFault marks failures that count against the breaker. A 4xx
 	// means the upstream is alive and answering, so it does not.
 	upstreamFault bool
+	// retryAfter is the server's Retry-After hint on a retryable
+	// response (0 when absent): a shedding server shapes our backoff.
+	retryAfter time.Duration
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header.
+// The HTTP-date form is ignored (no wall clock in this package's hot
+// path — determinism under faults.Clock matters more than a rare
+// header variant).
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // once performs a single GET attempt with the per-request deadline.
-func (c *Client) once(u string) attempt {
-	req, err := http.NewRequest(http.MethodGet, u, nil)
+func (c *Client) once(ctx context.Context, u string) attempt {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return attempt{err: fmt.Errorf("opendap: GET %s: %v", u, err)}
 	}
 	var timedOut atomic.Bool
 	if c.Timeout > 0 {
-		ctx, cancel := context.WithCancel(req.Context())
+		tctx, cancel := context.WithCancel(req.Context())
 		defer cancel()
 		stop := make(chan struct{})
 		defer close(stop)
@@ -183,7 +208,7 @@ func (c *Client) once(u string) attempt {
 			case <-stop:
 			}
 		}()
-		req = req.WithContext(ctx)
+		req = req.WithContext(tctx)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -203,7 +228,8 @@ func (c *Client) once(u string) attempt {
 	if resp.StatusCode != http.StatusOK {
 		err := fmt.Errorf("opendap: %s: %s: %s", u, resp.Status, string(body))
 		if resp.StatusCode >= 500 {
-			return attempt{err: err, retryable: true, upstreamFault: true}
+			return attempt{err: err, retryable: true, upstreamFault: true,
+				retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 		}
 		return attempt{err: err}
 	}
@@ -215,6 +241,16 @@ func (c *Client) once(u string) attempt {
 // (a body that fails to decode is treated like a truncated stream and
 // retried).
 func (c *Client) do(path, rawQuery string, decode func([]byte) error) error {
+	return c.doCtx(context.Background(), path, rawQuery, decode)
+}
+
+// doCtx is do under a caller context: a cancellation aborts the
+// in-flight attempt (requests carry ctx) and stops the retry loop
+// between attempts. When a failed attempt carried a server Retry-After
+// hint, the next backoff honors it — capped at the configured maximum
+// backoff and without jitter, so a shedding server shapes client retry
+// traffic exactly.
+func (c *Client) doCtx(ctx context.Context, path, rawQuery string, decode func([]byte) error) error {
 	u, err := c.buildURL(path, rawQuery)
 	if err != nil {
 		return err
@@ -224,10 +260,24 @@ func (c *Client) do(path, rawQuery string, decode func([]byte) error) error {
 		attempts = 1
 	}
 	var lastErr error
+	var serverHint time.Duration
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			c.metricRetries().Inc()
-			c.sleep(c.backoff(i))
+			d := c.backoff(i)
+			if serverHint > 0 {
+				d = serverHint
+				if ceil := c.backoffCeil(); d > ceil {
+					d = ceil
+				}
+			}
+			c.sleep(d)
+		}
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("opendap: GET %s: %w (last attempt: %v)", u, err, lastErr)
+			}
+			return fmt.Errorf("opendap: GET %s: %w", u, err)
 		}
 		if b := c.Breaker; b != nil {
 			if err := b.Allow(); err != nil {
@@ -239,8 +289,9 @@ func (c *Client) do(path, rawQuery string, decode func([]byte) error) error {
 			}
 		}
 		start := c.clock()
-		a := c.once(u)
+		a := c.once(ctx, u)
 		c.metricFetchSeconds().ObserveDuration(c.clock().Sub(start))
+		serverHint = a.retryAfter
 		if a.err == nil && decode != nil {
 			if derr := decode(a.body); derr != nil {
 				a = attempt{err: fmt.Errorf("opendap: decode %s: %v", u, derr),
@@ -314,12 +365,20 @@ func (c *Client) NcML(name string) (string, error) {
 // in the query string with standard query escaping (the server strips
 // the token pair and unescapes the rest).
 func (c *Client) Fetch(name string, constraint Constraint) (*netcdf.Dataset, error) {
+	return c.FetchContext(context.Background(), name, constraint)
+}
+
+// FetchContext is Fetch under a caller context: cancelling ctx aborts
+// the in-flight HTTP request and stops the retry loop, so a budgeted
+// query whose deadline expires releases its OPeNDAP connection instead
+// of riding out the full retry schedule.
+func (c *Client) FetchContext(ctx context.Context, name string, constraint Constraint) (*netcdf.Dataset, error) {
 	rawQuery := url.QueryEscape(constraint.String())
 	if c.Token != "" {
 		rawQuery = "token=" + url.QueryEscape(c.Token) + "&" + rawQuery
 	}
 	var ds *netcdf.Dataset
-	err := c.do("/"+name+".dods", rawQuery, func(body []byte) error {
+	err := c.doCtx(ctx, "/"+name+".dods", rawQuery, func(body []byte) error {
 		d, derr := netcdf.Read(bytes.NewReader(body))
 		if derr != nil {
 			return derr

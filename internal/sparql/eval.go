@@ -1,11 +1,13 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
+	"applab/internal/admission"
 	"applab/internal/rdf"
 )
 
@@ -27,6 +29,19 @@ type ErrorSource interface {
 	Source
 	// MatchErr is Match with the upstream error surfaced.
 	MatchErr(s, p, o rdf.Term) ([]rdf.Triple, error)
+}
+
+// ContextSource is an optional extension of Source for backends that
+// honor cancellation and query budgets mid-scan (remote endpoints,
+// federations, OBDA virtual graphs). EvalContext routes pattern scans
+// through MatchContext when the evaluation carries a deadline or
+// budget. The engine aborts the query only on cancellation/budget
+// errors (admission.Aborted); other upstream failures keep the plain
+// Source semantics and read as empty results.
+type ContextSource interface {
+	Source
+	// MatchContext is Match under a context.
+	MatchContext(ctx context.Context, s, p, o rdf.Term) ([]rdf.Triple, error)
 }
 
 // Results is the outcome of query evaluation.
@@ -59,27 +74,76 @@ func Eval(src Source, query string) (*Results, error) {
 // identical to the original evaluator up to the order of un-ORDER-BY'd
 // rows; EvalSeed retains the original path.
 func (q *Query) Eval(src Source) (*Results, error) {
-	return q.eval(src, QueryWorkers(), ParallelThreshold())
+	return q.EvalContext(context.Background(), src)
+}
+
+// EvalContext is Eval with cooperative cancellation and resource
+// governance: plan operators poll ctx and the attached
+// *admission.Budget (admission.WithBudget) every budgetCheckInterval
+// rows, pattern scans go through MatchContext when src supports it,
+// and an over-budget query returns the structured *admission.BudgetError
+// instead of hanging. A background context with no budget evaluates on
+// the exact unlimited path Eval always used.
+func (q *Query) EvalContext(ctx context.Context, src Source) (*Results, error) {
+	return q.evalCtx(ctx, src, QueryWorkers(), ParallelThreshold())
 }
 
 func (q *Query) eval(src Source, workers, threshold int) (*Results, error) {
+	return q.evalCtx(context.Background(), src, workers, threshold)
+}
+
+func (q *Query) evalCtx(ctx context.Context, src Source, workers, threshold int) (*Results, error) {
 	if _, remote := src.(ErrorSource); remote {
 		// Remote-backed sources keep sequential, single-flight Match
 		// calls: error reporting and federation deadlines depend on it.
 		workers = 1
 	}
+	budget := admission.FromContext(ctx)
+	ec := &execCtx{
+		src: src, ctx: ctx, budget: budget,
+		limited: budget != nil || ctx.Done() != nil,
+		workers: workers, threshold: threshold,
+	}
+	if ec.limited {
+		if cs, ok := src.(ContextSource); ok {
+			ec.csrc = cs
+		}
+	}
 	prog := compileQuery(q, src)
-	ec := &execCtx{src: src, workers: workers, threshold: threshold}
-	rows := runOps(ec, prog.ops, []row{make(row, prog.vt.size())})
+	rows, err := runOps(ec, prog.ops, []row{make(row, prog.vt.size())})
+	if err != nil {
+		return nil, err
+	}
+	// Final checkpoint: a small result set may finish between ticks, but
+	// a violated budget or dead context must still surface (this is what
+	// bounds "terminates within one check interval").
+	if err := ec.checkpoint(0); err != nil {
+		return nil, err
+	}
 	noteRows(len(rows))
 	sols := rowsToBindings(rows, prog.vt)
+	var res *Results
 	switch q.Type {
 	case QueryAsk:
-		return &Results{Bool: len(sols) > 0}, nil
+		res = &Results{Bool: len(sols) > 0}
 	case QueryConstruct:
-		return q.construct(sols)
+		res, err = q.construct(sols)
+	default:
+		res, err = q.project(sols)
 	}
-	return q.project(sols)
+	if err != nil {
+		return nil, err
+	}
+	// MaxRows bounds what leaves the engine: final bindings or
+	// constructed triples, after projection/LIMIT.
+	out := len(res.Bindings)
+	if len(res.Graph) > out {
+		out = len(res.Graph)
+	}
+	if err := budget.CheckRows(out); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 func (q *Query) construct(sols []Binding) (*Results, error) {

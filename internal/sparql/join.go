@@ -157,26 +157,34 @@ func resolve(slot int, constant rdf.Term, r row) rdf.Term {
 	return r[slot]
 }
 
-func (sc *scanOp) run(ec *execCtx, in []row) []row {
+func (sc *scanOp) run(ec *execCtx, in []row) ([]row, error) {
 	if sc.canHash && len(sc.keys) == 0 {
 		// No position can be bound by incoming rows: one Match serves
 		// every row (cross-join materialization).
 		noteJoinStrategy("cross")
-		matches := ec.src.Match(sc.s, sc.p, sc.o)
-		if len(matches) == 0 {
-			return nil
+		matches, err := ec.match(sc.s, sc.p, sc.o)
+		if err != nil {
+			return nil, err
 		}
-		return chunked(ec, in, func(rows []row) []row {
+		if len(matches) == 0 {
+			return nil, nil
+		}
+		return chunked(ec, in, func(rows []row) ([]row, error) {
 			var out []row
 			var ar rowArena
+			n := 0
 			for _, r := range rows {
+				if err := ec.tickN(&n, len(matches)); err != nil {
+					return nil, err
+				}
+				//lint:ignore ctxcheck the whole bucket was charged via tickN just above
 				for _, t := range matches {
 					if nr, ok := sc.extend(r, t, &ar); ok {
 						out = append(out, nr)
 					}
 				}
 			}
-			return out
+			return out, nil
 		})
 	}
 	// Hash join only pays when the build side (constants-only match) is
@@ -187,20 +195,32 @@ func (sc *scanOp) run(ec *execCtx, in []row) []row {
 		return sc.hashJoin(ec, in)
 	}
 	noteJoinStrategy("nested_loop")
-	return chunked(ec, in, func(rows []row) []row {
+	return chunked(ec, in, func(rows []row) ([]row, error) {
 		var out []row
 		var ar rowArena
+		n := 0
 		for _, r := range rows {
+			if err := ec.tick(&n); err != nil {
+				return nil, err
+			}
 			s := resolve(sc.sSlot, sc.s, r)
 			p := resolve(sc.pSlot, sc.p, r)
 			o := resolve(sc.oSlot, sc.o, r)
-			for _, t := range ec.src.Match(s, p, o) {
+			matches, err := ec.match(s, p, o)
+			if err != nil {
+				return nil, err
+			}
+			if err := ec.tickN(&n, len(matches)); err != nil {
+				return nil, err
+			}
+			//lint:ignore ctxcheck the whole bucket was charged via tickN just above
+			for _, t := range matches {
 				if nr, ok := sc.extend(r, t, &ar); ok {
 					out = append(out, nr)
 				}
 			}
 		}
-		return out
+		return out, nil
 	})
 }
 
@@ -210,10 +230,13 @@ func (sc *scanOp) run(ec *execCtx, in []row) []row {
 // same order the nested-loop strategy would produce them; extend
 // re-checks every bound position, so the key only has to be sound, not
 // exact.
-func (sc *scanOp) hashJoin(ec *execCtx, in []row) []row {
-	build := ec.src.Match(sc.s, sc.p, sc.o)
+func (sc *scanOp) hashJoin(ec *execCtx, in []row) ([]row, error) {
+	build, err := ec.match(sc.s, sc.p, sc.o)
+	if err != nil {
+		return nil, err
+	}
 	if len(build) == 0 {
-		return nil
+		return nil, nil
 	}
 	table := make(map[string][]rdf.Triple, len(build))
 	var sb strings.Builder
@@ -224,15 +247,23 @@ func (sc *scanOp) hashJoin(ec *execCtx, in []row) []row {
 		}
 		return sb.String()
 	}
+	n := 0
 	for _, t := range build {
+		if err := ec.tick(&n); err != nil {
+			return nil, err
+		}
 		k := tripleKey(t)
 		table[k] = append(table[k], t)
 	}
-	return chunked(ec, in, func(rows []row) []row {
+	return chunked(ec, in, func(rows []row) ([]row, error) {
 		var out []row
 		var ar rowArena
 		var kb []byte
+		n := 0
 		for _, r := range rows {
+			if err := ec.tick(&n); err != nil {
+				return nil, err
+			}
 			kb = kb[:0]
 			for _, slot := range sc.keys {
 				k := r[slot].Key()
@@ -241,13 +272,18 @@ func (sc *scanOp) hashJoin(ec *execCtx, in []row) []row {
 				kb = append(kb, k...)
 			}
 			// map lookup on string(kb) does not allocate.
-			for _, t := range table[string(kb)] {
+			bucket := table[string(kb)]
+			if err := ec.tickN(&n, len(bucket)); err != nil {
+				return nil, err
+			}
+			//lint:ignore ctxcheck the whole bucket was charged via tickN just above
+			for _, t := range bucket {
 				if nr, ok := sc.extend(r, t, &ar); ok {
 					out = append(out, nr)
 				}
 			}
 		}
-		return out
+		return out, nil
 	})
 }
 

@@ -1,10 +1,12 @@
 package sparql
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"applab/internal/admission"
 	"applab/internal/rdf"
 )
 
@@ -82,34 +84,129 @@ func ParallelThreshold() int {
 // execCtx carries the per-evaluation runtime state.
 type execCtx struct {
 	src       Source
+	csrc      ContextSource // non-nil only when limited and src supports it
+	ctx       context.Context
+	budget    *admission.Budget
+	limited   bool // ctx can be cancelled or a budget is attached
 	workers   int
 	threshold int
 }
 
+// budgetCheckInterval is how many rows an operator loop may process
+// between cancellation/budget checkpoints. Small enough that an
+// over-budget or cancelled query stops within one interval, large
+// enough that the per-row cost is one local increment (the
+// applab-bench budget mode holds the Engine_BGPJoin overhead < 5%).
+const budgetCheckInterval = 64
+
+// tick is the per-row checkpoint every operator loop calls (the
+// applab-lint ctxcheck rule enforces it). It counts locally and, every
+// budgetCheckInterval rows, charges the interval to the intermediate
+// budget and polls cancellation. Free when the evaluation is unlimited.
+func (ec *execCtx) tick(n *int) error {
+	if !ec.limited {
+		return nil
+	}
+	*n++
+	if *n < budgetCheckInterval {
+		return nil
+	}
+	rows := *n
+	*n = 0
+	return ec.checkpoint(rows)
+}
+
+// tickN charges k rows in one step — a probe's whole match bucket —
+// so hot inner loops pay one checkpoint per bucket instead of one
+// function call per element.
+func (ec *execCtx) tickN(n *int, k int) error {
+	if !ec.limited || k == 0 {
+		return nil
+	}
+	*n += k
+	if *n < budgetCheckInterval {
+		return nil
+	}
+	rows := *n
+	*n = 0
+	return ec.checkpoint(rows)
+}
+
+// checkpoint charges rows intermediate rows and polls the budget and
+// the context. A deadline expiry is reported as the structured budget
+// error rather than the bare context error.
+func (ec *execCtx) checkpoint(rows int) error {
+	if !ec.limited {
+		return nil
+	}
+	if rows > 0 {
+		if err := ec.budget.AddIntermediate(rows); err != nil {
+			return err
+		}
+	} else if err := ec.budget.Err(); err != nil {
+		return err
+	}
+	if err := ec.ctx.Err(); err != nil {
+		if berr := ec.budget.Err(); berr != nil {
+			return berr
+		}
+		return err
+	}
+	return nil
+}
+
+// match issues one pattern scan, through the context-aware path when
+// the source supports it. Only cancellation and budget violations abort
+// the query; ordinary upstream errors keep the seed Source semantics
+// (they read as empty results — federation partial answers and the
+// error-report machinery depend on that).
+func (ec *execCtx) match(s, p, o rdf.Term) ([]rdf.Triple, error) {
+	if ec.csrc != nil {
+		ts, err := ec.csrc.MatchContext(ec.ctx, s, p, o)
+		if err != nil {
+			if admission.Aborted(err) {
+				if berr := ec.budget.Err(); berr != nil {
+					return nil, berr
+				}
+				return nil, err
+			}
+			return nil, nil
+		}
+		return ts, nil
+	}
+	return ec.src.Match(s, p, o), nil
+}
+
 // op is one step of a compiled query plan.
 type op interface {
-	run(ec *execCtx, in []row) []row
+	run(ec *execCtx, in []row) ([]row, error)
 }
 
 // runOps threads a solution set through a plan, short-circuiting on
 // empty intermediates like the seed evaluator.
-func runOps(ec *execCtx, ops []op, in []row) []row {
+func runOps(ec *execCtx, ops []op, in []row) ([]row, error) {
 	cur := in
 	for _, o := range ops {
 		if len(cur) == 0 {
-			return nil
+			return nil, nil
 		}
-		cur = o.run(ec, cur)
+		var err error
+		cur, err = o.run(ec, cur)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return cur
+	return cur, nil
 }
 
 // chunked applies fn to in, fanning out to the worker pool when the
 // solution set is large enough. Chunk outputs are concatenated in
 // partition order: the result is identical to fn(in) row-for-row.
 // fn must not mutate its input rows (rows are shared across UNION
-// branches and with the caller).
-func chunked(ec *execCtx, in []row, fn func([]row) []row) []row {
+// branches and with the caller). On error the lowest-indexed failing
+// chunk wins, and budgets record only their first violation, so an
+// aborted stage reports the same error for any worker count.
+func chunked(ec *execCtx, in []row, fn func([]row) ([]row, error)) ([]row, error) {
 	if ec.workers <= 1 || len(in) < ec.threshold {
 		return fn(in)
 	}
@@ -122,6 +219,7 @@ func chunked(ec *execCtx, in []row, fn func([]row) []row) []row {
 	done := noteParallelStage(nchunks)
 	defer done()
 	outs := make([][]row, nchunks)
+	errs := make([]error, nchunks)
 	var wg sync.WaitGroup
 	for i := 0; i < nchunks; i++ {
 		lo := i * size
@@ -132,19 +230,26 @@ func chunked(ec *execCtx, in []row, fn func([]row) []row) []row {
 		wg.Add(1)
 		go func(i int, part []row) {
 			defer wg.Done()
-			outs[i] = fn(part)
+			outs[i], errs[i] = fn(part)
 		}(i, in[lo:hi])
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	total := 0
+	//lint:ignore ctxcheck post-barrier size sum over per-chunk outputs; the chunk workers already polled
 	for _, o := range outs {
 		total += len(o)
 	}
 	out := make([]row, 0, total)
+	//lint:ignore ctxcheck post-barrier concat of per-chunk outputs; the chunk workers already polled
 	for _, o := range outs {
 		out = append(out, o...)
 	}
-	return out
+	return out, nil
 }
 
 // filterOp drops rows whose condition is false or errors.
@@ -152,15 +257,19 @@ type filterOp struct {
 	cond compiledExpr
 }
 
-func (f *filterOp) run(ec *execCtx, in []row) []row {
-	return chunked(ec, in, func(rows []row) []row {
+func (f *filterOp) run(ec *execCtx, in []row) ([]row, error) {
+	return chunked(ec, in, func(rows []row) ([]row, error) {
 		var out []row
+		n := 0
 		for _, r := range rows {
+			if err := ec.tick(&n); err != nil {
+				return nil, err
+			}
 			if v, err := compiledEBV(f.cond, r); err == nil && v {
 				out = append(out, r)
 			}
 		}
-		return out
+		return out, nil
 	})
 }
 
@@ -172,10 +281,14 @@ type bindOp struct {
 	expr compiledExpr
 }
 
-func (b *bindOp) run(ec *execCtx, in []row) []row {
-	return chunked(ec, in, func(rows []row) []row {
+func (b *bindOp) run(ec *execCtx, in []row) ([]row, error) {
+	return chunked(ec, in, func(rows []row) ([]row, error) {
 		var out []row
+		n := 0
 		for _, r := range rows {
+			if err := ec.tick(&n); err != nil {
+				return nil, err
+			}
 			v, err := b.expr(r)
 			if err != nil {
 				out = append(out, r)
@@ -191,7 +304,7 @@ func (b *bindOp) run(ec *execCtx, in []row) []row {
 			nr[b.slot] = v
 			out = append(out, nr)
 		}
-		return out
+		return out, nil
 	})
 }
 
@@ -201,10 +314,14 @@ type valuesOp struct {
 	rows  [][]rdf.Term
 }
 
-func (v *valuesOp) run(ec *execCtx, in []row) []row {
-	return chunked(ec, in, func(rows []row) []row {
+func (v *valuesOp) run(ec *execCtx, in []row) ([]row, error) {
+	return chunked(ec, in, func(rows []row) ([]row, error) {
 		var out []row
+		n := 0
 		for _, r := range rows {
+			if err := ec.tick(&n); err != nil {
+				return nil, err
+			}
 			for _, vr := range v.rows {
 				nr := r
 				cloned := false
@@ -232,7 +349,7 @@ func (v *valuesOp) run(ec *execCtx, in []row) []row {
 				}
 			}
 		}
-		return out
+		return out, nil
 	})
 }
 
@@ -241,18 +358,25 @@ type optionalOp struct {
 	body []op
 }
 
-func (o *optionalOp) run(ec *execCtx, in []row) []row {
-	return chunked(ec, in, func(rows []row) []row {
+func (o *optionalOp) run(ec *execCtx, in []row) ([]row, error) {
+	return chunked(ec, in, func(rows []row) ([]row, error) {
 		var out []row
+		n := 0
 		for _, r := range rows {
-			ext := runOps(ec, o.body, []row{r})
+			if err := ec.tick(&n); err != nil {
+				return nil, err
+			}
+			ext, err := runOps(ec, o.body, []row{r})
+			if err != nil {
+				return nil, err
+			}
 			if len(ext) == 0 {
 				out = append(out, r)
 			} else {
 				out = append(out, ext...)
 			}
 		}
-		return out
+		return out, nil
 	})
 }
 
@@ -261,12 +385,16 @@ type unionOp struct {
 	alts [][]op
 }
 
-func (u *unionOp) run(ec *execCtx, in []row) []row {
+func (u *unionOp) run(ec *execCtx, in []row) ([]row, error) {
 	var out []row
 	for _, alt := range u.alts {
-		out = append(out, runOps(ec, alt, in)...)
+		ext, err := runOps(ec, alt, in)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ext...)
 	}
-	return out
+	return out, nil
 }
 
 // existsOp keeps rows for which the sub-plan has (no) solutions.
@@ -275,16 +403,23 @@ type existsOp struct {
 	negated bool
 }
 
-func (e *existsOp) run(ec *execCtx, in []row) []row {
-	return chunked(ec, in, func(rows []row) []row {
+func (e *existsOp) run(ec *execCtx, in []row) ([]row, error) {
+	return chunked(ec, in, func(rows []row) ([]row, error) {
 		var out []row
+		n := 0
 		for _, r := range rows {
-			matched := len(runOps(ec, e.body, []row{r})) > 0
-			if matched != e.negated {
+			if err := ec.tick(&n); err != nil {
+				return nil, err
+			}
+			ext, err := runOps(ec, e.body, []row{r})
+			if err != nil {
+				return nil, err
+			}
+			if (len(ext) > 0) != e.negated {
 				out = append(out, r)
 			}
 		}
-		return out
+		return out, nil
 	})
 }
 

@@ -1,0 +1,123 @@
+package strabon
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"applab/internal/faults"
+	"applab/internal/rdf"
+)
+
+func fuzzSeedImage(f *testing.F) []byte {
+	f.Helper()
+	st := New()
+	from := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	to := from.Add(24 * time.Hour)
+	tr := rdf.NewTriple(
+		rdf.NewIRI("http://ex.org/obs1"),
+		rdf.NewIRI("http://ex.org/lai"),
+		rdf.NewLiteral("3.5"),
+	)
+	tr.ValidFrom, tr.ValidTo = from, to
+	st.Add(tr)
+	st.Add(rdf.NewTriple(
+		rdf.NewIRI("http://ex.org/obs1"),
+		rdf.NewIRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+		rdf.NewIRI("http://ex.org/Observation"),
+	))
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoad feeds Load arbitrary byte streams — a valid image, its
+// deterministic truncations and bit flips, and headers declaring
+// enormous dictionaries or triple counts. Load must never panic or
+// allocate proportional to a declared-but-absent payload, and any
+// stream it accepts must round-trip through Save/Load to identical
+// bytes.
+func FuzzLoad(f *testing.F) {
+	encoded := fuzzSeedImage(f)
+	f.Add(encoded)
+	for _, variant := range faults.Truncations(encoded, 2019, 32) {
+		f.Add(variant)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ASTR0"))
+	f.Add([]byte("not a store image"))
+	// A 13-byte image declaring 2^26 dictionary strings: must fail on
+	// the short read, not allocate the dictionary.
+	huge := []byte(persistMagic)
+	huge = binary.BigEndian.AppendUint32(huge, 1<<26)
+	f.Add(huge)
+	// An empty dictionary with 2^30 declared triples.
+	huge2 := []byte(persistMagic)
+	huge2 = binary.BigEndian.AppendUint32(huge2, 0)
+	huge2 = binary.BigEndian.AppendUint64(huge2, 1<<30)
+	f.Add(huge2)
+	// One declared 16MB string backed by 3 bytes.
+	bigstr := []byte(persistMagic)
+	bigstr = binary.BigEndian.AppendUint32(bigstr, 1)
+	bigstr = binary.BigEndian.AppendUint32(bigstr, 1<<24)
+	bigstr = append(bigstr, "abc"...)
+	f.Add(bigstr)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		triples, err := loadTriples(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := saveTriples(&out, triples); err != nil {
+			t.Fatalf("accepted image failed to re-encode: %v", err)
+		}
+		triples2, err := loadTriples(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded image failed to load: %v", err)
+		}
+		var out2 bytes.Buffer
+		if err := saveTriples(&out2, triples2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatal("image not stable across load/save round trip")
+		}
+	})
+}
+
+// TestLoadCorruptCountsFailFast pins the hardening directly: images
+// whose headers declare huge payloads backed by a few bytes error out
+// instead of preallocating gigabytes.
+func TestLoadCorruptCountsFailFast(t *testing.T) {
+	cases := []struct {
+		name string
+		img  []byte
+	}{
+		{"huge_dictionary", func() []byte {
+			b := []byte(persistMagic)
+			return binary.BigEndian.AppendUint32(b, 1<<26)
+		}()},
+		{"huge_triples", func() []byte {
+			b := []byte(persistMagic)
+			b = binary.BigEndian.AppendUint32(b, 0)
+			return binary.BigEndian.AppendUint64(b, 1<<30)
+		}()},
+		{"huge_string", func() []byte {
+			b := []byte(persistMagic)
+			b = binary.BigEndian.AppendUint32(b, 1)
+			b = binary.BigEndian.AppendUint32(b, 1<<24)
+			return append(b, "abc"...)
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Load(bytes.NewReader(tc.img)); err == nil {
+				t.Fatal("corrupt image loaded without error")
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"applab/internal/rdf"
@@ -164,8 +165,17 @@ func loadTriples(r io.Reader) ([]rdf.Triple, error) {
 	if nStrs > 1<<26 {
 		return nil, fmt.Errorf("strabon: image dictionary too large (%d)", nStrs)
 	}
-	strs := make([]string, nStrs)
-	for i := range strs {
+	// Cap the preallocation: nStrs is corruption-controlled and a tiny
+	// truncated image must fail with a short read, not allocate the
+	// declared dictionary up front. Real entries still grow the slice
+	// one by one below.
+	hint := nStrs
+	if hint > 1<<16 {
+		hint = 1 << 16
+	}
+	strs := make([]string, 0, hint)
+	scratch := make([]byte, 64<<10)
+	for i := uint32(0); i < nStrs; i++ {
 		var n uint32
 		if err := binary.Read(br, binary.BigEndian, &n); err != nil {
 			return nil, err
@@ -173,11 +183,22 @@ func loadTriples(r io.Reader) ([]rdf.Triple, error) {
 		if n > 1<<24 {
 			return nil, fmt.Errorf("strabon: image string too large (%d)", n)
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, err
+		// Same rule for the payload: a long declared length backed by a
+		// short stream must fail mid-read, not allocate n bytes first,
+		// so strings are assembled from bounded scratch-sized chunks.
+		var sb strings.Builder
+		for remaining := int(n); remaining > 0; {
+			chunk := scratch
+			if remaining < len(chunk) {
+				chunk = chunk[:remaining]
+			}
+			if _, err := io.ReadFull(br, chunk); err != nil {
+				return nil, err
+			}
+			sb.Write(chunk)
+			remaining -= len(chunk)
 		}
-		strs[i] = string(buf)
+		strs = append(strs, sb.String())
 	}
 	lookup := func(i uint32) (string, error) {
 		if int(i) >= len(strs) {
@@ -225,7 +246,13 @@ func loadTriples(r io.Reader) ([]rdf.Triple, error) {
 	if nTriples > 1<<30 {
 		return nil, fmt.Errorf("strabon: image too large (%d triples)", nTriples)
 	}
-	out := make([]rdf.Triple, 0, nTriples)
+	// Same capped-hint rule as the dictionary: the declared count only
+	// sizes the first allocation up to a bound; real triples grow it.
+	tripleHint := nTriples
+	if tripleHint > 1<<16 {
+		tripleHint = 1 << 16
+	}
+	out := make([]rdf.Triple, 0, tripleHint)
 	for i := uint64(0); i < nTriples; i++ {
 		var tr rdf.Triple
 		var err error
