@@ -17,8 +17,20 @@ fi
 echo "== go vet"
 go vet ./...
 
-echo "== applab-lint"
-go run ./cmd/applab-lint ./...
+echo "== applab-lint (self-lint: the linter and its framework first)"
+go run ./cmd/applab-lint ./internal/analysis/... ./cmd/applab-lint
+
+echo "== applab-lint (whole repo, against the committed baseline)"
+# The dataflow checkers must stay fast enough to run on every commit:
+# the whole-repo pass gets a 30-second wall budget.
+lint_start=$(date +%s)
+go run ./cmd/applab-lint -baseline lint-baseline.json ./...
+lint_elapsed=$(( $(date +%s) - lint_start ))
+if [ "$lint_elapsed" -ge 30 ]; then
+    echo "applab-lint took ${lint_elapsed}s; budget is 30s" >&2
+    exit 1
+fi
+echo "  whole-repo lint in ${lint_elapsed}s (budget 30s)"
 
 echo "== go test"
 go test ./...
@@ -54,6 +66,7 @@ check_cover ./internal/federation/ 85
 check_cover ./internal/telemetry/ 90
 check_cover ./internal/sparql/ 80
 check_cover ./internal/admission/ 90
+check_cover ./internal/analysis/ 90
 
 echo "== fuzz smoke (seed corpus + a few seconds of mutation)"
 # One -fuzz target per invocation: the flag rejects patterns matching

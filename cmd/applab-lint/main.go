@@ -1,66 +1,176 @@
-// Command applab-lint is the repo-specific static-analysis gate: five
-// checkers tuned to the concurrent query stack (see internal/analysis),
-// built on the standard library only.
+// Command applab-lint is the repo-specific static-analysis gate: the
+// AST checkers from PR1 plus the CFG/dataflow checkers (lockflow,
+// closeflow, errflow, ctxflow), built on the standard library only (see
+// internal/analysis).
 //
 // Usage:
 //
-//	applab-lint [-checks list] [-list] [packages]
+//	applab-lint [-checks list] [-list] [-json] [-fix]
+//	            [-baseline file] [-write-baseline file] [packages]
 //
 // Packages are directories or dir/... patterns; the default is ./...
 // from the module root. Findings print as
 //
 //	file:line:col: [check] message
 //
-// and the exit status is 1 when any finding survives //lint:ignore
-// suppression, 2 on usage or load errors, 0 otherwise.
+// sorted by (file, line, col, check), with module-root-relative paths,
+// so output is byte-stable across runs and machines. -json emits the
+// same findings as a JSON array. -baseline subtracts pre-existing
+// findings recorded with -write-baseline. -fix applies the mechanical
+// suggested fixes (defer unlock/close insertions) in place and reports
+// what remains.
+//
+// Exit status: 0 clean, 1 findings, 2 usage/load/type-check errors —
+// a broken load can never masquerade as a clean run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"applab/internal/analysis"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	checks := flag.String("checks", "all", "comma-separated checker names to run")
 	list := flag.Bool("list", false, "list available checkers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	fix := flag.Bool("fix", false, "apply mechanical suggested fixes in place")
+	baselinePath := flag.String("baseline", "", "subtract findings recorded in this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "record surviving findings to this file and exit 0")
 	flag.Parse()
 
 	if *list {
 		for _, c := range analysis.All() {
 			fmt.Printf("%-10s %s\n", c.Name, c.Doc)
 		}
-		return
+		return 0
 	}
 
 	checkers, err := analysis.ByName(*checks)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "applab-lint:", err)
-		os.Exit(2)
+		return 2
+	}
+
+	var baseline *analysis.Baseline
+	if *baselinePath != "" {
+		baseline, err = analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "applab-lint:", err)
+			return 2
+		}
 	}
 
 	loader := analysis.NewLoader()
 	pkgs, err := loader.Load(flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "applab-lint:", err)
-		os.Exit(2)
+		return 2
 	}
 
+	broken := false
 	var findings []analysis.Finding
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "applab-lint: warning: %s: %v\n", pkg.Pass.Path, terr)
+			broken = true
+			fmt.Fprintf(os.Stderr, "applab-lint: %s: %v\n", pkg.Pass.Path, terr)
 		}
 		findings = append(findings, analysis.RunAll(pkg.Pass, checkers)...)
 	}
 	analysis.SortFindings(findings)
-	for _, f := range findings {
-		fmt.Println(f)
+	findings = baseline.Filter(findings)
+
+	if *writeBaseline != "" {
+		if err := analysis.WriteBaseline(*writeBaseline, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "applab-lint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "applab-lint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		if broken {
+			return 2
+		}
+		return 0
 	}
-	if len(findings) > 0 {
+
+	if *fix {
+		var fixErr error
+		findings, fixErr = applyFixes(findings)
+		if fixErr != nil {
+			fmt.Fprintln(os.Stderr, "applab-lint:", fixErr)
+			return 2
+		}
+	}
+
+	if *jsonOut {
+		if err := analysis.EncodeJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "applab-lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+
+	switch {
+	case broken:
+		fmt.Fprintln(os.Stderr, "applab-lint: analysis incomplete: packages failed to type-check")
+		return 2
+	case len(findings) > 0:
 		fmt.Fprintf(os.Stderr, "applab-lint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// applyFixes groups the fixable findings per file, rewrites each file
+// bottom-up, and returns the findings that had no mechanical fix.
+func applyFixes(findings []analysis.Finding) ([]analysis.Finding, error) {
+	byFile := map[string][]analysis.SuggestedFix{}
+	var rest []analysis.Finding
+	fixed := 0
+	for _, f := range findings {
+		if f.Fix == nil {
+			rest = append(rest, f)
+			continue
+		}
+		byFile[f.Pos.Filename] = append(byFile[f.Pos.Filename], *f.Fix)
+		fixed++
+	}
+	root, err := analysis.ModuleRoot()
+	if err != nil {
+		return nil, err
+	}
+	files := make([]string, 0, len(byFile))
+	for file := range byFile {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		path := filepath.Join(root, filepath.FromSlash(file))
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		out, err := analysis.ApplyFixes(src, byFile[file])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", file, err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "applab-lint: fixed %s (%d edit(s))\n", file, len(byFile[file]))
+	}
+	if fixed > 0 {
+		fmt.Fprintf(os.Stderr, "applab-lint: applied %d fix(es); re-run to verify\n", fixed)
+	}
+	return rest, nil
 }

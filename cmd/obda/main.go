@@ -67,9 +67,8 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("metrics on http://%s/metrics (JSON at /debug/applab)", ln.Addr())
-		//lint:ignore goleak metrics server lives for the one-shot process; the OS reaps it at exit
+		//lint:ignore goleak reason: metrics server lives for the one-shot process; the OS reaps it at exit
 		go func() {
-			//lint:ignore errcheck metrics server dies with the one-shot process
 			http.Serve(ln, telemetry.NewHandler(reg))
 		}()
 	}

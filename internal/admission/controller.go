@@ -207,13 +207,13 @@ func (c *Controller) release() {
 		wait := c.now().Sub(w.enqueued)
 		if c.QueueTimeout > 0 && wait > c.QueueTimeout {
 			c.met.evicted.Inc()
-			//lint:ignore lockio admit is buffered (cap 1) and each waiter gets exactly one verdict, so the send never blocks
+			//lint:ignore lockio reason: admit is buffered (cap 1) and each waiter gets exactly one verdict, so the send never blocks
 			w.admit <- &Overload{Evicted: true, RetryAfter: c.retryAfter()}
 			continue
 		}
 		c.met.waitSeconds.Observe(wait.Seconds())
 		c.met.admitted.Inc()
-		//lint:ignore lockio admit is buffered (cap 1) and each waiter gets exactly one verdict, so the send never blocks
+		//lint:ignore lockio reason: admit is buffered (cap 1) and each waiter gets exactly one verdict, so the send never blocks
 		w.admit <- nil
 		return
 	}

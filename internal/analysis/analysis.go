@@ -13,9 +13,10 @@
 // Findings can be suppressed with a directive on the offending line or
 // the line above:
 //
-//	//lint:ignore <check> <reason>
+//	//lint:ignore <check> reason: <why>
 //
-// The reason is mandatory; a directive without one is itself reported.
+// The reason: prefix is mandatory; a directive without one is itself
+// reported, as is a directive that no longer suppresses anything.
 package analysis
 
 import (
@@ -27,11 +28,13 @@ import (
 	"strings"
 )
 
-// Finding is one diagnostic produced by a checker.
+// Finding is one diagnostic produced by a checker. Fix, when non-nil,
+// is a mechanical edit `applab-lint -fix` can apply.
 type Finding struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	Fix     *SuggestedFix
 }
 
 // String renders the finding in the driver's file:line: [check] message
@@ -62,9 +65,12 @@ type Checker struct {
 // All returns every registered checker in deterministic order.
 func All() []Checker {
 	return []Checker{
-		ctxcheckChecker(),
+		closeflowChecker(),
+		ctxflowChecker(),
 		errcheckChecker(),
+		errflowChecker(),
 		goleakChecker(),
+		lockflowChecker(),
 		lockioChecker(),
 		nakedtimeChecker(),
 		sharedmapChecker(),
@@ -99,13 +105,17 @@ func ByName(names string) ([]Checker, error) {
 }
 
 // RunAll applies the checkers to the pass and returns the surviving
-// findings (suppressions applied), sorted by position.
+// findings (suppressions applied), sorted by position. Suppressions
+// that match nothing from the checkers that ran are reported as
+// "directive" findings.
 func RunAll(pass *Pass, checkers []Checker) []Finding {
 	var out []Finding
+	ran := map[string]bool{}
 	for _, c := range checkers {
+		ran[c.Name] = true
 		out = append(out, c.Run(pass)...)
 	}
-	out = append(out, suppress(pass, &out)...)
+	out = append(out, suppress(pass, &out, ran, len(ran) >= len(All()))...)
 	SortFindings(out)
 	return out
 }
@@ -130,10 +140,19 @@ func SortFindings(fs []Finding) {
 // ---- shared type-info helpers ----
 
 // calleeFunc resolves the static callee of a call, or nil for calls
-// through function values and other dynamic forms.
+// through function values and other dynamic forms. Explicit generic
+// instantiations (f[int](), pkg.F[K, V]()) resolve to the generic
+// function object.
 func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch inst := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(inst.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(inst.X)
+	}
 	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
+	switch fun := fun.(type) {
 	case *ast.Ident:
 		id = fun
 	case *ast.SelectorExpr:

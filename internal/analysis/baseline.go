@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// baseline.go implements incremental adoption: `applab-lint -baseline
+// lint-baseline.json` subtracts the recorded pre-existing findings and
+// fails only on new ones. Entries match on (file, check, message) —
+// deliberately not line/column, so unrelated edits that shift code do
+// not resurrect a baselined finding. Matching is multiset-style: two
+// identical findings need two baseline entries.
+
+// BaselineEntry is one recorded pre-existing finding.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// Baseline is a set (with multiplicity) of accepted findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error: a
+// typo'd path must not silently lint against an empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline records the findings, sorted, as the new baseline.
+func WriteBaseline(path string, findings []Finding) error {
+	b := Baseline{Entries: []BaselineEntry{}}
+	for _, f := range findings {
+		b.Entries = append(b.Entries, BaselineEntry{File: f.Pos.Filename, Check: f.Check, Message: f.Message})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter returns the findings not covered by the baseline, preserving
+// order. A nil baseline passes everything through.
+func (b *Baseline) Filter(findings []Finding) []Finding {
+	if b == nil {
+		return findings
+	}
+	budget := map[BaselineEntry]int{}
+	for _, e := range b.Entries {
+		budget[e]++
+	}
+	var out []Finding
+	for _, f := range findings {
+		e := BaselineEntry{File: f.Pos.Filename, Check: f.Check, Message: f.Message}
+		if budget[e] > 0 {
+			budget[e]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

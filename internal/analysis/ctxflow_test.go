@@ -1,0 +1,325 @@
+package analysis_test
+
+import "testing"
+
+// ctxflowPrelude mimics the engine's shapes: an execution context with
+// checkpoint helpers, flat binding rows, and a triple type.
+const ctxflowPrelude = `package fixture
+
+import "context"
+
+type row []int
+
+type Triple struct{ S, P, O int }
+
+type execCtx struct {
+	ctx context.Context
+}
+
+func (ec *execCtx) tick(n *int) error { return nil }
+
+func (ec *execCtx) tickN(n *int, k int) error { return nil }
+
+func (ec *execCtx) checkpoint(rows int) error { return nil }
+
+type Budget struct{}
+
+func (b *Budget) AddIntermediate(n int) error { return nil }
+`
+
+func TestCtxflow(t *testing.T) {
+	runCases(t, "ctxflow", []checkerCase{
+		{
+			name: "unchecked row loop in operator is flagged",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func run(ec *execCtx, in []row) []row {
+	var out []row
+	for _, r := range in {
+		out = append(out, r)
+	}
+	return out
+}
+`,
+			want:       1,
+			wantSubstr: "cancellation checkpoint",
+		},
+		{
+			name: "tick in loop body satisfies the rule",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func run(ec *execCtx, in []row) ([]row, error) {
+	var out []row
+	n := 0
+	for _, r := range in {
+		if err := ec.tick(&n); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+`,
+			want: 0,
+		},
+		{
+			name: "tick reached only on one branch is flagged",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func run(ec *execCtx, in []row, heavy bool) ([]row, error) {
+	var out []row
+	n := 0
+	for _, r := range in {
+		if heavy {
+			if err := ec.tick(&n); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+`,
+			want:       1,
+			wantSubstr: "iteration path",
+		},
+		{
+			name: "continue path that skips the tick is flagged",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func run(ec *execCtx, in []row) ([]row, error) {
+	var out []row
+	n := 0
+	for _, r := range in {
+		if len(r) == 0 {
+			continue
+		}
+		if err := ec.tick(&n); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+`,
+			want: 1,
+		},
+		{
+			name: "break path without a tick is fine: the loop ends there",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func run(ec *execCtx, in []row) ([]row, error) {
+	var out []row
+	n := 0
+	for _, r := range in {
+		if len(r) == 0 {
+			break
+		}
+		if err := ec.tick(&n); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+`,
+			want: 0,
+		},
+		{
+			name: "tick on both branches satisfies the rule",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func run(ec *execCtx, in []row, heavy bool) error {
+	n := 0
+	for range in {
+		if heavy {
+			if err := ec.tick(&n); err != nil {
+				return err
+			}
+		} else {
+			if err := ec.checkpoint(1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+`,
+			want: 0,
+		},
+		{
+			name: "tickN pre-charge separated from the loop does not exempt",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func run(ec *execCtx, matches []Triple) (int, error) {
+	n := 0
+	if err := ec.tickN(&n, len(matches)); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, t := range matches {
+		total += t.S
+	}
+	return total, nil
+}
+`,
+			want: 1, // the pre-charge is NOT the previous statement here
+		},
+		{
+			name: "tickN pre-charge as the previous statement is exempt",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func run(ec *execCtx, matches []Triple) (int, error) {
+	n := 0
+	total := 0
+	if err := ec.tickN(&n, len(matches)); err != nil {
+		return 0, err
+	}
+	for _, t := range matches {
+		total += t.S
+	}
+	return total, nil
+}
+`,
+			want: 0,
+		},
+		{
+			name: "pre-charge of a different slice does not exempt",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func run(ec *execCtx, matches, others []Triple) (int, error) {
+	n := 0
+	total := 0
+	if err := ec.tickN(&n, len(others)); err != nil {
+		return 0, err
+	}
+	for _, t := range matches {
+		total += t.S
+	}
+	return total, nil
+}
+`,
+			want: 1,
+		},
+		{
+			name: "row loop inside a literal within an operator is flagged",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func run(ec *execCtx, chunks [][]row) int {
+	total := 0
+	drain := func(c []row) {
+		for _, r := range c {
+			total += len(r)
+		}
+	}
+	for _, c := range chunks {
+		drain(c)
+	}
+	return total
+}
+`,
+			want: 2, // the literal's loop and the chunk loop
+		},
+		{
+			name: "ctx.Err in loop body satisfies the rule",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func run(ec *execCtx, in []row) error {
+	for range in {
+		if err := ec.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`,
+			want: 0,
+		},
+		{
+			name: "budget method in loop body satisfies the rule",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func run(ec *execCtx, b *Budget, in []row) error {
+	for range in {
+		if err := b.AddIntermediate(1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`,
+			want: 0,
+		},
+		{
+			name: "loops outside execCtx functions are not the rule's business",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func project(in []row) []row {
+	var out []row
+	for _, r := range in {
+		out = append(out, r)
+	}
+	return out
+}
+`,
+			want: 0,
+		},
+		{
+			name: "non-row loops inside operators are fine",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func run(ec *execCtx, names []string) int {
+	n := 0
+	for _, s := range names {
+		n += len(s)
+	}
+	return n
+}
+`,
+			want: 0,
+		},
+		{
+			name: "rule only applies to the sparql package",
+			path: "applab/internal/opendap",
+			src: ctxflowPrelude + `
+func run(ec *execCtx, in []row) int {
+	n := 0
+	for range in {
+		n++
+	}
+	return n
+}
+`,
+			want: 0,
+		},
+		{
+			name: "chunk-of-rows loop without check is flagged",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func drain(ec *execCtx, chunks [][]row) int {
+	n := 0
+	for _, c := range chunks {
+		n += len(c)
+	}
+	return n
+}
+`,
+			want: 1,
+		},
+		{
+			name: "lint:ignore suppresses with a reason",
+			path: "applab/internal/sparql",
+			src: ctxflowPrelude + `
+func run(ec *execCtx, in []row) int {
+	n := 0
+	//lint:ignore ctxflow reason: bounded by compile-time pattern count, not data size
+	for range in {
+		n++
+	}
+	return n
+}
+`,
+			want: 0,
+		},
+	})
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import "testing"
+
+// chain wires blocks into a CFG without parsing source: the dataflow
+// solver only looks at Entry, Exit, Blocks, and Succs.
+func testCFG(blocks ...*Block) *CFG {
+	for i, b := range blocks {
+		b.Index = i
+	}
+	return &CFG{Entry: blocks[0], Exit: blocks[len(blocks)-1], Blocks: blocks}
+}
+
+// intMax is a tiny max-lattice over int used by the solver tests: Join
+// is max, Bottom is 0, Transfer adds a per-block weight.
+func intMaxProblem(forward bool, weight func(*Block) int) Problem[int] {
+	return Problem[int]{
+		Forward:  forward,
+		Boundary: 1,
+		Bottom:   func() int { return 0 },
+		Join:     func(a, b int) int { return max(a, b) },
+		Equal:    func(a, b int) bool { return a == b },
+		Transfer: func(b *Block, in int) int { return in + weight(b) },
+	}
+}
+
+func TestSolveForwardDiamond(t *testing.T) {
+	entry := &Block{}
+	left := &Block{}
+	right := &Block{}
+	exit := &Block{}
+	entry.Succs = []*Block{left, right}
+	left.Succs = []*Block{exit}
+	right.Succs = []*Block{exit}
+	cfg := testCFG(entry, left, right, exit)
+
+	// left weighs 10, right weighs 100: the join at exit must take the
+	// heavier path under the max lattice.
+	weights := map[*Block]int{left: 10, right: 100}
+	facts := Solve(cfg, intMaxProblem(true, func(b *Block) int { return weights[b] }))
+
+	if got := facts[exit].In; got != 101 {
+		t.Errorf("exit In = %d, want 101 (boundary 1 + right 100)", got)
+	}
+	if got := facts[left].Out; got != 11 {
+		t.Errorf("left Out = %d, want 11", got)
+	}
+}
+
+func TestSolveBackward(t *testing.T) {
+	entry := &Block{}
+	mid := &Block{}
+	exit := &Block{}
+	entry.Succs = []*Block{mid}
+	mid.Succs = []*Block{exit}
+	cfg := testCFG(entry, mid, exit)
+
+	weights := map[*Block]int{mid: 5, entry: 2}
+	facts := Solve(cfg, intMaxProblem(false, func(b *Block) int { return weights[b] }))
+
+	// Backward: the boundary fact (1) enters at Exit and flows against
+	// the edges; entry accumulates exit(0) + mid(5) + entry(2) + boundary.
+	if got := facts[entry].Out; got != 8 {
+		t.Errorf("entry Out = %d, want 8", got)
+	}
+	if facts[exit].In != 1 {
+		t.Errorf("exit In = %d, want boundary 1", facts[exit].In)
+	}
+}
+
+func TestSolveEdgeRefinement(t *testing.T) {
+	cond := &Block{}
+	then := &Block{}
+	els := &Block{}
+	exit := &Block{}
+	cond.Succs = []*Block{then, els} // Succs[0] = true edge
+	then.Succs = []*Block{exit}
+	els.Succs = []*Block{exit}
+	cfg := testCFG(cond, then, els, exit)
+
+	p := intMaxProblem(true, func(*Block) int { return 0 })
+	p.Edge = func(from *Block, succIdx int, out int) int {
+		if from != cond {
+			return out
+		}
+		if succIdx == 0 {
+			return out + 10 // true edge
+		}
+		return out + 20 // false edge
+	}
+	facts := Solve(cfg, p)
+
+	if got := facts[then].In; got != 11 {
+		t.Errorf("true-edge fact = %d, want 11", got)
+	}
+	if got := facts[els].In; got != 21 {
+		t.Errorf("false-edge fact = %d, want 21", got)
+	}
+	if got := facts[exit].In; got != 21 {
+		t.Errorf("exit join = %d, want 21", got)
+	}
+}
+
+func TestSolveLoopReachesFixpoint(t *testing.T) {
+	entry := &Block{}
+	head := &Block{}
+	body := &Block{}
+	exit := &Block{}
+	entry.Succs = []*Block{head}
+	head.Succs = []*Block{body, exit}
+	body.Succs = []*Block{head} // back edge
+	cfg := testCFG(entry, head, body, exit)
+
+	// A bounded lattice: "has the body ever run" as 0/1. The back edge
+	// must propagate the body's fact into the head without diverging.
+	p := Problem[int]{
+		Forward:  true,
+		Boundary: 0,
+		Bottom:   func() int { return 0 },
+		Join:     func(a, b int) int { return max(a, b) },
+		Equal:    func(a, b int) bool { return a == b },
+		Transfer: func(b *Block, in int) int {
+			if b == body {
+				return 1
+			}
+			return in
+		},
+	}
+	facts := Solve(cfg, p)
+	if got := facts[head].In; got != 1 {
+		t.Errorf("head In = %d, want 1 (fact from the back edge)", got)
+	}
+	if got := facts[exit].In; got != 1 {
+		t.Errorf("exit In = %d, want 1", got)
+	}
+}
+
+// TestSolveIterationCap: a transfer that never stabilizes must be cut
+// off by the step cap instead of hanging the linter.
+func TestSolveIterationCap(t *testing.T) {
+	entry := &Block{}
+	loop := &Block{}
+	exit := &Block{}
+	entry.Succs = []*Block{loop}
+	loop.Succs = []*Block{loop, exit}
+	cfg := testCFG(entry, loop, exit)
+
+	p := Problem[int]{
+		Forward:  true,
+		Boundary: 0,
+		Bottom:   func() int { return 0 },
+		Join:     func(a, b int) int { return max(a, b) },
+		Equal:    func(a, b int) bool { return false }, // never converges
+		Transfer: func(b *Block, in int) int { return in + 1 },
+	}
+	// Completion is the assertion: the cap bounds the worklist.
+	facts := Solve(cfg, p)
+	if facts[loop] == nil {
+		t.Fatal("loop block missing from result")
+	}
+}
+
+func TestSolveSkipsUnreachable(t *testing.T) {
+	entry := &Block{}
+	island := &Block{} // no predecessors, no path from entry
+	exit := &Block{}
+	entry.Succs = []*Block{exit}
+	island.Succs = []*Block{exit}
+	cfg := testCFG(entry, island, exit)
+
+	facts := Solve(cfg, intMaxProblem(true, func(*Block) int { return 0 }))
+	if facts[island] != nil {
+		t.Error("unreachable block must be absent from the result")
+	}
+	// The island still appears in exit's preds; the solver must not
+	// consult its missing facts (this used to panic).
+	if got := facts[exit].In; got != 1 {
+		t.Errorf("exit In = %d, want 1", got)
+	}
+}

@@ -113,7 +113,7 @@ func main() { fail() }
 func fail() error { return nil }
 
 func f() {
-	//lint:ignore errcheck best-effort teardown in a demo fixture
+	//lint:ignore errcheck reason: best-effort teardown in a demo fixture
 	fail()
 }
 `,

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"go/token"
+	"sort"
+)
+
+// SuggestedFix is a mechanical, provably-safe edit attached to a
+// finding: insert one statement (e.g. `defer mu.Unlock()`) on a new
+// line after the position's line. Fixes are pure insertions so applying
+// several to one file never invalidates the others' positions, as long
+// as they are applied bottom-up.
+type SuggestedFix struct {
+	// InsertAfter is the source position after whose line the statement
+	// is inserted.
+	InsertAfter token.Position
+	// Text is the statement to insert, without indentation or newline.
+	Text string
+}
+
+// ApplyFixes inserts each fix's text on a new line after the fix's
+// line, reusing the indentation of the anchor line, then reformats. The
+// input is one file's source; every fix must target it. Returns the
+// rewritten source.
+func ApplyFixes(src []byte, fixes []SuggestedFix) ([]byte, error) {
+	if len(fixes) == 0 {
+		return src, nil
+	}
+	lines := bytes.Split(src, []byte("\n"))
+	sorted := append([]SuggestedFix(nil), fixes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].InsertAfter.Line > sorted[j].InsertAfter.Line })
+	for _, fix := range sorted {
+		ln := fix.InsertAfter.Line // 1-based
+		if ln < 1 || ln > len(lines) {
+			return nil, fmt.Errorf("fix anchor line %d out of range (file has %d lines)", ln, len(lines))
+		}
+		anchor := lines[ln-1]
+		indent := anchor[:len(anchor)-len(bytes.TrimLeft(anchor, " \t"))]
+		ins := append(append([]byte(nil), indent...), fix.Text...)
+		rest := append([][]byte(nil), lines[ln:]...)
+		lines = append(lines[:ln:ln], ins)
+		lines = append(lines, rest...)
+	}
+	out := bytes.Join(lines, []byte("\n"))
+	formatted, err := format.Source(out)
+	if err != nil {
+		return nil, fmt.Errorf("fixed source does not parse: %w", err)
+	}
+	return formatted, nil
+}

@@ -1,0 +1,323 @@
+package analysis_test
+
+import "testing"
+
+// Generic-code fixtures for the five first-generation checkers: each
+// checker must neither crash on, nor miss findings in, code using type
+// parameters and explicit instantiations.
+
+func TestSharedmapGenerics(t *testing.T) {
+	runCases(t, "sharedmap", []checkerCase{
+		{
+			name: "unguarded generic cache written from goroutine-active method",
+			src: `package fixture
+
+type Cache[K comparable, V any] struct {
+	items map[K]V
+}
+
+func (c *Cache[K, V]) refresh() {
+	go func() {}()
+}
+
+func (c *Cache[K, V]) Put(k K, v V) {
+	c.items[k] = v
+}
+`,
+			want:       1,
+			wantSubstr: "guarding mutex",
+		},
+		{
+			name: "mutex-guarded generic cache is fine",
+			src: `package fixture
+
+import "sync"
+
+type Cache[K comparable, V any] struct {
+	mu    sync.Mutex
+	items map[K]V
+}
+
+func (c *Cache[K, V]) refresh() {
+	go func() {}()
+}
+
+func (c *Cache[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items[k] = v
+}
+`,
+			want: 0,
+		},
+		{
+			name: "instantiated write through a concrete type is caught",
+			src: `package fixture
+
+type Reg[T any] struct {
+	byName map[string]T
+}
+
+func (r *Reg[T]) watch() {
+	go func() {}()
+}
+
+func add(r *Reg[int]) {
+	r.byName["x"] = 1
+}
+`,
+			want: 1,
+		},
+		{
+			name: "delete on an instantiated generic map field is caught",
+			src: `package fixture
+
+type Reg[T any] struct {
+	byName map[string]T
+}
+
+func (r *Reg[T]) watch() {
+	go func() {}()
+}
+
+func drop(r *Reg[string]) {
+	delete(r.byName, "x")
+}
+`,
+			want: 1,
+		},
+	})
+}
+
+func TestErrcheckGenerics(t *testing.T) {
+	runCases(t, "errcheck", []checkerCase{
+		{
+			name: "explicitly instantiated call with dropped error",
+			src: `package fixture
+
+func parse[T any](s string) (T, error) {
+	var zero T
+	return zero, nil
+}
+
+func f() {
+	parse[int]("x") // error dropped
+}
+`,
+			want:       1,
+			wantSubstr: "parse",
+		},
+		{
+			name: "inferred generic call with dropped error",
+			src: `package fixture
+
+func conv[T any](v T) (T, error) { return v, nil }
+
+func f() {
+	conv(1)
+}
+`,
+			want: 1,
+		},
+		{
+			name: "handled generic error is fine",
+			src: `package fixture
+
+func conv[T any](v T) (T, error) { return v, nil }
+
+func f() error {
+	if _, err := conv(1); err != nil {
+		return err
+	}
+	return nil
+}
+`,
+			want: 0,
+		},
+	})
+}
+
+func TestGoleakGenerics(t *testing.T) {
+	runCases(t, "goleak", []checkerCase{
+		{
+			name: "unsignalled goroutine inside a generic function",
+			src: `package fixture
+
+func fanOut[T any](xs []T) {
+	for range xs {
+		go func() {
+			_ = 1
+		}()
+	}
+}
+`,
+			want:       1,
+			wantSubstr: "completion signal",
+		},
+		{
+			name: "channel-signalled goroutine inside a generic function",
+			src: `package fixture
+
+func fanOut[T any](xs []T, done chan T) {
+	for _, x := range xs {
+		go func() {
+			done <- x
+		}()
+	}
+}
+`,
+			want: 0,
+		},
+		{
+			name: "waitgroup done via generic helper method",
+			src: `package fixture
+
+import "sync"
+
+type pool[T any] struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool[T]) run(f func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		f()
+	}()
+}
+`,
+			want: 0,
+		},
+	})
+}
+
+func TestLockioGenerics(t *testing.T) {
+	runCases(t, "lockio", []checkerCase{
+		{
+			name: "sleep under a generic container's lock",
+			src: `package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type box[T any] struct {
+	mu sync.Mutex
+	v  T
+}
+
+func (b *box[T]) slowSet(v T) {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond)
+	b.v = v
+	b.mu.Unlock()
+}
+`,
+			want:       1,
+			wantSubstr: "time.Sleep",
+		},
+		{
+			name: "io after unlock in a generic method is fine",
+			src: `package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type box[T any] struct {
+	mu sync.Mutex
+	v  T
+}
+
+func (b *box[T]) set(v T) {
+	b.mu.Lock()
+	b.v = v
+	b.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+`,
+			want: 0,
+		},
+	})
+}
+
+func TestNakedtimeGenerics(t *testing.T) {
+	runCases(t, "nakedtime", []checkerCase{
+		{
+			name: "time.Now inside a generic evaluator helper",
+			path: "applab/internal/sparql",
+			src: `package sparql
+
+import "time"
+
+func evalAll[T any](xs []T) time.Time {
+	return time.Now()
+}
+`,
+			want:       1,
+			wantSubstr: "time.Now()",
+		},
+		{
+			name: "instant parameter in generic code is fine",
+			path: "applab/internal/sparql",
+			src: `package sparql
+
+import "time"
+
+func evalAll[T any](xs []T, now time.Time) time.Time {
+	return now
+}
+`,
+			want: 0,
+		},
+	})
+}
+
+// TestLockflowGenerics: the dataflow checkers must handle generic
+// receivers too — the canonical lock key must collapse instantiations.
+func TestLockflowGenerics(t *testing.T) {
+	runCases(t, "lockflow", []checkerCase{
+		{
+			name: "leak through a generic method",
+			src: `package fixture
+
+import "sync"
+
+type guarded[T any] struct {
+	mu sync.Mutex
+	v  T
+}
+
+func (g *guarded[T]) bad(ok bool) {
+	g.mu.Lock()
+	if ok {
+		return // leak
+	}
+	g.mu.Unlock()
+}
+`,
+			want:       1,
+			wantSubstr: "may still be write-locked",
+		},
+		{
+			name: "deferred unlock in a generic method is fine",
+			src: `package fixture
+
+import "sync"
+
+type guarded[T any] struct {
+	mu sync.Mutex
+	v  T
+}
+
+func (g *guarded[T]) good() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+}
+`,
+			want: 0,
+		},
+	})
+}

@@ -89,7 +89,7 @@ func f() { go worker() }
 func work() {}
 
 func f() {
-	//lint:ignore goleak process-lifetime metrics pump, dies with the process
+	//lint:ignore goleak reason: process-lifetime metrics pump, dies with the process
 	go func() { work() }()
 }
 `,

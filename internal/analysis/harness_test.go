@@ -97,7 +97,7 @@ func TestWildcardIgnore(t *testing.T) {
 func fail() error { return nil }
 
 func f() {
-	//lint:ignore * migration shim, remove with the v2 API
+	//lint:ignore * reason: migration shim, remove with the v2 API
 	fail()
 }
 `,

@@ -1,21 +1,40 @@
 package analysis
 
 import (
+	"go/token"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 const ignorePrefix = "//lint:ignore"
 
-// ignoreSet maps "<file>:<line>" to the set of check names suppressed on
-// that line. The wildcard entry "*" suppresses every check.
-type ignoreSet map[string]map[string]bool
+// ignoreDirective is one parsed //lint:ignore comment. used flips when
+// the directive actually suppresses a finding, so stale suppressions
+// can be reported.
+type ignoreDirective struct {
+	pos    token.Pos
+	checks map[string]bool
+	used   bool
+}
+
+// ignoreSet maps "<file>:<line>" to the directives on that line.
+type ignoreSet map[string][]*ignoreDirective
 
 // suppress removes findings matched by //lint:ignore directives from
-// *findings and returns diagnostics for malformed directives. A
-// directive suppresses the named check(s) on its own line (end-of-line
-// comment) and on the line immediately below (comment-above style).
-func suppress(pass *Pass, findings *[]Finding) []Finding {
+// *findings and returns diagnostics for malformed or unused directives.
+// A directive suppresses the named check(s) on its own line (end-of-line
+// comment) and on the line immediately below (comment-above style), and
+// must carry an enforced reason:
+//
+//	//lint:ignore <check> reason: <why this is safe>
+//
+// A directive whose checks all ran yet matched nothing is itself
+// reported: stale suppressions hide future regressions. ran is the set
+// of checker names that produced the findings; fullSet marks a run of
+// every registered checker (only then can a wildcard directive be
+// proven unused).
+func suppress(pass *Pass, findings *[]Finding, ran map[string]bool, fullSet bool) []Finding {
 	ignores, bad := collectIgnores(pass)
 	kept := (*findings)[:0]
 	for _, f := range *findings {
@@ -25,17 +44,45 @@ func suppress(pass *Pass, findings *[]Finding) []Finding {
 		kept = append(kept, f)
 	}
 	*findings = kept
+
+	var stale []*ignoreDirective
+	for _, ds := range ignores {
+		for _, d := range ds {
+			if d.used {
+				continue
+			}
+			covered := true
+			for c := range d.checks {
+				if c == "*" {
+					covered = covered && fullSet
+				} else if !ran[c] {
+					covered = false
+				}
+			}
+			if covered {
+				stale = append(stale, d)
+			}
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].pos < stale[j].pos })
+	for _, d := range stale {
+		bad = append(bad, pass.finding(d.pos, "directive",
+			"unused %s directive: the suppressed check reports nothing here; delete it", ignorePrefix))
+	}
 	return bad
 }
 
 func (s ignoreSet) matches(f Finding) bool {
+	hit := false
 	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
-		checks := s[key(f.Pos.Filename, line)]
-		if checks["*"] || checks[f.Check] {
-			return true
+		for _, d := range s[key(f.Pos.Filename, line)] {
+			if d.checks["*"] || d.checks[f.Check] {
+				d.used = true
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
 }
 
 func key(file string, line int) string {
@@ -54,20 +101,18 @@ func collectIgnores(pass *Pass) (ignoreSet, []Finding) {
 				}
 				rest := strings.TrimPrefix(c.Text, ignorePrefix)
 				fields := strings.Fields(rest)
-				if len(fields) < 2 {
+				if len(fields) < 3 || fields[1] != "reason:" {
 					bad = append(bad, pass.finding(c.Pos(), "directive",
-						"malformed %s directive: want //lint:ignore <check> <reason>", ignorePrefix))
+						"suppression needs an enforced reason: want %s <check> reason: <why>", ignorePrefix))
 					continue
 				}
 				pos := pass.Fset.Position(c.Pos())
-				checks := ignores[key(pos.Filename, pos.Line)]
-				if checks == nil {
-					checks = map[string]bool{}
-					ignores[key(pos.Filename, pos.Line)] = checks
-				}
+				d := &ignoreDirective{pos: c.Pos(), checks: map[string]bool{}}
 				for _, name := range strings.Split(fields[0], ",") {
-					checks[name] = true
+					d.checks[name] = true
 				}
+				k := key(pos.Filename, pos.Line)
+				ignores[k] = append(ignores[k], d)
 			}
 		}
 	}

@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFinding is the stable machine-readable diagnostic shape emitted
+// by `applab-lint -json`: positions are module-root-relative, and the
+// array is sorted by (file, line, col, check), so CI can diff runs
+// byte-for-byte.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	Fix     string `json:"fix,omitempty"`
+}
+
+// EncodeJSON writes the findings as an indented JSON array (always an
+// array, never null, so consumers can range unconditionally).
+func EncodeJSON(w io.Writer, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		jf := jsonFinding{
+			File:    f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Check:   f.Check,
+			Message: f.Message,
+		}
+		if f.Fix != nil {
+			jf.Fix = f.Fix.Text
+		}
+		out = append(out, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

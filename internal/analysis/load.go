@@ -89,22 +89,6 @@ func (l *Loader) loadDir(dir, root, module string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
-	for _, e := range ents {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
-			continue
-		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
-	if len(files) == 0 {
-		return nil, nil
-	}
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
@@ -112,6 +96,29 @@ func (l *Loader) loadDir(dir, root, module string) (*Package, error) {
 	rel, err := filepath.Rel(root, abs)
 	if err != nil || strings.HasPrefix(rel, "..") {
 		return nil, fmt.Errorf("%s is outside module root %s", dir, root)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		// Parse under the module-root-relative name: positions (and the
+		// -json / -baseline output built from them) stay stable no
+		// matter which directory the linter is invoked from.
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.ToSlash(filepath.Join(rel, name)), src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
 	}
 	path := module
 	if rel != "." {
@@ -137,6 +144,13 @@ func (l *Loader) typeCheck(path string, files []*ast.File) (*Pass, []error) {
 	}
 	pkg, _ := conf.Check(path, l.Fset, files, info)
 	return &Pass{Fset: l.Fset, Path: path, Files: files, Pkg: pkg, Info: info}, typeErrs
+}
+
+// ModuleRoot returns the directory of the enclosing go.mod: the base
+// against which the linter's root-relative positions resolve.
+func ModuleRoot() (string, error) {
+	dir, _, err := moduleRoot()
+	return dir, err
 }
 
 // moduleRoot finds the enclosing go.mod and returns its directory and

@@ -154,7 +154,7 @@ type q struct {
 
 func (s *q) f() {
 	s.mu.Lock()
-	//lint:ignore lockio buffered hand-off channel, never blocks
+	//lint:ignore lockio reason: buffered hand-off channel, never blocks
 	s.ch <- 1
 	s.mu.Unlock()
 }

@@ -51,7 +51,7 @@ func epoch() time.Time { return time.Unix(0, 0) }
 import "time"
 
 func eval() time.Time {
-	//lint:ignore nakedtime NOW() builtin is specified as wall clock
+	//lint:ignore nakedtime reason: NOW() builtin is specified as wall clock
 	return time.Now()
 }
 `,

@@ -92,6 +92,9 @@ func fieldOnUnguardedActive(pass *Pass, facts map[*types.Named]*structFacts, act
 	if named == nil {
 		return nil, "", false
 	}
+	// Instantiated generics (Cache[string, int]) index facts under their
+	// generic origin, which is what collectStructFacts recorded.
+	named = named.Origin()
 	f, ok := facts[named]
 	if !ok || f.hasMutex || !f.mapFields[sel.Sel.Name] || !active[named] {
 		return nil, "", false
@@ -166,7 +169,7 @@ func collectGoroutineActive(pass *Pass, facts map[*types.Named]*structFacts) map
 			if def, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
 				if sig, ok := def.Type().(*types.Signature); ok && sig.Recv() != nil {
 					if named := derefNamed(sig.Recv().Type()); named != nil {
-						active[named] = true
+						active[named.Origin()] = true
 					}
 				}
 			}
@@ -190,8 +193,8 @@ func collectGoroutineActive(pass *Pass, facts map[*types.Named]*structFacts) map
 					return true
 				}
 				if named := derefNamed(tv.Type); named != nil {
-					if _, tracked := facts[named]; tracked {
-						active[named] = true
+					if _, tracked := facts[named.Origin()]; tracked {
+						active[named.Origin()] = true
 					}
 				}
 				return true

@@ -154,7 +154,7 @@ func (s *store) fanout() {
 }
 
 func (s *store) assign(k string) {
-	//lint:ignore sharedmap assign only runs during single-threaded load
+	//lint:ignore sharedmap reason: assign only runs during single-threaded load
 	s.owner[k] = 1
 }
 `,

@@ -105,7 +105,7 @@ func two(r *Registry) { r.Counter("requests_total").Inc() }
 func one(r *Registry) { r.Counter("requests_total").Inc() }
 
 func two(r *Registry) {
-	//lint:ignore telemetry migration shim while the old name drains
+	//lint:ignore telemetry reason: migration shim while the old name drains
 	r.Counter("requests_total").Inc()
 }
 `,

@@ -84,8 +84,7 @@ func (c *CMS) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			w.Header().Set("Content-Type", "application/json")
-			//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
-			json.NewEncoder(w).Encode(ds.Attrs)
+			writeJSON(w, ds.Attrs)
 		case http.MethodPut, http.MethodPost:
 			if _, ok := c.provider.Dataset(name); !ok {
 				http.Error(w, "cms: no dataset "+name, http.StatusNotFound)
@@ -115,8 +114,7 @@ func (c *CMS) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		report := Validate(ds)
 		w.Header().Set("Content-Type", "application/json")
-		//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
-		json.NewEncoder(w).Encode(map[string]any{
+		writeJSON(w, map[string]any{
 			"dataset":      report.Dataset,
 			"compliant":    report.Compliant(),
 			"completeness": report.Completeness(),
@@ -126,6 +124,13 @@ func (c *CMS) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "cms: unknown route", http.StatusNotFound)
 	}
+}
+
+// writeJSON writes a JSON response body best-effort: a vanished
+// client is not a server error, so the Encode result is deliberately
+// discarded.
+func writeJSON(w http.ResponseWriter, v any) {
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func findingStrings(fs []Finding) []string {

@@ -93,7 +93,7 @@ func TestOverloadBurstEndToEnd(t *testing.T) {
 				t.Errorf("GET: %v", err)
 				return
 			}
-			//lint:ignore errcheck drain for connection reuse
+			//lint:ignore errcheck reason: drain for connection reuse
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			results <- outcome{resp.StatusCode, resp.Header.Get("Retry-After")}

@@ -96,10 +96,10 @@ func TestHandlerOverloadBurst(t *testing.T) {
 				} `json:"error"`
 			}
 			if resp.StatusCode == http.StatusServiceUnavailable {
-				//lint:ignore errcheck non-JSON bodies leave Code empty and fail the assert below
+				//lint:ignore errcheck reason: non-JSON bodies leave Code empty and fail the assert below
 				json.NewDecoder(resp.Body).Decode(&body)
 			} else {
-				//lint:ignore errcheck drain for connection reuse
+				//lint:ignore errcheck reason: drain for connection reuse
 				io.Copy(io.Discard, resp.Body)
 			}
 			resp.Body.Close()
@@ -184,7 +184,7 @@ func TestHandlerDegradedServe(t *testing.T) {
 			first <- 0
 			return
 		}
-		//lint:ignore errcheck drain for connection reuse
+		//lint:ignore errcheck reason: drain for connection reuse
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		first <- resp.StatusCode

@@ -158,11 +158,17 @@ func NewHandlerOpts(src sparql.Source, reg *telemetry.Registry, opts Options) ht
 	return mux
 }
 
+// encodeJSON writes a JSON response body best-effort: a vanished
+// client is not a server error, so the Encode result is deliberately
+// discarded.
+func encodeJSON(w http.ResponseWriter, v any) {
+	_ = json.NewEncoder(w).Encode(v)
+}
+
 // writeResults encodes a result set as SPARQL-results-JSON.
 func writeResults(w http.ResponseWriter, res *sparql.Results) {
 	w.Header().Set("Content-Type", "application/sparql-results+json")
-	//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
-	json.NewEncoder(w).Encode(ResultsJSON(res))
+	encodeJSON(w, ResultsJSON(res))
 }
 
 // writeOverload renders an Acquire rejection: 503 with a Retry-After
@@ -179,8 +185,7 @@ func writeOverload(w http.ResponseWriter, err error) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusServiceUnavailable)
-	//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
-	json.NewEncoder(w).Encode(map[string]any{"error": body})
+	encodeJSON(w, map[string]any{"error": body})
 }
 
 // writeBudgetError renders a budget violation as a structured SPARQL
@@ -189,8 +194,7 @@ func writeOverload(w http.ResponseWriter, err error) {
 func writeBudgetError(w http.ResponseWriter, be *admission.BudgetError) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusServiceUnavailable)
-	//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
-	json.NewEncoder(w).Encode(map[string]any{"error": map[string]any{
+	encodeJSON(w, map[string]any{"error": map[string]any{
 		"code":    "budget_exceeded",
 		"kind":    string(be.Kind),
 		"limit":   be.Limit,

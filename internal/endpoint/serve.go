@@ -79,8 +79,9 @@ func ServeGraceful(ctx context.Context, srv *http.Server, ln net.Listener, drain
 	}
 	err := srv.Shutdown(drainCtx)
 	if err != nil {
-		//lint:ignore errcheck forced teardown after the drain deadline; the Shutdown error is the one reported
-		srv.Close()
+		// Forced teardown after the drain deadline; the Shutdown error
+		// is the one reported.
+		_ = srv.Close()
 	}
 	<-serveErr // Serve has returned http.ErrServerClosed by now
 	return err

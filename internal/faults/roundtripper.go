@@ -99,8 +99,9 @@ func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
 			return nil, err
 		}
 		full, err := io.ReadAll(resp.Body)
-		//lint:ignore errcheck body already fully read; Close result carries nothing
-		resp.Body.Close()
+		// The body was already fully read; the Close result carries
+		// nothing.
+		_ = resp.Body.Close()
 		if err != nil {
 			return nil, err
 		}

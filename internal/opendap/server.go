@@ -82,8 +82,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.mu.RUnlock()
 		sort.Strings(names)
 		w.Header().Set("Content-Type", "text/plain")
-		//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
-		fmt.Fprint(w, strings.Join(names, "\n"))
+		writeText(w, strings.Join(names, "\n"))
 		return
 	}
 	dot := strings.LastIndexByte(path, '.')
@@ -100,16 +99,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch ext {
 	case "dds":
 		w.Header().Set("Content-Type", "text/plain")
-		//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
-		fmt.Fprint(w, RenderDDS(d))
+		writeText(w, RenderDDS(d))
 	case "das":
 		w.Header().Set("Content-Type", "text/plain")
-		//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
-		fmt.Fprint(w, RenderDAS(d))
+		writeText(w, RenderDAS(d))
 	case "ncml":
 		w.Header().Set("Content-Type", "application/xml")
-		//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
-		fmt.Fprint(w, RenderNcML(d))
+		writeText(w, RenderNcML(d))
 	case "dods":
 		if s.Auth != nil {
 			if _, ok := s.Auth.authorize(r, name); !ok {
@@ -151,6 +147,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // stripTokenParam removes "token=..." pairs from a raw query string,
 // leaving the DAP constraint expression (which is not key=value shaped).
+// writeText writes a rendered document best-effort: a vanished client
+// is not a server error, so the write result is deliberately discarded.
+func writeText(w http.ResponseWriter, body string) {
+	_, _ = fmt.Fprint(w, body)
+}
+
 func stripTokenParam(rawQuery string) string {
 	if !strings.Contains(rawQuery, "token=") {
 		return rawQuery

@@ -177,7 +177,6 @@ func (sc *scanOp) run(ec *execCtx, in []row) ([]row, error) {
 				if err := ec.tickN(&n, len(matches)); err != nil {
 					return nil, err
 				}
-				//lint:ignore ctxcheck the whole bucket was charged via tickN just above
 				for _, t := range matches {
 					if nr, ok := sc.extend(r, t, &ar); ok {
 						out = append(out, nr)
@@ -213,7 +212,6 @@ func (sc *scanOp) run(ec *execCtx, in []row) ([]row, error) {
 			if err := ec.tickN(&n, len(matches)); err != nil {
 				return nil, err
 			}
-			//lint:ignore ctxcheck the whole bucket was charged via tickN just above
 			for _, t := range matches {
 				if nr, ok := sc.extend(r, t, &ar); ok {
 					out = append(out, nr)
@@ -276,7 +274,6 @@ func (sc *scanOp) hashJoin(ec *execCtx, in []row) ([]row, error) {
 			if err := ec.tickN(&n, len(bucket)); err != nil {
 				return nil, err
 			}
-			//lint:ignore ctxcheck the whole bucket was charged via tickN just above
 			for _, t := range bucket {
 				if nr, ok := sc.extend(r, t, &ar); ok {
 					out = append(out, nr)

@@ -239,14 +239,22 @@ func chunked(ec *execCtx, in []row, fn func([]row) ([]row, error)) ([]row, error
 			return nil, err
 		}
 	}
+	// Post-barrier aggregation ticks like any operator loop: the chunk
+	// workers polled per row, but a cancelled query should not pay for
+	// the concat either.
 	total := 0
-	//lint:ignore ctxcheck post-barrier size sum over per-chunk outputs; the chunk workers already polled
+	var agg int
 	for _, o := range outs {
+		if err := ec.tick(&agg); err != nil {
+			return nil, err
+		}
 		total += len(o)
 	}
 	out := make([]row, 0, total)
-	//lint:ignore ctxcheck post-barrier concat of per-chunk outputs; the chunk workers already polled
 	for _, o := range outs {
+		if err := ec.tick(&agg); err != nil {
+			return nil, err
+		}
 		out = append(out, o...)
 	}
 	return out, nil

@@ -15,15 +15,15 @@ func NewHandler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		//lint:ignore errcheck best-effort HTTP response write; a vanished scraper is not a server error
-		w.Write([]byte(r.RenderText()))
+		// Best-effort write: a vanished scraper is not a server error.
+		_, _ = w.Write([]byte(r.RenderText()))
 	})
 	mux.HandleFunc("/debug/applab", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		//lint:ignore errcheck best-effort HTTP response write; a vanished client is not a server error
-		enc.Encode(struct {
+		// Best-effort write: a vanished client is not a server error.
+		_ = enc.Encode(struct {
 			Metrics Snapshot    `json:"metrics"`
 			Traces  []TraceView `json:"traces"`
 		}{r.Snapshot(), r.RecentTraces()})
