@@ -1,0 +1,57 @@
+package analysis_test
+
+import (
+
+	"testing"
+
+	_ "applab/internal/analysis"
+)
+
+// Duplicate-findings probe: transfer-emitted findings inside loop bodies
+// should appear once, but re-running the transfer during fixpoint
+// iteration may duplicate them.
+func TestLockflowLoopDuplicate(t *testing.T) {
+	got := runChecker(t, "lockflow", checkerCase{
+		name: "loop-double-lock",
+		src: `package fixture
+
+import "sync"
+
+var mu sync.RWMutex
+
+func f(n int) {
+	mu.Lock()
+	for i := 0; i < n; i++ {
+		mu.RLock()
+	}
+}
+`,
+	})
+	for _, f := range got {
+		t.Logf("finding: %v", f)
+	}
+}
+
+func TestErrflowLoopDuplicate(t *testing.T) {
+	got := runChecker(t, "errflow", checkerCase{
+		name: "loop-overwrite",
+		src: `package fixture
+
+func a() error { return nil }
+func b() error { return nil }
+
+func f(n int) {
+	var err error
+	_ = err
+	for i := 0; i < n; i++ {
+		err = a()
+		err = b()
+	}
+	_ = err
+}
+`,
+	})
+	for _, f := range got {
+		t.Logf("finding: %v", f)
+	}
+}
