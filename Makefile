@@ -2,14 +2,15 @@ GO ?= go
 
 # Packages exercised under the race detector: the concurrent query stack
 # (sharded store, OPeNDAP caches, federation fan-out, interlinking) plus
-# the fault-injection harness and the SPARQL HTTP transport it exercises.
-RACE_PKGS = ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ ./internal/federation/ ./internal/interlink/ ./internal/faults/ ./internal/endpoint/ ./internal/telemetry/ ./internal/admission/ ./internal/e2e/
+# the fault-injection harness, the SPARQL HTTP transport it exercises,
+# and the segment storage engine (concurrent readers vs writer/flush).
+RACE_PKGS = ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ ./internal/federation/ ./internal/interlink/ ./internal/faults/ ./internal/endpoint/ ./internal/telemetry/ ./internal/admission/ ./internal/e2e/ ./internal/segment/
 
 # End-to-end suites: the golden two-workflow test over live loopback
 # servers plus the cmd-level boot/query/shutdown tests.
 E2E_PKGS = ./internal/e2e/ ./cmd/strabon/ ./cmd/opendapd/
 
-.PHONY: all build test lint race fmt vet fuzz bench bench-telemetry bench-budget e2e ci
+.PHONY: all build test lint race fmt vet fuzz bench bench-telemetry bench-budget bench-segment e2e ci
 
 all: build
 
@@ -44,6 +45,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzApplyConstraint$$' -fuzztime=2s ./internal/opendap/
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=3s ./internal/sparql/
 	$(GO) test -run='^$$' -fuzz='^FuzzLoad$$' -fuzztime=3s ./internal/strabon/
+	$(GO) test -run='^$$' -fuzz='^FuzzSegmentOpen$$' -fuzztime=3s ./internal/segment/
+	$(GO) test -run='^$$' -fuzz='^FuzzWALReplay$$' -fuzztime=3s ./internal/segment/
 
 # Engine benchmarks: the in-package BenchmarkEngine_* family, plus the
 # seed-vs-compiled comparison recorded machine-readably in BENCH_PR3.json.
@@ -61,6 +64,12 @@ bench-telemetry:
 # BENCH_PR5.json; fails if Engine_BGPJoin exceeds the 5% ns/op budget.
 bench-budget:
 	$(GO) run ./cmd/applab-bench -budget-json BENCH_PR5.json
+
+# Segment store report (ingest throughput, cold start vs .astr replay,
+# memory-mode query overhead), recorded in BENCH_PR7.json; fails if
+# Engine_BGPJoin through the memory-mode store exceeds the 5% budget.
+bench-segment:
+	$(GO) run ./cmd/applab-bench -segment-json BENCH_PR7.json
 
 # End-to-end golden suite: boots both Figure-1 workflows on loopback
 # servers and asserts exact telemetry counters (see internal/e2e).

@@ -39,7 +39,8 @@ echo "== go test -race (concurrent query stack + fault injection + telemetry)"
 go test -race ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ \
     ./internal/federation/ ./internal/interlink/ \
     ./internal/faults/ ./internal/endpoint/ \
-    ./internal/telemetry/ ./internal/admission/ ./internal/e2e/
+    ./internal/telemetry/ ./internal/admission/ ./internal/e2e/ \
+    ./internal/segment/
 
 echo "== e2e golden suite (both workflows over live loopback servers)"
 make e2e
@@ -67,6 +68,7 @@ check_cover ./internal/telemetry/ 90
 check_cover ./internal/sparql/ 80
 check_cover ./internal/admission/ 90
 check_cover ./internal/analysis/ 90
+check_cover ./internal/segment/ 90
 
 echo "== fuzz smoke (seed corpus + a few seconds of mutation)"
 # One -fuzz target per invocation: the flag rejects patterns matching
@@ -77,11 +79,21 @@ go test -run='^$' -fuzz='^FuzzParseDDS$' -fuzztime=2s ./internal/opendap/
 go test -run='^$' -fuzz='^FuzzApplyConstraint$' -fuzztime=2s ./internal/opendap/
 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime=3s ./internal/sparql/
 go test -run='^$' -fuzz='^FuzzLoad$' -fuzztime=3s ./internal/strabon/
+go test -run='^$' -fuzz='^FuzzSegmentOpen$' -fuzztime=3s ./internal/segment/
+go test -run='^$' -fuzz='^FuzzWALReplay$' -fuzztime=3s ./internal/segment/
 
 echo "== budget overhead gate (budgeted vs unlimited engine)"
 # Query budgets may not slow the engine down: applab-bench fails when
 # Engine_BGPJoin's budgeted path exceeds the 5% ns/op overhead budget.
 go run ./cmd/applab-bench -budget-json BENCH_PR5.json
+
+echo "== segment store gate (ingest, cold start, memory-mode overhead)"
+# The disk-backed store may not slow the in-memory path down:
+# applab-bench fails when Engine_BGPJoin through the memory-mode
+# segment store exceeds the 5% ns/op overhead budget. The report also
+# records ingest throughput and the cold-start (footer open) vs .astr
+# (full image replay) latency this PR's lazy boot is built on.
+go run ./cmd/applab-bench -segment-json BENCH_PR7.json
 
 echo "== bench compile smoke"
 # Benchmarks must at least compile and run one iteration; keeps the

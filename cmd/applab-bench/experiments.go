@@ -318,41 +318,49 @@ func syntheticTable(rows int) *geotriples.Table {
 func runE5(cfg scales) error {
 	fmt.Printf("%-10s %16s %15s %9s\n", "obs", "naive scan (ms)", "strabon (ms)", "speedup")
 	for _, n := range cfg.e5Obs {
-		triples := observationTriples(n)
-		st := strabon.New()
-		st.AddAll(triples)
-		if err := st.Freeze(); err != nil {
+		if err := runE5Scale(cfg, n); err != nil {
 			return err
 		}
-		nv := strabon.NewNaive()
-		nv.AddAll(triples)
-
-		env := geom.Envelope{MinX: 2, MinY: 2, MaxX: 6, MaxY: 6}
-		from := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
-		to := time.Date(2018, 9, 1, 0, 0, 0, 0, time.UTC)
-
-		var nNaive, nStrabon int
-		tNaive, err := median(cfg.repeats, func() error {
-			nNaive = len(nv.ObservationsDuring(env, from, to))
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		tStrabon, err := median(cfg.repeats, func() error {
-			nStrabon = len(st.ObservationsDuring(env, from, to))
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		if nNaive != nStrabon {
-			return fmt.Errorf("result mismatch at n=%d: naive=%d strabon=%d", n, nNaive, nStrabon)
-		}
-		fmt.Printf("%-10d %16.2f %15.2f %8.0fx\n", n, ms(tNaive), ms(tStrabon),
-			float64(tNaive)/float64(tStrabon))
 	}
 	fmt.Println("paper claim: Strabon is 'the most efficient spatiotemporal RDF store' (indexing wins)")
+	return nil
+}
+
+func runE5Scale(cfg scales, n int) error {
+	triples := observationTriples(n)
+	st := strabon.New()
+	defer st.Close()
+	st.AddAll(triples)
+	if err := st.Freeze(); err != nil {
+		return err
+	}
+	nv := strabon.NewNaive()
+	nv.AddAll(triples)
+
+	env := geom.Envelope{MinX: 2, MinY: 2, MaxX: 6, MaxY: 6}
+	from := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2018, 9, 1, 0, 0, 0, 0, time.UTC)
+
+	var nNaive, nStrabon int
+	tNaive, err := median(cfg.repeats, func() error {
+		nNaive = len(nv.ObservationsDuring(env, from, to))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	tStrabon, err := median(cfg.repeats, func() error {
+		nStrabon = len(st.ObservationsDuring(env, from, to))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if nNaive != nStrabon {
+		return fmt.Errorf("result mismatch at n=%d: naive=%d strabon=%d", n, nNaive, nStrabon)
+	}
+	fmt.Printf("%-10d %16.2f %15.2f %8.0fx\n", n, ms(tNaive), ms(tStrabon),
+		float64(tNaive)/float64(tStrabon))
 	return nil
 }
 

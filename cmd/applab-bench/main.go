@@ -33,6 +33,7 @@ func main() {
 		jsonPath   = flag.String("json", "", "benchmark the SPARQL engine (seed vs compiled) and write the records to this file, then exit")
 		telePath   = flag.String("telemetry-json", "", "benchmark the engine instrumented vs uninstrumented, write the comparison to this file (enforcing the Engine_BGPJoin overhead budget), then exit")
 		budgetPath = flag.String("budget-json", "", "benchmark the engine with vs without query budgets, write the comparison to this file (enforcing the Engine_BGPJoin overhead budget), then exit")
+		segPath    = flag.String("segment-json", "", "benchmark the disk-backed segment store (ingest, cold start vs .astr, memory-mode query overhead), write the report to this file (enforcing the Engine_BGPJoin overhead budget), then exit")
 	)
 	flag.Parse()
 
@@ -51,6 +52,12 @@ func main() {
 	if *budgetPath != "" {
 		if err := runBudgetBenchJSON(*budgetPath); err != nil {
 			log.Fatalf("budget bench: %v", err)
+		}
+		return
+	}
+	if *segPath != "" {
+		if err := runSegmentBenchJSON(*segPath); err != nil {
+			log.Fatalf("segment bench: %v", err)
 		}
 		return
 	}

@@ -6,6 +6,12 @@
 //
 //	geotriples -mapping map.ttl -input data.csv -format csv [-workers 4] [-out out.nt]
 //	geotriples -mapping map.ttl -input grid.anc -format netcdf -var LAI
+//	geotriples -mapping map.ttl -input data.csv -data-dir /var/lib/strabon
+//
+// With -data-dir the mapped triples are appended durably to a
+// disk-backed strabon store (one WAL batch, flushed to a segment on
+// close) instead of rewriting a whole image: repeated ingests of new
+// Copernicus deliveries accumulate incrementally.
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 	"applab/internal/geotriples"
 	"applab/internal/netcdf"
 	"applab/internal/rdf"
+	"applab/internal/segment"
+	"applab/internal/strabon"
 )
 
 func main() {
@@ -28,6 +36,7 @@ func main() {
 		format      = flag.String("format", "csv", "input format: csv | geojson | netcdf")
 		varName     = flag.String("var", "LAI", "variable name (netcdf format)")
 		outPath     = flag.String("out", "", "output N-Triples file (default stdout)")
+		dataDir     = flag.String("data-dir", "", "ingest into the disk-backed strabon store at this directory instead of writing N-Triples")
 		workers     = flag.Int("workers", 1, "parallel mapping workers")
 	)
 	flag.Parse()
@@ -73,6 +82,20 @@ func main() {
 	triples, err := geotriples.ProcessParallel(maps, table, *workers)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *dataDir != "" {
+		st, err := strabon.Open(*dataDir, segment.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st.AddAll(triples)
+		if err := st.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "geotriples: %d rows -> %d triples into %s\n",
+			len(table.Rows), len(triples), *dataDir)
+		return
 	}
 
 	out := os.Stdout

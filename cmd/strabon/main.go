@@ -9,6 +9,8 @@
 //	strabon -load data.nt -serve :7860          # GET /sparql?query=...
 //	strabon -load data.nt -serve :7860 -metrics-addr :9090
 //	strabon -load gadm.nt -federate http://other:7860 -query '...'
+//	strabon -data-dir /var/lib/strabon -load data.nt   # durable ingest
+//	strabon -data-dir /var/lib/strabon -serve :7860    # boots off segments
 //
 // The server drains in-flight queries on SIGINT/SIGTERM (see -drain).
 // With -metrics-addr the telemetry registry is served as Prometheus text
@@ -32,6 +34,7 @@ import (
 	"applab/internal/endpoint"
 	"applab/internal/federation"
 	"applab/internal/rdf"
+	"applab/internal/segment"
 	"applab/internal/sparql"
 	"applab/internal/strabon"
 	"applab/internal/telemetry"
@@ -67,6 +70,10 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 		shards   = fs.Int("shards", 1, "number of store shards (>1 enables the partitioned store)")
 		save     = fs.String("save", "", "write the loaded store as a binary image (.astr) and exit")
 
+		dataDir    = fs.String("data-dir", "", "directory for the disk-backed segment store (empty = in-memory); boots from segment footers, no dataset replay")
+		flushEvery = fs.Int("flush-every", 0, "memtable triples per segment flush (0 = engine default, <0 disables auto-flush)")
+		compactAt  = fs.Int("compact-at", 0, "segment count that triggers compaction (0 = engine default, <0 disables)")
+
 		memberTimeout = fs.Duration("member-timeout", 0, "per-member deadline for federated pattern fan-outs (0 waits forever)")
 		demoteAfter   = fs.Int("demote-after", 3, "consecutive failures before a federation member is demoted (-1 disables)")
 		retryDemoted  = fs.Duration("retry-demoted", 30*time.Second, "how long a demoted member sits out before being probed again")
@@ -98,15 +105,43 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 	var load func([]rdf.Triple)
 	var count func() int
 	var registerStore func(*telemetry.Registry)
-	if *shards > 1 {
+	var closeStore func() error
+	segOpts := segment.Options{FlushEvery: *flushEvery, CompactAt: *compactAt}
+	switch {
+	case *shards > 1 && *dataDir != "":
+		st, err := strabon.OpenSharded(*dataDir, *shards, segOpts)
+		if err != nil {
+			return err
+		}
+		src, load, count, registerStore, closeStore = st, st.AddAll, st.Len, st.RegisterMetrics, st.Close
+	case *shards > 1:
 		st := strabon.NewSharded(*shards)
-		src, load, count, registerStore = st, st.AddAll, st.Len, st.RegisterMetrics
-	} else {
+		src, load, count, registerStore, closeStore = st, st.AddAll, st.Len, st.RegisterMetrics, st.Close
+	case *dataDir != "":
+		st, err := strabon.Open(*dataDir, segOpts)
+		if err != nil {
+			return err
+		}
+		if n := st.Engine().Segments(); n > 0 {
+			// Lazy boot: the store serves off segment footers already on
+			// disk; nothing is replayed and Len() is not consulted (it
+			// would walk the data).
+			log.Printf("opened %s (%d segments)", *dataDir, n)
+		}
+		src, load, count, registerStore, closeStore = st, st.AddAll, st.Len, st.RegisterMetrics, st.Close
+	default:
 		st := strabon.New()
-		src, load, count, registerStore = st, st.AddAll, st.Len, st.RegisterMetrics
+		src, load, count, registerStore, closeStore = st, st.AddAll, st.Len, st.RegisterMetrics, st.Close
 	}
 	registerStore(reg)
+	defer func() {
+		if cerr := closeStore(); cerr != nil {
+			log.Printf("store close: %v", cerr)
+		}
+	}()
 
+	// -save is the only consumer of the full loaded triple set; without
+	// it nothing accumulates a second copy of the data in memory.
 	var allTriples []rdf.Triple
 	for _, path := range strings.Split(*loads, ",") {
 		path = strings.TrimSpace(path)
@@ -125,6 +160,7 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 				return fmt.Errorf("%s: %v", path, lerr)
 			}
 			triples = st.Graph().Triples()
+			_ = st.Close()
 		} else {
 			triples, _, err = rdf.ParseTurtle(f)
 			if err != nil {
@@ -134,12 +170,15 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 		}
 		f.Close()
 		load(triples)
-		allTriples = append(allTriples, triples...)
+		if *save != "" {
+			allTriples = append(allTriples, triples...)
+		}
 		log.Printf("loaded %s (%d triples total)", path, count())
 	}
 
 	if *save != "" {
 		tmp := strabon.New()
+		defer tmp.Close()
 		tmp.AddAll(allTriples)
 		f, err := os.Create(*save)
 		if err != nil {
@@ -234,6 +273,15 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 			return err
 		}
 		printResults(res)
+	case *dataDir != "" && *loads != "" && *serve == "":
+		// Durable ingest: the data went through the WAL into the segment
+		// store; flush on close and exit. The next boot serves it off
+		// segment footers without re-parsing anything.
+		if err := closeStore(); err != nil {
+			return err
+		}
+		log.Printf("ingested into %s", *dataDir)
+		return nil
 	case *serve != "":
 		ln, err := net.Listen("tcp", *serve)
 		if err != nil {

@@ -84,6 +84,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer st.Close()
 	fmt.Printf("materialized snapshot: %d triples, %d observations\n",
 		st.Len(), st.ObservationCount())
 }

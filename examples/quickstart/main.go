@@ -40,6 +40,7 @@ func main() {
 		log.Fatal(err)
 	}
 	store := strabon.New()
+	defer store.Close()
 	store.AddAll(triples)
 	fmt.Printf("loaded %d triples, %d indexed geometries\n", store.Len(), store.GeometryCount())
 

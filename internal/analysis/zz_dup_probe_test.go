@@ -1,7 +1,6 @@
 package analysis_test
 
 import (
-
 	"testing"
 
 	_ "applab/internal/analysis"

@@ -39,6 +39,11 @@ const (
 	// Hang blocks the call until the request context is cancelled or the
 	// adapter is released; the simulated peer has stopped answering.
 	Hang
+	// SyncError fails a durability barrier (fsync) while leaving the
+	// written bytes in place: the storage-engine crash model where the
+	// kernel accepted the write but the disk never acknowledged it.
+	// Only the File adapter interprets it; HTTP adapters treat it as OK.
+	SyncError
 )
 
 // String names the kind for test failure messages.
@@ -54,6 +59,8 @@ func (k Kind) String() string {
 		return "truncate"
 	case Hang:
 		return "hang"
+	case SyncError:
+		return "sync-error"
 	}
 	return "unknown"
 }

@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjectedWrite is the error returned by a File whose write script
+// injected a failure.
+var ErrInjectedWrite = errors.New("faults: injected write error")
+
+// ErrInjectedSync is the error returned by a File whose sync script
+// injected an fsync failure.
+var ErrInjectedSync = errors.New("faults: injected fsync error")
+
+// Sink is the file surface a File wraps: what a write-ahead log needs
+// from *os.File. Truncate is optional (see File.Truncate).
+type Sink interface {
+	io.Writer
+	Sync() error
+}
+
+// File injects storage faults below a write-ahead log: short writes
+// (a crash mid-write leaving a torn record), outright write errors
+// (ENOSPC-style), and fsync errors (the write was buffered but the
+// durability barrier failed). Two independent scripts drive the two
+// operations so "three good appends then a torn fourth" and "fsync
+// fails once" compose freely; a nil script means always OK.
+//
+// File mirrors the transport-level RoundTripper/Source adapters: the
+// engine under test takes an injectable WAL sink the way the remote
+// stack takes an injectable http.RoundTripper.
+type File struct {
+	sink Sink
+	// writes scripts Write calls: OK passes through, Truncate writes
+	// only KeepBytes bytes then fails (torn write), ConnError fails
+	// before any byte reaches the sink.
+	writes *Script
+	// syncs scripts Sync calls: OK passes through, SyncError (and any
+	// other failure kind) fails the barrier after the data was written.
+	syncs *Script
+}
+
+// NewFile wraps sink with the given write and sync scripts (either may
+// be nil for always-OK).
+func NewFile(sink Sink, writes, syncs *Script) *File {
+	return &File{sink: sink, writes: writes, syncs: syncs}
+}
+
+// Write consumes one step of the write script and applies it.
+func (f *File) Write(p []byte) (int, error) {
+	st := Step{Kind: OK}
+	if f.writes != nil {
+		st = f.writes.Next()
+	}
+	switch st.Kind {
+	case OK, SyncError: // SyncError targets Sync; pass writes through.
+		return f.sink.Write(p)
+	case Truncate:
+		keep := st.KeepBytes
+		if keep > len(p) {
+			keep = len(p)
+		}
+		n, err := f.sink.Write(p[:keep])
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjectedWrite
+	default:
+		return 0, ErrInjectedWrite
+	}
+}
+
+// Sync consumes one step of the sync script: OK forwards the barrier,
+// anything else fails it (the bytes stay written — exactly the state a
+// lost fsync leaves on disk).
+func (f *File) Sync() error {
+	st := Step{Kind: OK}
+	if f.syncs != nil {
+		st = f.syncs.Next()
+	}
+	if st.Kind == OK {
+		return f.sink.Sync()
+	}
+	return ErrInjectedSync
+}
+
+// Truncate forwards to the sink when it supports truncation (as
+// *os.File does), so the WAL's torn-tail repair path works through the
+// injector. Truncation itself is never failed: the injector models
+// write-path faults, and repair happens on the recovery path.
+func (f *File) Truncate(size int64) error {
+	if t, ok := f.sink.(interface{ Truncate(int64) error }); ok {
+		return t.Truncate(size)
+	}
+	return nil
+}

@@ -129,6 +129,7 @@ func NewStrabonSystem(w *Workload) (*StrabonSystem, error) {
 		s.AddAll(workload.FeaturesToRDF(ns.ns, ns.classProp, feats))
 	}
 	if err := s.Freeze(); err != nil {
+		_ = s.Close()
 		return nil, err
 	}
 	return &StrabonSystem{store: s}, nil

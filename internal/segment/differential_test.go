@@ -1,0 +1,218 @@
+package segment
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+
+	"applab/internal/rdf"
+)
+
+// Differential oracle: a seeded generator drives the identical
+// operation sequence into a disk-backed engine (tiny flush threshold,
+// so the sequence crosses many segment boundaries) and into a plain
+// map model. After every mutation batch the full answer sets must be
+// identical. A failing seed reproduces exactly.
+
+// model is the trivially correct oracle: a map of live triples.
+type model struct {
+	live map[string]rdf.Triple
+}
+
+func newModel() *model { return &model{live: map[string]rdf.Triple{}} }
+
+func (m *model) add(t rdf.Triple)    { m.live[tripleKey(t)] = t }
+func (m *model) delete(t rdf.Triple) { delete(m.live, tripleKey(t)) }
+
+func (m *model) match(s, p, o rdf.Term) map[string]bool {
+	out := map[string]bool{}
+	for k, t := range m.live {
+		if matchesPattern(t, s, p, o) {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// genTriple draws from a small universe so adds, deletes, and re-adds
+// collide often — the interesting cases for newest-wins resolution.
+func genTriple(r *rand.Rand) rdf.Triple {
+	s := rdf.NewIRI("http://ex/s" + strconv.Itoa(r.Intn(12)))
+	p := rdf.NewIRI("http://ex/p" + strconv.Itoa(r.Intn(4)))
+	var o rdf.Term
+	switch r.Intn(3) {
+	case 0:
+		o = rdf.NewIRI("http://ex/o" + strconv.Itoa(r.Intn(12)))
+	case 1:
+		o = rdf.NewLiteral("lit" + strconv.Itoa(r.Intn(8)))
+	default:
+		o = rdf.NewInteger(int64(r.Intn(6)))
+	}
+	return rdf.NewTriple(s, p, o)
+}
+
+func genPattern(r *rand.Rand) (rdf.Term, rdf.Term, rdf.Term) {
+	var s, p, o rdf.Term
+	if r.Intn(2) == 0 {
+		s = rdf.NewIRI("http://ex/s" + strconv.Itoa(r.Intn(12)))
+	}
+	if r.Intn(2) == 0 {
+		p = rdf.NewIRI("http://ex/p" + strconv.Itoa(r.Intn(4)))
+	}
+	if r.Intn(2) == 0 {
+		o = rdf.NewIRI("http://ex/o" + strconv.Itoa(r.Intn(12)))
+	}
+	return s, p, o
+}
+
+func TestDifferentialEngineVsModel(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 20260808} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			e := mustOpen(t, dir, Options{FlushEvery: 7, CompactAt: 3})
+			oracle := newModel()
+
+			check := func(step int) {
+				t.Helper()
+				s, p, o := genPattern(r)
+				got := canonicalSet(e.Match(s, p, o))
+				want := oracle.match(s, p, o)
+				if len(got) != len(want) {
+					t.Fatalf("step %d: Match(%v %v %v) size %d, oracle %d", step, s, p, o, len(got), len(want))
+				}
+				for k := range want {
+					if !got[k] {
+						t.Fatalf("step %d: oracle triple missing from engine", step)
+					}
+				}
+				if est := e.Cardinality(s, p, o); est < len(want) {
+					t.Fatalf("step %d: Cardinality %d < actual %d", step, est, len(want))
+				}
+			}
+
+			for step := 0; step < 400; step++ {
+				switch r.Intn(10) {
+				case 0, 1, 2, 3, 4: // single add
+					tr := genTriple(r)
+					oracle.add(tr)
+					if _, err := e.Add(tr); err != nil {
+						t.Fatalf("step %d: Add: %v", step, err)
+					}
+				case 5, 6: // batch add
+					n := 1 + r.Intn(9)
+					batch := make([]rdf.Triple, n)
+					for i := range batch {
+						batch[i] = genTriple(r)
+						oracle.add(batch[i])
+					}
+					if _, err := e.AddAll(batch); err != nil {
+						t.Fatalf("step %d: AddAll: %v", step, err)
+					}
+				case 7: // delete
+					tr := genTriple(r)
+					oracle.delete(tr)
+					if _, err := e.Delete(tr); err != nil {
+						t.Fatalf("step %d: Delete: %v", step, err)
+					}
+				case 8: // explicit flush
+					if err := e.Flush(); err != nil {
+						t.Fatalf("step %d: Flush: %v", step, err)
+					}
+				case 9: // compact
+					if err := e.Compact(); err != nil {
+						t.Fatalf("step %d: Compact: %v", step, err)
+					}
+				}
+				if step%20 == 19 {
+					check(step)
+				}
+			}
+			check(400)
+			if e.Len() != len(oracle.live) {
+				t.Fatalf("final Len %d, oracle %d", e.Len(), len(oracle.live))
+			}
+
+			// The same holds across a crashless reopen...
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+			e2 := mustOpen(t, dir, Options{})
+			defer e2.Close()
+			got := canonicalSet(e2.Triples())
+			if len(got) != len(oracle.live) {
+				t.Fatalf("reopened set %d, oracle %d", len(got), len(oracle.live))
+			}
+			for k := range oracle.live {
+				if !got[k] {
+					t.Fatal("oracle triple missing after reopen")
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentReaders hammers a disk-backed engine with concurrent
+// readers while a writer mutates, flushes, and compacts — the -race
+// half of the differential suite. Readers only assert internal
+// consistency (a point-in-time Match is never larger than its own
+// Cardinality bound from the same instant's data can justify failing).
+func TestConcurrentReaders(t *testing.T) {
+	dir := t.TempDir()
+	e := mustOpen(t, dir, Options{FlushEvery: 16, CompactAt: 3})
+	defer e.Close()
+	mustAdd(t, e, nTriples(64)...)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s, p, o := genPattern(r)
+				ts := e.Match(s, p, o)
+				for _, tr := range ts {
+					if !matchesPattern(tr, s, p, o) {
+						t.Errorf("Match returned non-matching triple")
+						return
+					}
+				}
+				e.Cardinality(s, p, o)
+				e.Stats()
+			}
+		}(g)
+	}
+
+	w := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		switch w.Intn(6) {
+		case 0:
+			if _, err := e.Delete(genTriple(w)); err != nil {
+				t.Errorf("Delete: %v", err)
+			}
+		case 1:
+			if err := e.Flush(); err != nil {
+				t.Errorf("Flush: %v", err)
+			}
+		default:
+			if _, err := e.Add(genTriple(w)); err != nil {
+				t.Errorf("Add: %v", err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := e.Err(); err != nil {
+		t.Fatalf("read error under concurrency: %v", err)
+	}
+}

@@ -1,0 +1,807 @@
+// Package segment is the disk-backed storage engine under the Strabon
+// side of the paper's Figure 1: an LSM-style store of immutable sorted
+// runs plus an in-memory memtable, fed through a write-ahead log.
+//
+// The design (DESIGN.md §12) in one paragraph: every mutation is
+// appended to the WAL and fsynced, then applied to the memtable (an
+// rdf.Graph plus a tombstone set). When the memtable reaches the flush
+// threshold it is written as an immutable run — term dictionary,
+// SPO-sorted rows, POS/OSP permutations, per-term index sections that
+// double as cardinality statistics — published via an atomically
+// renamed file and a MANIFEST update, and the WAL is reset. Reads merge
+// the memtable and the runs newest-first, so a triple's newest
+// occurrence (add or tombstone) wins; compaction folds all runs into
+// one, dropping masked rows and tombstones. Opening an engine reads the
+// MANIFEST, the run footers, and the WAL tail — not the dataset — so a
+// node serves within milliseconds of boot.
+//
+// A memory-only engine (New) is just the memtable: it behaves
+// bit-for-bit like the seed in-memory store, which the differential
+// oracle tests pin.
+package segment
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"applab/internal/rdf"
+)
+
+// Options tune an engine opened with Open. The zero value is usable.
+type Options struct {
+	// FlushEvery is the memtable triple count that triggers a flush to
+	// a new run (default 8192; negative disables auto-flush).
+	FlushEvery int
+	// CompactAt is the run count that triggers compaction (default 4;
+	// negative disables).
+	CompactAt int
+	// CompactEvery, when positive, moves compaction to a background
+	// goroutine woken on this period; zero compacts synchronously at
+	// flush time. Background compaction uses the After hook, so tests
+	// drive it with a fake clock and zero real sleeps.
+	CompactEvery time.Duration
+	// After is the timer hook for background compaction (default
+	// time.After).
+	After func(time.Duration) <-chan time.Time
+	// WrapWAL, when set, wraps the WAL file before it is written
+	// through — the fault-injection seam (faults.NewFile).
+	WrapWAL func(Sink) Sink
+}
+
+func (o Options) flushEvery() int {
+	if o.FlushEvery == 0 {
+		return 8192
+	}
+	return o.FlushEvery
+}
+
+func (o Options) compactAt() int {
+	if o.CompactAt == 0 {
+		return 4
+	}
+	return o.CompactAt
+}
+
+// memtable is the mutable head of the engine: newly added triples in
+// insertion order plus the tombstones that mask older runs.
+type memtable struct {
+	g     *rdf.Graph
+	tombs map[string]rdf.Triple
+}
+
+func newMemtable() *memtable {
+	return &memtable{g: rdf.NewGraph(), tombs: map[string]rdf.Triple{}}
+}
+
+// add inserts a triple, clearing any tombstone for it (a re-add after
+// delete revives the triple). It reports whether the memtable changed
+// shape the way rdf.Graph.Add does.
+func (m *memtable) add(t rdf.Triple) bool {
+	delete(m.tombs, tripleKey(t))
+	return m.g.Add(t)
+}
+
+// delete removes a triple from the memtable graph (rebuild — the graph
+// has no removal; memtables are small by construction) and records a
+// tombstone to mask any older run.
+func (m *memtable) delete(t rdf.Triple) bool {
+	k := tripleKey(t)
+	_, hadTomb := m.tombs[k]
+	m.tombs[k] = t
+	removed := false
+	if m.g.Contains(t) {
+		ng := rdf.NewGraph()
+		for _, old := range m.g.Triples() {
+			if tripleKey(old) != k {
+				ng.Add(old)
+			}
+		}
+		m.g = ng
+		removed = true
+	}
+	return removed || !hadTomb
+}
+
+func (m *memtable) empty() bool { return m.g.Len() == 0 && len(m.tombs) == 0 }
+
+// Stats is a point-in-time snapshot of the engine's shape and
+// lifetime counters, the backing data of the segment_* metrics.
+type Stats struct {
+	Segments        int
+	SegmentBytes    int64
+	SegmentRows     int
+	Tombstones      int
+	MemtableTriples int
+	WALBytes        int64
+	Flushes         uint64
+	Compactions     uint64
+	WALRecords      uint64
+	WALFsyncs       uint64
+	WALReplayed     int
+	WALDiscarded    int64
+	ReadErrors      uint64
+}
+
+// Engine is the storage engine. Safe for concurrent use: mutations and
+// maintenance take the write lock, queries the read lock.
+type Engine struct {
+	mu   sync.RWMutex
+	dir  string // "" = memory-only
+	opts Options
+	mem  *memtable
+	wal  *wal
+	segs []*Run // oldest first
+	next uint64 // next run sequence number
+
+	closed bool
+	stopBg chan struct{}
+	bgDone chan struct{}
+
+	// statsMu guards the advisory fields written on read paths
+	// (readErr, stats.ReadErrors); everything else in stats is written
+	// under the main write lock.
+	statsMu sync.Mutex
+	stats   Stats
+	// readErr records the first segment read error; queries proceed
+	// over what they could read (the resilient-subset rule the spatial
+	// index already follows).
+	readErr error
+}
+
+// New returns a memory-only engine: no WAL, no runs, just the
+// memtable. It is the backing of the seed-compatible in-memory store.
+func New() *Engine {
+	return &Engine{mem: newMemtable()}
+}
+
+const manifestName = "MANIFEST"
+const manifestMagic = "ASEGM1"
+
+// Open opens (creating if needed) a disk-backed engine in dir: reads
+// the MANIFEST, opens the listed run footers, removes orphaned files
+// from interrupted flushes or compactions, and replays the WAL tail
+// into the memtable.
+func Open(dir string, opts Options) (*Engine, error) {
+	if dir == "" {
+		return nil, errors.New("segment: Open needs a directory; use New for a memory-only engine")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	e := &Engine{dir: dir, opts: opts, mem: newMemtable()}
+	names, err := readManifest(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	listed := map[string]bool{}
+	for _, name := range names {
+		listed[name] = true
+		r, err := OpenRun(filepath.Join(dir, name))
+		if err != nil {
+			e.closeAll()
+			return nil, err
+		}
+		if r.seq, err = runSeq(name); err != nil {
+			e.closeAll()
+			return nil, err
+		}
+		if r.seq >= e.next {
+			e.next = r.seq + 1
+		}
+		e.segs = append(e.segs, r)
+	}
+	sort.Slice(e.segs, func(i, j int) bool { return e.segs[i].seq < e.segs[j].seq })
+
+	// Remove orphans: run or temp files a crash left outside the
+	// manifest. They are not part of the committed state (their content
+	// is either still in the WAL or still in the pre-compaction runs).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		e.closeAll()
+		return nil, err
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		orphanRun := strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".seg") && !listed[name]
+		tmp := strings.HasSuffix(name, ".tmp")
+		if orphanRun || tmp {
+			_ = os.Remove(filepath.Join(dir, name)) // best-effort cleanup
+		}
+	}
+
+	w, ops, discarded, err := openWAL(filepath.Join(dir, "wal.log"), opts.WrapWAL)
+	if err != nil {
+		e.closeAll()
+		return nil, err
+	}
+	e.wal = w
+	w.records = &e.stats.WALRecords
+	w.fsyncs = &e.stats.WALFsyncs
+	e.stats.WALDiscarded = discarded
+	for _, op := range ops {
+		for _, t := range op.triples {
+			if op.op == opAdd {
+				e.mem.add(t)
+			} else {
+				e.mem.delete(t)
+			}
+			e.stats.WALReplayed++
+		}
+	}
+	if opts.CompactEvery > 0 {
+		e.stopBg = make(chan struct{})
+		e.bgDone = make(chan struct{})
+		go e.backgroundCompact()
+	}
+	return e, nil
+}
+
+func (e *Engine) closeAll() {
+	for _, r := range e.segs {
+		_ = r.close()
+	}
+}
+
+// runSeq parses the sequence number out of a seg-%08d.seg name.
+func runSeq(name string) (uint64, error) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "seg-%08d.seg", &seq); err != nil {
+		return 0, fmt.Errorf("segment: bad run name %q", name)
+	}
+	return seq, nil
+}
+
+func runName(seq uint64) string { return fmt.Sprintf("seg-%08d.seg", seq) }
+
+// readManifest returns the run names of the committed state, oldest
+// first. A missing manifest is an empty engine.
+func readManifest(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] != manifestMagic {
+		return nil, fmt.Errorf("segment: bad manifest header in %s", path)
+	}
+	var names []string
+	for _, ln := range lines[1:] {
+		if ln == "" {
+			continue
+		}
+		if strings.ContainsAny(ln, "/\\") || !strings.HasPrefix(ln, "seg-") {
+			return nil, fmt.Errorf("segment: bad manifest entry %q", ln)
+		}
+		names = append(names, ln)
+	}
+	return names, nil
+}
+
+// writeManifest atomically replaces the manifest (tmp + rename +
+// directory fsync): the rename is the commit point of every flush and
+// compaction.
+func (e *Engine) writeManifest(names []string) error {
+	path := filepath.Join(e.dir, manifestName)
+	tmp := path + ".tmp"
+	body := manifestMagic + "\n" + strings.Join(names, "\n")
+	if len(names) > 0 {
+		body += "\n"
+	}
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(body); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return e.syncDir()
+}
+
+func (e *Engine) syncDir() error {
+	d, err := os.Open(e.dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Add inserts one triple durably (WAL first, then memtable). It
+// reports whether the memtable changed, and fails without mutating
+// anything when the WAL append fails.
+func (e *Engine) Add(t rdf.Triple) (bool, error) {
+	return e.apply(opAdd, []rdf.Triple{t})
+}
+
+// AddAll inserts a batch as one atomic WAL record.
+func (e *Engine) AddAll(ts []rdf.Triple) (bool, error) {
+	if len(ts) == 0 {
+		return false, nil
+	}
+	return e.apply(opAdd, ts)
+}
+
+// Delete removes a triple: from the memtable if present, and via a
+// tombstone masking any occurrence in older runs.
+func (e *Engine) Delete(t rdf.Triple) (bool, error) {
+	return e.apply(opDelete, []rdf.Triple{t})
+}
+
+func (e *Engine) apply(op byte, ts []rdf.Triple) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false, errors.New("segment: engine is closed")
+	}
+	if e.wal != nil {
+		if err := e.wal.append(op, ts); err != nil {
+			return false, err
+		}
+	}
+	changed := false
+	for _, t := range ts {
+		if op == opAdd {
+			if e.mem.add(t) {
+				changed = true
+			}
+		} else if e.mem.delete(t) {
+			changed = true
+		}
+	}
+	if e.dir != "" && e.opts.flushEvery() > 0 && e.mem.g.Len() >= e.opts.flushEvery() {
+		if err := e.flushLocked(); err != nil {
+			return changed, err
+		}
+	}
+	return changed, nil
+}
+
+// Flush publishes the memtable as a new run and resets the WAL. A
+// memory-only engine ignores it.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dir == "" || e.closed {
+		return nil
+	}
+	return e.flushLocked()
+}
+
+func (e *Engine) flushLocked() error {
+	if e.mem.empty() {
+		return nil
+	}
+	tombs := make([]rdf.Triple, 0, len(e.mem.tombs))
+	for _, t := range e.mem.tombs {
+		tombs = append(tombs, t)
+	}
+	// Deterministic tombstone order inside the run.
+	sort.Slice(tombs, func(i, j int) bool { return tripleKey(tombs[i]) < tripleKey(tombs[j]) })
+	r, err := e.publishRun(e.mem.g.Triples(), tombs)
+	if err != nil {
+		return err
+	}
+	e.segs = append(e.segs, r)
+	e.mem = newMemtable()
+	if err := e.wal.reset(); err != nil {
+		return fmt.Errorf("segment: WAL reset after flush: %w", err)
+	}
+	e.stats.Flushes++
+	if e.opts.CompactEvery == 0 && e.opts.compactAt() > 0 && len(e.segs) >= e.opts.compactAt() {
+		return e.compactLocked()
+	}
+	return nil
+}
+
+// publishRun encodes a run, writes it to a temp file, fsyncs, renames
+// it into place, fsyncs the directory, and commits it by rewriting the
+// manifest with the new name appended. Returns the opened run.
+func (e *Engine) publishRun(adds, tombs []rdf.Triple) (*Run, error) {
+	img, err := encodeRun(adds, tombs)
+	if err != nil {
+		return nil, err
+	}
+	seq := e.next
+	name := runName(seq)
+	path := filepath.Join(e.dir, name)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(img); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, err
+	}
+	if err := e.syncDir(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(e.segs)+1)
+	for _, s := range e.segs {
+		names = append(names, runName(s.seq))
+	}
+	names = append(names, name)
+	if err := e.writeManifest(names); err != nil {
+		return nil, err
+	}
+	r, err := OpenRun(path)
+	if err != nil {
+		return nil, err
+	}
+	r.seq = seq
+	e.next = seq + 1
+	return r, nil
+}
+
+// Compact folds every run into one, dropping rows masked by newer
+// occurrences and all tombstones (after a full merge nothing older
+// remains for a tombstone to mask; crash-orphaned pre-compaction runs
+// are outside the manifest and removed on open, so they can never
+// resurrect).
+func (e *Engine) Compact() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return errors.New("segment: engine is closed")
+	}
+	return e.compactLocked()
+}
+
+func (e *Engine) compactLocked() error {
+	if len(e.segs) < 2 {
+		return nil
+	}
+	// Newest-first merge over runs only (the memtable stays mutable and
+	// keeps masking at read time).
+	seen := map[string]bool{}
+	var alive []rdf.Triple
+	for i := len(e.segs) - 1; i >= 0; i-- {
+		err := e.segs[i].match(rdf.Term{}, rdf.Term{}, rdf.Term{}, func(t rdf.Triple, tomb bool) {
+			k := tripleKey(t)
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			if !tomb {
+				alive = append(alive, t)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	old := e.segs
+	r, err := e.publishRun(alive, nil)
+	if err != nil {
+		return err
+	}
+	// publishRun appended the merged run to a manifest still listing the
+	// old runs; rewrite it to the merged run alone — the commit point.
+	if err := e.writeManifest([]string{runName(r.seq)}); err != nil {
+		_ = r.close()
+		return err
+	}
+	e.segs = []*Run{r}
+	for _, s := range old {
+		_ = s.close()
+		_ = os.Remove(s.path) // best-effort; orphans are collected on open
+	}
+	e.stats.Compactions++
+	return nil
+}
+
+// backgroundCompact is the timer-driven compaction loop.
+func (e *Engine) backgroundCompact() {
+	defer close(e.bgDone)
+	after := e.opts.After
+	if after == nil {
+		after = time.After
+	}
+	for {
+		select {
+		case <-e.stopBg:
+			return
+		case <-after(e.opts.CompactEvery):
+			e.mu.Lock()
+			if !e.closed && len(e.segs) >= e.opts.compactAt() {
+				if err := e.compactLocked(); err != nil {
+					e.noteReadErr(err)
+				}
+			}
+			e.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes the memtable (so the next open boots from footers, not
+// a WAL replay), stops background compaction, and closes every file.
+func (e *Engine) Close() error {
+	if e.stopBg != nil {
+		close(e.stopBg)
+		<-e.bgDone
+		e.stopBg = nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	var first error
+	if e.dir != "" {
+		if err := e.flushLocked(); err != nil {
+			first = err
+		}
+		if err := e.wal.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, r := range e.segs {
+		if err := r.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.closed = true
+	return first
+}
+
+// Match returns all triples matching the pattern. With no runs it is
+// exactly the memtable graph's answer (insertion order); with runs the
+// merged answer is returned in canonical (term-key) order.
+func (e *Engine) Match(s, p, o rdf.Term) []rdf.Triple {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if len(e.segs) == 0 {
+		return e.mem.g.Match(s, p, o)
+	}
+	seen := map[string]bool{}
+	var out []rdf.Triple
+	for _, t := range e.mem.g.Match(s, p, o) {
+		k := tripleKey(t)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	for k, t := range e.mem.tombs {
+		if matchesPattern(t, s, p, o) {
+			seen[k] = true
+		}
+	}
+	for i := len(e.segs) - 1; i >= 0; i-- {
+		err := e.segs[i].match(s, p, o, func(t rdf.Triple, tomb bool) {
+			k := tripleKey(t)
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			if !tomb {
+				out = append(out, t)
+			}
+		})
+		if err != nil {
+			e.noteReadErr(err)
+		}
+	}
+	sortTriples(out)
+	return out
+}
+
+// sortTriples orders triples canonically by term keys then valid time.
+func sortTriples(ts []rdf.Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if k1, k2 := a.S.Key(), b.S.Key(); k1 != k2 {
+			return k1 < k2
+		}
+		if k1, k2 := a.P.Key(), b.P.Key(); k1 != k2 {
+			return k1 < k2
+		}
+		if k1, k2 := a.O.Key(), b.O.Key(); k1 != k2 {
+			return k1 < k2
+		}
+		if !a.ValidFrom.Equal(b.ValidFrom) {
+			return a.ValidFrom.Before(b.ValidFrom)
+		}
+		return a.ValidTo.Before(b.ValidTo)
+	})
+}
+
+// noteReadErr records the first segment read error seen by a query.
+// Queries run under the read lock, so these advisory fields have their
+// own mutex.
+func (e *Engine) noteReadErr(err error) {
+	e.statsMu.Lock()
+	e.stats.ReadErrors++
+	if e.readErr == nil {
+		e.readErr = err
+	}
+	e.statsMu.Unlock()
+}
+
+// Cardinality estimates the match count: the memtable's estimate plus
+// each run's, each the smallest bound-position bucket. Like the
+// graph's estimator it is an upper bound, exact for a single-position
+// pattern in a freshly compacted engine.
+func (e *Engine) Cardinality(s, p, o rdf.Term) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if len(e.segs) == 0 {
+		return e.mem.g.Cardinality(s, p, o)
+	}
+	total := e.mem.g.Cardinality(s, p, o)
+	for _, r := range e.segs {
+		n, err := r.cardinality(s, p, o)
+		if err != nil {
+			e.noteReadErr(err)
+			continue
+		}
+		total += n
+	}
+	return total
+}
+
+// Len returns the number of live triples. With runs this is an O(data)
+// merge (exactness over speed — it backs a snapshot-time gauge and
+// load-time logs, not the query path).
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	if len(e.segs) == 0 {
+		n := e.mem.g.Len()
+		e.mu.RUnlock()
+		return n
+	}
+	e.mu.RUnlock()
+	return len(e.Match(rdf.Term{}, rdf.Term{}, rdf.Term{}))
+}
+
+// Triples returns every live triple (memtable order when memory-only,
+// canonical order once runs exist).
+func (e *Engine) Triples() []rdf.Triple {
+	return e.Match(rdf.Term{}, rdf.Term{}, rdf.Term{})
+}
+
+// Subjects returns the distinct subjects of triples matching (p, o),
+// sorted by term key — rdf.Graph's contract.
+func (e *Engine) Subjects(p, o rdf.Term) []rdf.Term {
+	e.mu.RLock()
+	if len(e.segs) == 0 {
+		out := e.mem.g.Subjects(p, o)
+		e.mu.RUnlock()
+		return out
+	}
+	e.mu.RUnlock()
+	set := map[string]rdf.Term{}
+	for _, t := range e.Match(rdf.Term{}, p, o) {
+		set[t.S.Key()] = t.S
+	}
+	return sortedTermSet(set)
+}
+
+// Objects returns the distinct objects of triples matching (s, p),
+// sorted by term key.
+func (e *Engine) Objects(s, p rdf.Term) []rdf.Term {
+	e.mu.RLock()
+	if len(e.segs) == 0 {
+		out := e.mem.g.Objects(s, p)
+		e.mu.RUnlock()
+		return out
+	}
+	e.mu.RUnlock()
+	set := map[string]rdf.Term{}
+	for _, t := range e.Match(s, p, rdf.Term{}) {
+		set[t.O.Key()] = t.O
+	}
+	return sortedTermSet(set)
+}
+
+// FirstObject returns the object of the first matching (s, p) triple
+// (memtable insertion order, else canonical order — deterministic
+// either way).
+func (e *Engine) FirstObject(s, p rdf.Term) (rdf.Term, bool) {
+	e.mu.RLock()
+	if len(e.segs) == 0 {
+		o, ok := e.mem.g.FirstObject(s, p)
+		e.mu.RUnlock()
+		return o, ok
+	}
+	e.mu.RUnlock()
+	ts := e.Match(s, p, rdf.Term{})
+	if len(ts) == 0 {
+		return rdf.Term{}, false
+	}
+	return ts[0].O, true
+}
+
+func sortedTermSet(set map[string]rdf.Term) []rdf.Term {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]rdf.Term, len(keys))
+	for i, k := range keys {
+		out[i] = set[k]
+	}
+	return out
+}
+
+// MemGraph exposes the memtable graph. For a memory-only engine this
+// is the entire store (the seed-compatible surface strabon.Store.Graph
+// relies on); for a disk-backed engine it is only the unflushed head.
+func (e *Engine) MemGraph() *rdf.Graph {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.mem.g
+}
+
+// Segments reports the current run count.
+func (e *Engine) Segments() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.segs)
+}
+
+// Dir reports the engine's directory ("" when memory-only).
+func (e *Engine) Dir() string { return e.dir }
+
+// Err returns the first segment read error observed by a query, nil
+// when every read verified. Mirrors strabon.Store.IndexErr.
+func (e *Engine) Err() error {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.readErr
+}
+
+// Stats snapshots the engine's shape and counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.statsMu.Lock()
+	s := e.stats
+	e.statsMu.Unlock()
+	s.Segments = len(e.segs)
+	s.MemtableTriples = e.mem.g.Len()
+	for _, r := range e.segs {
+		s.SegmentBytes += r.bytes()
+		s.SegmentRows += r.Rows()
+		s.Tombstones += r.Tombstones()
+	}
+	s.Tombstones += len(e.mem.tombs)
+	if e.wal != nil {
+		s.WALBytes = e.wal.bytes()
+	}
+	return s
+}

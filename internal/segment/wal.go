@@ -1,0 +1,290 @@
+package segment
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"applab/internal/rdf"
+)
+
+// Write-ahead log ("AWAL1"): the durability path of incremental ingest.
+// Every mutation is appended and fsynced before it touches the
+// memtable, so a crash loses at most the batch whose append failed.
+//
+//	magic "AWAL1"
+//	record: payloadLen u32 | crc32(payload) u32 | payload
+//	payload: op u8 (1=add, 2=delete) | count u32 | count triples
+//
+// Recovery contract (see DESIGN.md §12):
+//
+//   - A record is committed iff its frame is fully present with a
+//     matching checksum. Replay applies records in order and stops at
+//     the first torn or corrupt frame; everything after that point is
+//     discarded and the file is truncated back to the last committed
+//     boundary ("repair").
+//   - Replay is idempotent: adds dedup in the memtable and deletes are
+//     tombstone writes, so replaying a WAL twice (the crash window
+//     between segment publication and WAL reset) converges to the same
+//     triple set.
+//   - A failed append (short write, write error, or fsync error) leaves
+//     the tail in an unknown state; the writer truncates back to the
+//     last committed boundary before reporting the error. If even the
+//     truncate fails the WAL is marked broken and refuses further
+//     appends — readers are unaffected.
+const walMagic = "AWAL1"
+
+const (
+	opAdd    = 1
+	opDelete = 2
+)
+
+// maxWALRecord caps a record's declared payload size: larger frames are
+// treated as corruption (a real batch is bounded by the flush
+// threshold, far below this).
+const maxWALRecord = 1 << 26
+
+// Sink is the surface the WAL writes through: *os.File in production,
+// a fault injector (faults.File) in crash tests.
+type Sink interface {
+	io.Writer
+	Sync() error
+}
+
+// walOp is one replayed operation.
+type walOp struct {
+	op      byte
+	triples []rdf.Triple
+}
+
+// wal is the append side of the log. It is not self-locking: the
+// engine serializes access under its write lock.
+type wal struct {
+	path string
+	f    *os.File
+	sink Sink
+	// size is the offset of the last committed record boundary.
+	size int64
+	// broken is set when a failed append could not be repaired.
+	broken bool
+	// counters owned by the engine, bumped by the wal.
+	records *uint64
+	fsyncs  *uint64
+}
+
+// openWAL opens (creating if absent) the log at path, replays its
+// committed records, repairs any torn tail, and leaves the file
+// positioned for appends. wrap, when non-nil, wraps the file before it
+// is used as the append sink (fault injection). It returns the ops to
+// apply and the number of bytes discarded by tail repair.
+func openWAL(path string, wrap func(Sink) Sink) (*wal, []walOp, int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		_ = f.Close()
+		return nil, nil, 0, err
+	}
+	w := &wal{path: path, f: f}
+	w.sink = Sink(f)
+	if wrap != nil {
+		w.sink = wrap(f)
+	}
+	if len(data) == 0 {
+		// Fresh log: write the header through the real file (header
+		// creation is not part of the injected fault surface).
+		if _, err := f.WriteString(walMagic); err != nil {
+			_ = f.Close()
+			return nil, nil, 0, err
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return nil, nil, 0, err
+		}
+		w.size = int64(len(walMagic))
+		return w, nil, 0, nil
+	}
+	ops, good, err := replayWAL(data)
+	if err != nil {
+		_ = f.Close()
+		return nil, nil, 0, err
+	}
+	discarded := int64(len(data)) - good
+	w.size = good
+	if discarded > 0 {
+		// Torn tail: cut back to the last committed boundary so new
+		// appends never land after garbage.
+		if err := f.Truncate(good); err != nil {
+			_ = f.Close()
+			return nil, nil, 0, err
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return nil, nil, 0, err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, nil, 0, err
+	}
+	return w, ops, discarded, nil
+}
+
+// replayWAL decodes the committed prefix of a WAL image, returning the
+// operations and the byte offset of the last committed boundary. A bad
+// header is an error (the file is not a WAL); a bad or torn record
+// merely ends the committed prefix.
+func replayWAL(data []byte) ([]walOp, int64, error) {
+	if len(data) < len(walMagic) {
+		return nil, 0, fmt.Errorf("segment: short WAL header")
+	}
+	if string(data[:len(walMagic)]) != walMagic {
+		return nil, 0, fmt.Errorf("segment: bad WAL magic %q", data[:len(walMagic)])
+	}
+	var ops []walOp
+	off := int64(len(walMagic))
+	for {
+		rest := data[off:]
+		if len(rest) < 8 {
+			return ops, off, nil // clean end or torn frame header
+		}
+		c := cursor{data: rest}
+		n, _ := c.u32()
+		sum, _ := c.u32()
+		if n == 0 || n > maxWALRecord || int(n) > len(rest)-8 {
+			return ops, off, nil // torn or corrupt length
+		}
+		payload := rest[8 : 8+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return ops, off, nil // torn or corrupt payload
+		}
+		op, err := decodeWALPayload(payload)
+		if err != nil {
+			return ops, off, nil // framed but undecodable: treat as torn
+		}
+		ops = append(ops, op)
+		off += 8 + int64(n)
+	}
+}
+
+// decodeWALPayload decodes one record payload.
+func decodeWALPayload(payload []byte) (walOp, error) {
+	c := cursor{data: payload}
+	op, err := c.u8()
+	if err != nil {
+		return walOp{}, err
+	}
+	if op != opAdd && op != opDelete {
+		return walOp{}, fmt.Errorf("segment: WAL op %d invalid", op)
+	}
+	count, err := c.u32()
+	if err != nil {
+		return walOp{}, err
+	}
+	if count > maxTriples {
+		return walOp{}, errCorrupt
+	}
+	// Preallocation capped: the declared count only sizes the slice up
+	// to a bound, real decodes grow it (strabon.Load's rule).
+	hint := count
+	if hint > 1<<14 {
+		hint = 1 << 14
+	}
+	triples := make([]rdf.Triple, 0, hint)
+	for i := uint32(0); i < count; i++ {
+		t, err := c.triple()
+		if err != nil {
+			return walOp{}, err
+		}
+		triples = append(triples, t)
+	}
+	if c.remaining() != 0 {
+		return walOp{}, errCorrupt
+	}
+	return walOp{op: op, triples: triples}, nil
+}
+
+// append frames, writes, and fsyncs one record. On any failure it
+// repairs the tail back to the last committed boundary and returns the
+// error; the record is not committed.
+func (w *wal) append(op byte, triples []rdf.Triple) error {
+	if w.broken {
+		return fmt.Errorf("segment: WAL %s is broken after an unrepaired write failure", w.path)
+	}
+	payload := make([]byte, 0, 64*len(triples)+8)
+	payload = append(payload, op)
+	payload = appendU32(payload, uint32(len(triples)))
+	for _, t := range triples {
+		payload = appendTriple(payload, t)
+	}
+	frame := make([]byte, 0, len(payload)+8)
+	frame = appendU32(frame, uint32(len(payload)))
+	frame = appendU32(frame, crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+
+	if _, err := w.sink.Write(frame); err != nil {
+		w.repair()
+		return fmt.Errorf("segment: WAL append: %w", err)
+	}
+	if err := w.sink.Sync(); err != nil {
+		// The bytes may or may not be durable; either way the record is
+		// not committed, so cut back to the committed boundary.
+		w.repair()
+		return fmt.Errorf("segment: WAL fsync: %w", err)
+	}
+	w.size += int64(len(frame))
+	if w.records != nil {
+		*w.records++
+	}
+	if w.fsyncs != nil {
+		*w.fsyncs++
+	}
+	return nil
+}
+
+// repair truncates the file back to the last committed boundary after
+// a failed append. Truncation goes through the sink when it supports
+// it (fault injectors forward to the real file) so the repaired state
+// is what a reopened engine will see.
+func (w *wal) repair() {
+	type truncater interface{ Truncate(int64) error }
+	var err error
+	if t, ok := w.sink.(truncater); ok {
+		err = t.Truncate(w.size)
+	} else {
+		err = w.f.Truncate(w.size)
+	}
+	if err == nil {
+		_, err = w.f.Seek(w.size, io.SeekStart)
+	}
+	if err != nil {
+		w.broken = true
+	}
+}
+
+// reset empties the log back to its header after a successful memtable
+// flush: the flushed records are now durable in a published segment.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = int64(len(walMagic))
+	if w.fsyncs != nil {
+		*w.fsyncs++
+	}
+	return nil
+}
+
+// bytes reports the committed log size (header included).
+func (w *wal) bytes() int64 { return w.size }
+
+func (w *wal) close() error { return w.f.Close() }

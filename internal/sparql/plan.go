@@ -16,6 +16,9 @@ import (
 // rdf.Graph, strabon.Store, strabon.ShardedStore, obda.VirtualGraph and
 // federation.Federation implement it; sources without statistics are
 // evaluated in textual pattern order, exactly like the seed engine.
+// A disk-backed strabon.Store answers from the per-term index footers
+// of its segment files, so the planner gets statistics without the
+// store materializing anything.
 type StatsSource interface {
 	Source
 	// Cardinality estimates how many triples match the pattern (zero

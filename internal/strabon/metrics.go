@@ -3,6 +3,7 @@ package strabon
 import (
 	"strconv"
 
+	"applab/internal/segment"
 	"applab/internal/telemetry"
 )
 
@@ -13,17 +14,21 @@ import (
 // Every strabon metric name literal lives here, one call site each.
 
 // RegisterMetrics exposes the store's triple count as the
-// strabon_triples gauge.
+// strabon_triples gauge, plus the storage engine's segment_* family
+// (runs, bytes, WAL activity, compactions).
 func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
 	registerTriplesGauge(reg, s.Len)
+	segment.RegisterMetrics(reg, s.eng)
 }
 
-// RegisterMetrics exposes the total triple count as strabon_triples and
-// each shard's size as strabon_shard_triples{shard="i"}.
+// RegisterMetrics exposes the total triple count as strabon_triples,
+// each shard's size as strabon_shard_triples{shard="i"}, and each
+// shard's engine as segment_*{shard="i"}.
 func (s *ShardedStore) RegisterMetrics(reg *telemetry.Registry) {
 	registerTriplesGauge(reg, s.Len)
 	for i, sh := range s.shards {
 		reg.GaugeFunc("strabon_shard_triples", lenGauge(sh.Len), "shard", strconv.Itoa(i))
+		segment.RegisterMetrics(reg, sh.eng, "shard", strconv.Itoa(i))
 	}
 }
 

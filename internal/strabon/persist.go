@@ -30,7 +30,7 @@ const persistMagic = "ASTR1"
 // it, so slow sinks do not stall writers.
 func (s *Store) Save(w io.Writer) error {
 	s.mu.RLock()
-	triples := s.graph.Triples()
+	triples := s.eng.Triples()
 	s.mu.RUnlock()
 	return saveTriples(w, triples)
 }

@@ -1,13 +1,16 @@
 package strabon
 
 import (
+	"fmt"
 	"hash/fnv"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"applab/internal/geom"
 	"applab/internal/rdf"
+	"applab/internal/segment"
 	"applab/internal/sparql"
 )
 
@@ -32,7 +35,7 @@ type ShardedStore struct {
 	owner map[string]int
 }
 
-// NewSharded returns a store with n shards (n < 1 becomes 1).
+// NewSharded returns a store with n in-memory shards (n < 1 becomes 1).
 func NewSharded(n int) *ShardedStore {
 	if n < 1 {
 		n = 1
@@ -43,6 +46,52 @@ func NewSharded(n int) *ShardedStore {
 	}
 	return s
 }
+
+// OpenSharded opens a disk-backed sharded store: shard i lives in
+// dir/shard-<i>. The owner table is an in-memory routing cache, not
+// persisted — after a reopen, subject-bound queries for subjects not
+// yet re-assigned fall back to a fan-out (see Match).
+func OpenSharded(dir string, n int, opts segment.Options) (*ShardedStore, error) {
+	if n < 1 {
+		n = 1
+	}
+	s := &ShardedStore{shards: make([]*Store, n), owner: map[string]int{}}
+	for i := range s.shards {
+		st, err := Open(filepath.Join(dir, fmt.Sprintf("shard-%02d", i)), opts)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				_ = s.shards[j].Close()
+			}
+			return nil, err
+		}
+		s.shards[i] = st
+	}
+	return s, nil
+}
+
+// Flush flushes every shard.
+func (s *ShardedStore) Flush() error {
+	for _, sh := range s.shards {
+		if err := sh.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes every shard, returning the first error.
+func (s *ShardedStore) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Shards exposes the per-shard stores (metrics registration).
+func (s *ShardedStore) Shards() []*Store { return s.shards }
 
 // ShardCount returns the number of shards.
 func (s *ShardedStore) ShardCount() int { return len(s.shards) }
@@ -141,8 +190,12 @@ func (s *ShardedStore) Freeze() error {
 }
 
 // Match implements sparql.Source. Subject-bound patterns are answered by
-// the owning shard alone; other patterns fan out to all shards in
-// parallel.
+// the owning shard alone when the owner table knows the subject; on an
+// owner miss they fall through to the all-shard fan-out. A miss used to
+// mean "never loaded" and answered nil, but with disk-backed shards the
+// owner table (an in-memory cache) starts empty after reopen while the
+// shards are full — correctness requires the fan-out, the owner table is
+// only a fast path.
 func (s *ShardedStore) Match(sub, pred, obj rdf.Term) []rdf.Triple {
 	if !sub.IsZero() {
 		s.mu.RLock()
@@ -151,7 +204,6 @@ func (s *ShardedStore) Match(sub, pred, obj rdf.Term) []rdf.Triple {
 		if ok {
 			return s.shards[sh].Match(sub, pred, obj)
 		}
-		return nil
 	}
 	results := make([][]rdf.Triple, len(s.shards))
 	var wg sync.WaitGroup
@@ -171,9 +223,11 @@ func (s *ShardedStore) Match(sub, pred, obj rdf.Term) []rdf.Triple {
 }
 
 // Cardinality implements sparql.StatsSource. Subject-bound patterns are
-// estimated by the owning shard alone (0 when no shard owns the
-// subject); other patterns sum the per-shard estimates sequentially —
-// estimates are index-bucket lookups, too cheap to fan out.
+// estimated by the owning shard alone when the subject's owner is
+// known; on an owner miss (e.g. after reopening disk-backed shards,
+// whose owner cache starts empty) the per-shard estimates are summed
+// like any other pattern — estimates are index-bucket lookups, too
+// cheap to fan out.
 func (s *ShardedStore) Cardinality(sub, pred, obj rdf.Term) int {
 	if !sub.IsZero() {
 		s.mu.RLock()
@@ -182,7 +236,6 @@ func (s *ShardedStore) Cardinality(sub, pred, obj rdf.Term) int {
 		if ok {
 			return s.shards[sh].Cardinality(sub, pred, obj)
 		}
-		return 0
 	}
 	total := 0
 	for _, sh := range s.shards {

@@ -22,6 +22,7 @@ import (
 	"applab/internal/geom/rtree"
 	"applab/internal/geosparql"
 	"applab/internal/rdf"
+	"applab/internal/segment"
 	"applab/internal/sparql"
 )
 
@@ -56,10 +57,13 @@ type Observation struct {
 // one batch stale — which is the semantics the concurrent endpoint
 // (internal/endpoint over one store) needs.
 type Store struct {
-	mu    sync.RWMutex
-	graph *rdf.Graph
+	mu  sync.RWMutex
+	eng *segment.Engine
 
 	dirty bool
+	// writeErr records the first storage-engine write failure (WAL
+	// append, flush); see Err.
+	writeErr error
 	// indexErr records the first geometry error of the last index build;
 	// queries proceed over the parseable subset (see IndexErr).
 	indexErr error
@@ -70,27 +74,99 @@ type Store struct {
 	validTime []rdf.Triple
 }
 
-// New returns an empty store and ensures the geof:* functions are
-// registered with the SPARQL engine.
+// New returns an empty in-memory store and ensures the geof:* functions
+// are registered with the SPARQL engine. An in-memory store behaves
+// exactly like the pre-engine seed store (the differential tests pin
+// this); use Open for a disk-backed store.
 func New() *Store {
 	geosparql.Register()
-	return &Store{graph: rdf.NewGraph(), dirty: true}
+	return &Store{eng: segment.New(), dirty: true}
+}
+
+// Open opens (creating if needed) a disk-backed store in dir: the
+// segment engine reads the manifest, the run footers, and the WAL tail
+// — not the dataset — so the store answers its first query within
+// milliseconds of boot regardless of data volume.
+func Open(dir string, opts segment.Options) (*Store, error) {
+	geosparql.Register()
+	eng, err := segment.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{eng: eng, dirty: true}, nil
+}
+
+// Engine exposes the storage engine (metrics registration, stats).
+func (s *Store) Engine() *segment.Engine { return s.eng }
+
+// Flush publishes the memtable of a disk-backed store as an immutable
+// run; no-op in memory.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Flush()
+}
+
+// Close flushes and closes a disk-backed store, and surfaces any
+// recorded write error. Closing an in-memory store only reports errors.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.eng.Close(); err != nil {
+		return err
+	}
+	return s.writeErr
+}
+
+// Err returns the first storage write failure (nil for a healthy
+// store). Writes after a failure keep going — the engine repairs its
+// WAL tail and later appends may succeed — but the first error stays
+// recorded so batch loaders can fail loudly at the end.
+func (s *Store) Err() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.writeErr != nil {
+		return s.writeErr
+	}
+	return s.eng.Err()
 }
 
 // Add inserts one triple.
 func (s *Store) Add(t rdf.Triple) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.graph.Add(t) {
+	changed, err := s.eng.Add(t)
+	if err != nil && s.writeErr == nil {
+		s.writeErr = err
+	}
+	if changed {
 		s.dirty = true
 	}
 }
 
-// AddAll inserts all triples.
+// AddAll inserts all triples as one durable batch.
 func (s *Store) AddAll(ts []rdf.Triple) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.graph.AddAll(ts) > 0 {
+	changed, err := s.eng.AddAll(ts)
+	if err != nil && s.writeErr == nil {
+		s.writeErr = err
+	}
+	if changed {
+		s.dirty = true
+	}
+}
+
+// Delete removes one triple (in a disk-backed store, via a tombstone
+// masking older runs until compaction).
+func (s *Store) Delete(t rdf.Triple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed, err := s.eng.Delete(t)
+	if err != nil && s.writeErr == nil {
+		s.writeErr = err
+	}
+	if changed {
 		s.dirty = true
 	}
 }
@@ -99,26 +175,32 @@ func (s *Store) AddAll(ts []rdf.Triple) {
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.graph.Len()
+	return s.eng.Len()
 }
 
-// Graph exposes the underlying triple graph. It bypasses the store's
-// locking: use it only while no other goroutine writes the store.
-func (s *Store) Graph() *rdf.Graph { return s.graph }
+// Graph exposes the store's triples as an rdf.Graph. For an in-memory
+// store this is the live memtable graph (it bypasses the store's
+// locking: use it only while no other goroutine writes the store); for
+// a disk-backed store it is a point-in-time materialization.
+func (s *Store) Graph() *rdf.Graph {
+	if s.eng.Segments() == 0 {
+		return s.eng.MemGraph()
+	}
+	g := rdf.NewGraph()
+	g.AddAll(s.eng.Triples())
+	return g
+}
 
 // Match implements sparql.Source.
 func (s *Store) Match(sub, pred, obj rdf.Term) []rdf.Triple {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.graph.Match(sub, pred, obj)
+	return s.eng.Match(sub, pred, obj)
 }
 
-// Cardinality implements sparql.StatsSource: the graph's index-bucket
-// estimate under the read lock.
+// Cardinality implements sparql.StatsSource: the memtable's
+// index-bucket estimate plus each run's per-term cardinality footer —
+// the compiled query engine reads segment statistics for free.
 func (s *Store) Cardinality(sub, pred, obj rdf.Term) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.graph.Cardinality(sub, pred, obj)
+	return s.eng.Cardinality(sub, pred, obj)
 }
 
 // Query parses and evaluates a (Geo)SPARQL query against the store.
@@ -172,7 +254,7 @@ func (s *Store) freezeLocked() {
 	asWKT := rdf.NewIRI(geosparql.AsWKT)
 	hasGeom := rdf.NewIRI(geosparql.HasGeometry)
 	var firstErr error
-	for _, t := range s.graph.Match(rdf.Term{}, asWKT, rdf.Term{}) {
+	for _, t := range s.eng.Match(rdf.Term{}, asWKT, rdf.Term{}) {
 		g, err := geosparql.ParseGeometryTerm(t.O)
 		if err != nil {
 			if firstErr == nil {
@@ -181,7 +263,7 @@ func (s *Store) freezeLocked() {
 			continue
 		}
 		e := &GeometryEntry{Node: t.S, WKT: t.O, Geom: g}
-		for _, f := range s.graph.Subjects(hasGeom, t.S) {
+		for _, f := range s.eng.Subjects(hasGeom, t.S) {
 			e.Features = append(e.Features, f)
 		}
 		s.geoms[t.S.Key()] = e
@@ -192,12 +274,12 @@ func (s *Store) freezeLocked() {
 	// Observations: subjects with both a geometry and a time:hasTime.
 	hasTime := rdf.NewIRI(rdf.NSTime + "hasTime")
 	s.obs = nil
-	for _, t := range s.graph.Match(rdf.Term{}, hasTime, rdf.Term{}) {
+	for _, t := range s.eng.Match(rdf.Term{}, hasTime, rdf.Term{}) {
 		tm, ok := t.O.Time()
 		if !ok {
 			continue
 		}
-		if gn, ok := s.graph.FirstObject(t.S, hasGeom); ok {
+		if gn, ok := s.eng.FirstObject(t.S, hasGeom); ok {
 			if e, ok := s.geoms[gn.Key()]; ok {
 				s.obs = append(s.obs, Observation{Subject: t.S, Geom: e.Geom, Time: tm})
 			}
@@ -207,7 +289,7 @@ func (s *Store) freezeLocked() {
 
 	// Valid-time triple index.
 	s.validTime = nil
-	for _, t := range s.graph.Triples() {
+	for _, t := range s.eng.Triples() {
 		if t.HasValidTime() {
 			s.validTime = append(s.validTime, t)
 		}
