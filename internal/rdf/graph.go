@@ -12,6 +12,11 @@ import (
 // once loading is complete.
 type Graph struct {
 	triples []Triple
+	// dead marks removed slots in triples (parallel slice); removals
+	// keep slot numbering stable so the index positions stay valid.
+	// Slots are compacted away once the dead outnumber the live.
+	dead  []bool
+	ndead int
 	// indexes map term keys to positions in triples.
 	bySubject   map[string][]int
 	byPredicate map[string][]int
@@ -47,11 +52,61 @@ func (g *Graph) Add(t Triple) bool {
 	}
 	i := len(g.triples)
 	g.triples = append(g.triples, t)
+	g.dead = append(g.dead, false)
 	g.seen[k] = i
 	g.bySubject[t.S.Key()] = append(g.bySubject[t.S.Key()], i)
 	g.byPredicate[t.P.Key()] = append(g.byPredicate[t.P.Key()], i)
 	g.byObject[t.O.Key()] = append(g.byObject[t.O.Key()], i)
 	return true
+}
+
+// Remove deletes a triple (exact identity: terms plus valid time),
+// reporting whether it was present. The slot is marked dead and its
+// index entries pruned — O(index bucket) per call, amortized O(1) on
+// the backing slice, which is compacted (insertion order preserved)
+// once dead slots outnumber live ones.
+func (g *Graph) Remove(t Triple) bool {
+	k := keyOf(t)
+	i, ok := g.seen[k]
+	if !ok {
+		return false
+	}
+	delete(g.seen, k)
+	removeIdx(g.bySubject, t.S.Key(), i)
+	removeIdx(g.byPredicate, t.P.Key(), i)
+	removeIdx(g.byObject, t.O.Key(), i)
+	g.dead[i] = true
+	g.ndead++
+	if g.ndead > 16 && g.ndead > len(g.triples)/2 {
+		g.compact()
+	}
+	return true
+}
+
+// removeIdx drops position i from an index bucket, preserving the
+// bucket's insertion order.
+func removeIdx(idx map[string][]int, key string, i int) {
+	bucket := idx[key]
+	for j, v := range bucket {
+		if v == i {
+			bucket = append(bucket[:j], bucket[j+1:]...)
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(idx, key)
+	} else {
+		idx[key] = bucket
+	}
+}
+
+// compact rebuilds the graph over its live triples only.
+func (g *Graph) compact() {
+	live := g.Triples()
+	*g = *NewGraph()
+	for _, t := range live {
+		g.Add(t)
+	}
 }
 
 // AddAll inserts every triple in ts, returning the number newly added.
@@ -66,12 +121,16 @@ func (g *Graph) AddAll(ts []Triple) int {
 }
 
 // Len returns the number of triples in the graph.
-func (g *Graph) Len() int { return len(g.triples) }
+func (g *Graph) Len() int { return len(g.triples) - g.ndead }
 
-// Triples returns a copy of all triples in insertion order.
+// Triples returns a copy of all live triples in insertion order.
 func (g *Graph) Triples() []Triple {
-	out := make([]Triple, len(g.triples))
-	copy(out, g.triples)
+	out := make([]Triple, 0, g.Len())
+	for i, t := range g.triples {
+		if !g.dead[i] {
+			out = append(out, t)
+		}
+	}
 	return out
 }
 
@@ -93,9 +152,7 @@ func (g *Graph) Match(s, p, o Term) []Triple {
 	case !p.IsZero():
 		candidates = g.byPredicate[p.Key()]
 	default:
-		out := make([]Triple, len(g.triples))
-		copy(out, g.triples)
-		return out
+		return g.Triples()
 	}
 	// Prefer the most selective index among the bound terms.
 	if !s.IsZero() && !o.IsZero() {
@@ -140,7 +197,7 @@ func (g *Graph) Cardinality(s, p, o Term) int {
 		take(len(g.byObject[o.Key()]))
 	}
 	if est < 0 {
-		return len(g.triples)
+		return g.Len()
 	}
 	return est
 }
@@ -181,8 +238,10 @@ func (g *Graph) Objects(s, p Term) []Term {
 // Predicates returns the distinct predicates in the graph, sorted.
 func (g *Graph) Predicates() []Term {
 	set := map[string]Term{}
-	for _, t := range g.triples {
-		set[t.P.Key()] = t.P
+	for i, t := range g.triples {
+		if !g.dead[i] {
+			set[t.P.Key()] = t.P
+		}
 	}
 	return sortedTerms(set)
 }
@@ -211,7 +270,14 @@ func (g *Graph) FirstObject(s, p Term) (Term, bool) {
 	return Term{}, false
 }
 
-// Merge adds every triple of other into g, returning the count added.
+// Merge adds every live triple of other into g, returning the count
+// added.
 func (g *Graph) Merge(other *Graph) int {
-	return g.AddAll(other.triples)
+	n := 0
+	for i, t := range other.triples {
+		if !other.dead[i] && g.Add(t) {
+			n++
+		}
+	}
+	return n
 }

@@ -140,3 +140,111 @@ func TestGraphMatchProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestGraphRemove(t *testing.T) {
+	g := NewGraph()
+	a, b, c := tr("s1", "p1", "o1"), tr("s1", "p2", "o2"), tr("s2", "p1", "o3")
+	g.Add(a)
+	g.Add(b)
+	g.Add(c)
+
+	if g.Remove(tr("sX", "p1", "o1")) {
+		t.Fatal("removing an absent triple must report false")
+	}
+	if !g.Remove(b) {
+		t.Fatal("removing a present triple must report true")
+	}
+	if g.Remove(b) {
+		t.Fatal("double remove must report false")
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	if g.Contains(b) {
+		t.Fatal("Contains found a removed triple")
+	}
+	// Indexes no longer surface the removed triple.
+	if got := g.Match(NewIRI("s1"), Term{}, Term{}); len(got) != 1 || !got[0].O.Equal(a.O) {
+		t.Fatalf("subject match after remove = %v", got)
+	}
+	if got := g.Match(Term{}, NewIRI("p2"), Term{}); len(got) != 0 {
+		t.Fatalf("predicate match after remove = %v", got)
+	}
+	if got := g.Cardinality(Term{}, NewIRI("p2"), Term{}); got != 0 {
+		t.Fatalf("cardinality after remove = %d", got)
+	}
+	// Insertion order survives a removal in the middle.
+	want := []Triple{a, c}
+	got := g.Triples()
+	if len(got) != 2 || !got[0].O.Equal(want[0].O) || !got[1].O.Equal(want[1].O) {
+		t.Fatalf("Triples after remove = %v, want [a c]", got)
+	}
+	// A removed triple can come back.
+	if !g.Add(b) {
+		t.Fatal("re-Add after Remove must succeed")
+	}
+	if g.Len() != 3 || !g.Contains(b) {
+		t.Fatal("re-added triple missing")
+	}
+}
+
+// TestGraphRemoveBulkCompaction drives enough removals to cross the
+// compaction threshold and checks every view of the graph afterwards.
+func TestGraphRemoveBulkCompaction(t *testing.T) {
+	g := NewGraph()
+	const n = 200
+	var all []Triple
+	for i := 0; i < n; i++ {
+		tt := tr(fmt.Sprintf("s%d", i%7), fmt.Sprintf("p%d", i%3), fmt.Sprintf("o%d", i))
+		all = append(all, tt)
+		g.Add(tt)
+	}
+	// Remove every even-indexed triple: well past the dead>live/2 mark.
+	var kept []Triple
+	for i, tt := range all {
+		if i%2 == 0 {
+			if !g.Remove(tt) {
+				t.Fatalf("Remove #%d failed", i)
+			}
+		} else {
+			kept = append(kept, tt)
+		}
+	}
+	if g.Len() != len(kept) {
+		t.Fatalf("Len = %d, want %d", g.Len(), len(kept))
+	}
+	got := g.Triples()
+	if len(got) != len(kept) {
+		t.Fatalf("Triples = %d, want %d", len(got), len(kept))
+	}
+	for i := range kept {
+		if !got[i].O.Equal(kept[i].O) {
+			t.Fatalf("order broken at %d: got %v want %v", i, got[i], kept[i])
+		}
+	}
+	// Indexes answer correctly post-compaction.
+	for _, tt := range kept {
+		if !g.Contains(tt) {
+			t.Fatalf("kept triple missing: %v", tt)
+		}
+		found := false
+		for _, m := range g.Match(tt.S, tt.P, Term{}) {
+			if m.O.Equal(tt.O) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Match lost kept triple: %v", tt)
+		}
+	}
+	for i, tt := range all {
+		if i%2 == 0 && g.Contains(tt) {
+			t.Fatalf("removed triple still present: %v", tt)
+		}
+	}
+	// Merge skips dead slots.
+	g2 := NewGraph()
+	if added := g2.Merge(g); added != len(kept) {
+		t.Fatalf("Merge added %d, want %d", added, len(kept))
+	}
+}

@@ -85,6 +85,7 @@ func (c *cursor) str() (string, error) {
 }
 
 func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func putU32(b []byte, v uint32)           { binary.BigEndian.PutUint32(b, v) }
 func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
 func appendI64(b []byte, v int64) []byte  { return binary.BigEndian.AppendUint64(b, uint64(v)) }
 

@@ -69,42 +69,44 @@ func (o Options) compactAt() int {
 }
 
 // memtable is the mutable head of the engine: newly added triples in
-// insertion order plus the tombstones that mask older runs.
+// insertion order plus the tombstones that mask older runs. A
+// memory-only engine has no runs (and never will), so its memtable
+// keeps no tombstone map — deletes there are plain graph removals and
+// nothing accumulates.
 type memtable struct {
-	g     *rdf.Graph
+	g *rdf.Graph
+	// tombs is nil in a memory-only engine.
 	tombs map[string]rdf.Triple
 }
 
-func newMemtable() *memtable {
-	return &memtable{g: rdf.NewGraph(), tombs: map[string]rdf.Triple{}}
+func newMemtable(disk bool) *memtable {
+	m := &memtable{g: rdf.NewGraph()}
+	if disk {
+		m.tombs = map[string]rdf.Triple{}
+	}
+	return m
 }
 
 // add inserts a triple, clearing any tombstone for it (a re-add after
 // delete revives the triple). It reports whether the memtable changed
 // shape the way rdf.Graph.Add does.
 func (m *memtable) add(t rdf.Triple) bool {
-	delete(m.tombs, tripleKey(t))
+	if m.tombs != nil {
+		delete(m.tombs, tripleKey(t))
+	}
 	return m.g.Add(t)
 }
 
-// delete removes a triple from the memtable graph (rebuild — the graph
-// has no removal; memtables are small by construction) and records a
-// tombstone to mask any older run.
+// delete removes a triple from the memtable graph and, in a
+// disk-backed engine, records a tombstone to mask any older run.
 func (m *memtable) delete(t rdf.Triple) bool {
+	removed := m.g.Remove(t)
+	if m.tombs == nil {
+		return removed
+	}
 	k := tripleKey(t)
 	_, hadTomb := m.tombs[k]
 	m.tombs[k] = t
-	removed := false
-	if m.g.Contains(t) {
-		ng := rdf.NewGraph()
-		for _, old := range m.g.Triples() {
-			if tripleKey(old) != k {
-				ng.Add(old)
-			}
-		}
-		m.g = ng
-		removed = true
-	}
 	return removed || !hadTomb
 }
 
@@ -142,6 +144,9 @@ type Engine struct {
 	closed bool
 	stopBg chan struct{}
 	bgDone chan struct{}
+	// bgOnce guards the background-compaction shutdown: concurrent
+	// Close calls must not double-close stopBg.
+	bgOnce sync.Once
 
 	// statsMu guards the advisory fields written on read paths
 	// (readErr, stats.ReadErrors); everything else in stats is written
@@ -157,7 +162,7 @@ type Engine struct {
 // New returns a memory-only engine: no WAL, no runs, just the
 // memtable. It is the backing of the seed-compatible in-memory store.
 func New() *Engine {
-	return &Engine{mem: newMemtable()}
+	return &Engine{mem: newMemtable(false)}
 }
 
 const manifestName = "MANIFEST"
@@ -174,7 +179,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	e := &Engine{dir: dir, opts: opts, mem: newMemtable()}
+	e := &Engine{dir: dir, opts: opts, mem: newMemtable(true)}
 	names, err := readManifest(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, err
@@ -336,7 +341,9 @@ func (e *Engine) Add(t rdf.Triple) (bool, error) {
 	return e.apply(opAdd, []rdf.Triple{t})
 }
 
-// AddAll inserts a batch as one atomic WAL record.
+// AddAll inserts a batch as one atomic WAL commit (a single record,
+// or a chunk group for batches over the record cap — either way the
+// batch replays all-or-nothing after a crash).
 func (e *Engine) AddAll(ts []rdf.Triple) (bool, error) {
 	if len(ts) == 0 {
 		return false, nil
@@ -405,7 +412,7 @@ func (e *Engine) flushLocked() error {
 		return err
 	}
 	e.segs = append(e.segs, r)
-	e.mem = newMemtable()
+	e.mem = newMemtable(true)
 	if err := e.wal.reset(); err != nil {
 		return fmt.Errorf("segment: WAL reset after flush: %w", err)
 	}
@@ -548,11 +555,13 @@ func (e *Engine) backgroundCompact() {
 
 // Close flushes the memtable (so the next open boots from footers, not
 // a WAL replay), stops background compaction, and closes every file.
+// Safe to call more than once, including concurrently.
 func (e *Engine) Close() error {
 	if e.stopBg != nil {
-		close(e.stopBg)
-		<-e.bgDone
-		e.stopBg = nil
+		e.bgOnce.Do(func() {
+			close(e.stopBg)
+			<-e.bgDone
+		})
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()

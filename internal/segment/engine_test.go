@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -429,4 +430,74 @@ func matchRun(t *testing.T, r *Run, s, p, o rdf.Term) []rdf.Triple {
 		t.Fatal(err)
 	}
 	return out
+}
+
+// TestMemoryModeDeleteNoTombstones: a memory-only engine removes
+// triples in place — no tombstone map growing without bound, and
+// re-deleting what is already gone reports false like rdf.Graph.
+func TestMemoryModeDeleteNoTombstones(t *testing.T) {
+	e := New()
+	ts := nTriples(50)
+	mustAdd(t, e, ts...)
+	for _, tt := range ts {
+		changed, err := e.Delete(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !changed {
+			t.Fatalf("Delete(%v) of a present triple reported false", tt)
+		}
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", e.Len())
+	}
+	if got := e.Stats().Tombstones; got != 0 {
+		t.Fatalf("memory-only engine accumulated %d tombstones", got)
+	}
+	// Deleting absent triples neither changes anything nor accumulates.
+	for _, tt := range ts {
+		changed, err := e.Delete(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			t.Fatal("Delete of an absent triple reported true")
+		}
+	}
+	if got := e.Stats().Tombstones; got != 0 {
+		t.Fatalf("absent-triple deletes accumulated %d tombstones", got)
+	}
+	// The engine is still usable after heavy delete traffic.
+	mustAdd(t, e, ts...)
+	if e.Len() != len(canonicalSet(ts)) {
+		t.Fatalf("Len = %d after re-add, want %d", e.Len(), len(canonicalSet(ts)))
+	}
+}
+
+// TestCloseConcurrent: Close is documented safe to call more than
+// once, including concurrently — the background-compaction channel
+// must be closed exactly once (run with -race).
+func TestCloseConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	e := mustOpen(t, dir, Options{FlushEvery: 4, CompactEvery: 10 * time.Millisecond})
+	mustAdd(t, e, nTriples(20)...)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = e.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent Close #%d: %v", i, err)
+		}
+	}
+	// And again, sequentially, after everything is down.
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close after Close: %v", err)
+	}
 }

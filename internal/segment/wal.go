@@ -15,15 +15,24 @@ import (
 //
 //	magic "AWAL1"
 //	record: payloadLen u32 | crc32(payload) u32 | payload
-//	payload: op u8 (1=add, 2=delete) | count u32 | count triples
+//	payload: op u8 (1=add, 2=delete; bit 0x80 set = the batch
+//	         continues in the next record) | count u32 | count triples
+//
+// A batch whose payload would exceed maxWALRecord is split into a
+// chunk group: every record but the last carries the walMore flag, and
+// the group commits as a unit — append never writes a frame replay
+// would have to reject as corrupt.
 //
 // Recovery contract (see DESIGN.md §12):
 //
 //   - A record is committed iff its frame is fully present with a
-//     matching checksum. Replay applies records in order and stops at
-//     the first torn or corrupt frame; everything after that point is
+//     matching checksum AND its chunk group is complete (a group is
+//     closed by its first record without the walMore flag). Replay
+//     applies records in order and stops at the first torn or corrupt
+//     frame or unfinished group; everything after that point is
 //     discarded and the file is truncated back to the last committed
-//     boundary ("repair").
+//     boundary ("repair") — so a crash mid-group loses the whole
+//     batch, never a prefix of it.
 //   - Replay is idempotent: adds dedup in the memtable and deletes are
 //     tombstone writes, so replaying a WAL twice (the crash window
 //     between segment publication and WAL reset) converges to the same
@@ -38,12 +47,22 @@ const walMagic = "AWAL1"
 const (
 	opAdd    = 1
 	opDelete = 2
+	// walMore marks a record whose batch continues in the next record;
+	// replay only applies a chunk group once its final (unflagged)
+	// record is present.
+	walMore = 0x80
 )
 
 // maxWALRecord caps a record's declared payload size: larger frames are
-// treated as corruption (a real batch is bounded by the flush
-// threshold, far below this).
+// treated as corruption. The writer enforces the same bound by
+// chunking oversized batches (see chunkPayloads), so every frame it
+// commits is one replay accepts.
 const maxWALRecord = 1 << 26
+
+// walChunkPayload is the writer-side payload cap per chunk. It equals
+// maxWALRecord in production; it is a variable only so tests can force
+// multi-chunk framing without building 64MiB batches.
+var walChunkPayload = maxWALRecord
 
 // Sink is the surface the WAL writes through: *os.File in production,
 // a fault injector (faults.File) in crash tests.
@@ -54,7 +73,11 @@ type Sink interface {
 
 // walOp is one replayed operation.
 type walOp struct {
-	op      byte
+	op byte
+	// more is set while decoding a chunk group: the batch continues in
+	// the next record. Replay strips it; ops handed to the engine never
+	// carry it.
+	more    bool
 	triples []rdf.Triple
 }
 
@@ -136,7 +159,9 @@ func openWAL(path string, wrap func(Sink) Sink) (*wal, []walOp, int64, error) {
 // replayWAL decodes the committed prefix of a WAL image, returning the
 // operations and the byte offset of the last committed boundary. A bad
 // header is an error (the file is not a WAL); a bad or torn record
-// merely ends the committed prefix.
+// merely ends the committed prefix. Chunk groups commit atomically:
+// the boundary only advances past a group's final (unflagged) record,
+// so a crash mid-group discards the whole batch.
 func replayWAL(data []byte) ([]walOp, int64, error) {
 	if len(data) < len(walMagic) {
 		return nil, 0, fmt.Errorf("segment: short WAL header")
@@ -145,38 +170,53 @@ func replayWAL(data []byte) ([]walOp, int64, error) {
 		return nil, 0, fmt.Errorf("segment: bad WAL magic %q", data[:len(walMagic)])
 	}
 	var ops []walOp
-	off := int64(len(walMagic))
+	var pending []walOp // chunks of a group whose final record is unseen
+	committed := int64(len(walMagic))
+	pos := committed
 	for {
-		rest := data[off:]
+		rest := data[pos:]
 		if len(rest) < 8 {
-			return ops, off, nil // clean end or torn frame header
+			return ops, committed, nil // clean end or torn frame header
 		}
 		c := cursor{data: rest}
 		n, _ := c.u32()
 		sum, _ := c.u32()
 		if n == 0 || n > maxWALRecord || int(n) > len(rest)-8 {
-			return ops, off, nil // torn or corrupt length
+			return ops, committed, nil // torn or corrupt length
 		}
 		payload := rest[8 : 8+int(n)]
 		if crc32.ChecksumIEEE(payload) != sum {
-			return ops, off, nil // torn or corrupt payload
+			return ops, committed, nil // torn or corrupt payload
 		}
 		op, err := decodeWALPayload(payload)
 		if err != nil {
-			return ops, off, nil // framed but undecodable: treat as torn
+			return ops, committed, nil // framed but undecodable: treat as torn
 		}
+		pos += 8 + int64(n)
+		if op.more {
+			pending = append(pending, op)
+			continue
+		}
+		for i := range pending {
+			pending[i].more = false
+		}
+		ops = append(ops, pending...)
 		ops = append(ops, op)
-		off += 8 + int64(n)
+		pending = nil
+		committed = pos
 	}
 }
 
-// decodeWALPayload decodes one record payload.
+// decodeWALPayload decodes one record payload. The walMore flag is
+// stripped off the op byte into walOp.more.
 func decodeWALPayload(payload []byte) (walOp, error) {
 	c := cursor{data: payload}
 	op, err := c.u8()
 	if err != nil {
 		return walOp{}, err
 	}
+	more := op&walMore != 0
+	op &^= walMore
 	if op != opAdd && op != opDelete {
 		return walOp{}, fmt.Errorf("segment: WAL op %d invalid", op)
 	}
@@ -204,40 +244,98 @@ func decodeWALPayload(payload []byte) (walOp, error) {
 	if c.remaining() != 0 {
 		return walOp{}, errCorrupt
 	}
-	return walOp{op: op, triples: triples}, nil
+	return walOp{op: op, more: more, triples: triples}, nil
 }
 
-// append frames, writes, and fsyncs one record. On any failure it
-// repairs the tail back to the last committed boundary and returns the
-// error; the record is not committed.
+// chunkPayloads encodes a batch into one or more record payloads, each
+// within walChunkPayload (and therefore within the maxWALRecord bound
+// replay enforces). A single triple too large to frame at all is an
+// error: append must never emit a record replay would reject.
+func chunkPayloads(op byte, triples []rdf.Triple) ([][]byte, error) {
+	newChunk := func() []byte {
+		p := make([]byte, 0, 256)
+		p = append(p, op)
+		return appendU32(p, 0) // count, patched when the chunk seals
+	}
+	seal := func(p []byte, count uint32) []byte {
+		putU32(p[1:5], count)
+		return p
+	}
+	var payloads [][]byte
+	cur := newChunk()
+	count := uint32(0)
+	for _, t := range triples {
+		prev := len(cur)
+		cur = appendTriple(cur, t)
+		if len(cur) > walChunkPayload {
+			if count == 0 {
+				return nil, fmt.Errorf("segment: triple of %d bytes exceeds the %d-byte WAL record cap",
+					len(cur)-5, walChunkPayload)
+			}
+			payloads = append(payloads, seal(cur[:prev], count))
+			cur = newChunk()
+			count = 0
+			cur = appendTriple(cur, t)
+			if len(cur) > walChunkPayload {
+				return nil, fmt.Errorf("segment: triple of %d bytes exceeds the %d-byte WAL record cap",
+					len(cur)-5, walChunkPayload)
+			}
+		}
+		count++
+	}
+	return append(payloads, seal(cur, count)), nil
+}
+
+// encodeFrames turns a batch into its on-disk frame sequence: every
+// chunk but the last carries the walMore flag, so the group is only
+// committed once its final frame is durable.
+func encodeFrames(op byte, triples []rdf.Triple) ([][]byte, error) {
+	payloads, err := chunkPayloads(op, triples)
+	if err != nil {
+		return nil, err
+	}
+	frames := make([][]byte, len(payloads))
+	for i, payload := range payloads {
+		if i < len(payloads)-1 {
+			payload[0] |= walMore
+		}
+		frame := make([]byte, 0, len(payload)+8)
+		frame = appendU32(frame, uint32(len(payload)))
+		frame = appendU32(frame, crc32.ChecksumIEEE(payload))
+		frames[i] = append(frame, payload...)
+	}
+	return frames, nil
+}
+
+// append frames, writes, and fsyncs one batch (one record, or a chunk
+// group for batches over the record cap — one fsync either way). On
+// any failure it repairs the tail back to the last committed boundary
+// and returns the error; none of the batch is committed.
 func (w *wal) append(op byte, triples []rdf.Triple) error {
 	if w.broken {
 		return fmt.Errorf("segment: WAL %s is broken after an unrepaired write failure", w.path)
 	}
-	payload := make([]byte, 0, 64*len(triples)+8)
-	payload = append(payload, op)
-	payload = appendU32(payload, uint32(len(triples)))
-	for _, t := range triples {
-		payload = appendTriple(payload, t)
+	frames, err := encodeFrames(op, triples)
+	if err != nil {
+		return err
 	}
-	frame := make([]byte, 0, len(payload)+8)
-	frame = appendU32(frame, uint32(len(payload)))
-	frame = appendU32(frame, crc32.ChecksumIEEE(payload))
-	frame = append(frame, payload...)
-
-	if _, err := w.sink.Write(frame); err != nil {
-		w.repair()
-		return fmt.Errorf("segment: WAL append: %w", err)
+	var total int64
+	for _, frame := range frames {
+		if _, err := w.sink.Write(frame); err != nil {
+			w.repair()
+			return fmt.Errorf("segment: WAL append: %w", err)
+		}
+		total += int64(len(frame))
 	}
 	if err := w.sink.Sync(); err != nil {
-		// The bytes may or may not be durable; either way the record is
+		// The bytes may or may not be durable; either way the batch is
 		// not committed, so cut back to the committed boundary.
 		w.repair()
 		return fmt.Errorf("segment: WAL fsync: %w", err)
 	}
-	w.size += int64(len(frame))
+	w.size += total
 	if w.records != nil {
-		*w.records++
+		*w.records += uint64(len(frames))
 	}
 	if w.fsyncs != nil {
 		*w.fsyncs++

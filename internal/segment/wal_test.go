@@ -1,0 +1,174 @@
+package segment
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"applab/internal/rdf"
+)
+
+// setChunkPayload shrinks the writer-side chunk cap so multi-chunk
+// framing is exercised without 64MiB batches, restoring it on cleanup.
+func setChunkPayload(t *testing.T, n int) {
+	t.Helper()
+	old := walChunkPayload
+	walChunkPayload = n
+	t.Cleanup(func() { walChunkPayload = old })
+}
+
+// TestWALChunkedBatchRoundTrip: a batch far over the record cap is
+// split into several frames, every one of which replay accepts, and a
+// reopened engine recovers the complete batch.
+func TestWALChunkedBatchRoundTrip(t *testing.T) {
+	setChunkPayload(t, 256)
+	dir := t.TempDir()
+	e := mustOpen(t, dir, Options{FlushEvery: -1})
+	batch := nTriples(60) // ~40 bytes a triple: many chunks
+	mustAdd(t, e, batch...)
+	if recs := e.Stats().WALRecords; recs < 2 {
+		t.Fatalf("oversized batch framed as %d record(s), want a chunk group", recs)
+	}
+	abandon(e)
+
+	e2 := mustOpen(t, dir, Options{FlushEvery: -1})
+	defer e2.Close()
+	if got, want := committedSet(e2), canonicalSet(batch); !reflect.DeepEqual(got, want) {
+		t.Fatalf("chunked batch lost on replay: got %d triples, want %d", len(got), len(want))
+	}
+	if e2.Stats().WALDiscarded != 0 {
+		t.Fatalf("clean chunk group reported %d discarded bytes", e2.Stats().WALDiscarded)
+	}
+}
+
+// TestWALChunkGroupAtomicity: a crash between the chunks of one batch
+// leaves fully framed, checksummed records on disk — and replay must
+// still discard the whole batch, because its group never closed.
+func TestWALChunkGroupAtomicity(t *testing.T) {
+	setChunkPayload(t, 128)
+	committed := nTriples(3)
+	torn := nTriples(40)
+
+	frames1, err := encodeFrames(opAdd, committed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames2, err := encodeFrames(opAdd, torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames2) < 2 {
+		t.Fatalf("second batch framed as %d record(s), need a group", len(frames2))
+	}
+	img := []byte(walMagic)
+	for _, f := range frames1 {
+		img = append(img, f...)
+	}
+	boundary := int64(len(img))
+	// Crash: every chunk of the second batch EXCEPT the final one made
+	// it to disk intact.
+	for _, f := range frames2[:len(frames2)-1] {
+		img = append(img, f...)
+	}
+
+	ops, good, err := replayWAL(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good != boundary {
+		t.Fatalf("committed boundary %d, want %d (unfinished group must not commit)", good, boundary)
+	}
+	var replayed []rdf.Triple
+	for _, op := range ops {
+		replayed = append(replayed, op.triples...)
+	}
+	if got, want := canonicalSet(replayed), canonicalSet(committed); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay returned %d triples, want exactly the first batch (%d)", len(got), len(want))
+	}
+
+	// The real open path truncates the unfinished group and keeps going.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, ops2, discarded, err := openWAL(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	if len(ops2) != len(ops) {
+		t.Fatalf("openWAL replayed %d ops, replayWAL %d", len(ops2), len(ops))
+	}
+	if discarded != int64(len(img))-boundary {
+		t.Fatalf("discarded %d bytes, want %d", discarded, int64(len(img))-boundary)
+	}
+	if err := w.append(opAdd, nTriples(2)); err != nil {
+		t.Fatalf("append after group repair: %v", err)
+	}
+}
+
+// TestWALOversizedTripleRejected: a single triple that cannot fit any
+// frame fails the append up front — nothing is written, the WAL stays
+// healthy, and later appends succeed.
+func TestWALOversizedTripleRejected(t *testing.T) {
+	setChunkPayload(t, 512)
+	dir := t.TempDir()
+	e := mustOpen(t, dir, Options{FlushEvery: -1})
+	defer e.Close()
+	small := tri("a", "b", "c")
+	mustAdd(t, e, small)
+	sizeBefore := e.Stats().WALBytes
+
+	huge := rdf.NewTriple(
+		rdf.NewIRI("http://ex/s"),
+		rdf.NewIRI("http://ex/p"),
+		rdf.NewLiteral(strings.Repeat("x", 1024)))
+	if _, err := e.AddAll([]rdf.Triple{small, huge}); err == nil {
+		t.Fatal("oversized triple accepted")
+	} else if !strings.Contains(err.Error(), "WAL record cap") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if got := e.Stats().WALBytes; got != sizeBefore {
+		t.Fatalf("failed batch wrote %d bytes to the WAL", got-sizeBefore)
+	}
+	// The failed batch is invisible and the log still accepts appends.
+	if got, want := committedSet(e), canonicalSet([]rdf.Triple{small}); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rejected batch leaked: %d triples", len(got))
+	}
+	mustAdd(t, e, tri("after", "the", "reject"))
+}
+
+// TestWALChunkPayloadsExact pins the chunker's framing: counts sum to
+// the batch, every payload is within the cap, and a sealed chunk
+// round-trips through the payload decoder.
+func TestWALChunkPayloadsExact(t *testing.T) {
+	setChunkPayload(t, 200)
+	batch := nTriples(25)
+	payloads, err := chunkPayloads(opAdd, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) < 2 {
+		t.Fatalf("got %d payloads, want several", len(payloads))
+	}
+	var total int
+	for i, p := range payloads {
+		if len(p) > walChunkPayload {
+			t.Fatalf("payload %d is %d bytes, over the %d cap", i, len(p), walChunkPayload)
+		}
+		op, err := decodeWALPayload(p)
+		if err != nil {
+			t.Fatalf("payload %d does not decode: %v", i, err)
+		}
+		if op.op != opAdd || op.more {
+			t.Fatalf("payload %d decoded op=%d more=%v", i, op.op, op.more)
+		}
+		total += len(op.triples)
+	}
+	if total != len(batch) {
+		t.Fatalf("chunks carry %d triples, batch had %d", total, len(batch))
+	}
+}

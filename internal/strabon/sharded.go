@@ -50,7 +50,9 @@ func NewSharded(n int) *ShardedStore {
 // OpenSharded opens a disk-backed sharded store: shard i lives in
 // dir/shard-<i>. The owner table is an in-memory routing cache, not
 // persisted — after a reopen, subject-bound queries for subjects not
-// yet re-assigned fall back to a fan-out (see Match).
+// yet re-assigned fall back to a fan-out (see Match), and AddAll
+// probes the shards before placing a group so new triples for a
+// subject always land where its existing triples already live.
 func OpenSharded(dir string, n int, opts segment.Options) (*ShardedStore, error) {
 	if n < 1 {
 		n = 1
@@ -124,23 +126,60 @@ func (s *ShardedStore) AddAll(ts []rdf.Triple) {
 			parent[rb] = ra
 		}
 	}
+	// members lists every entity key of the batch in first-appearance
+	// order (subjects, plus geometry-link objects), with a term to probe
+	// shards with. Batch order, not map order, decides placement
+	// conflicts, so a replayed ingest places identically.
+	type member struct {
+		key  string
+		term rdf.Term
+	}
+	var members []member
+	inBatch := map[string]bool{}
+	note := func(t rdf.Term) {
+		k := t.Key()
+		if !inBatch[k] {
+			inBatch[k] = true
+			members = append(members, member{key: k, term: t})
+		}
+	}
 	hasGeom := rdf.NSGeo + "hasGeometry"
 	for _, t := range ts {
 		find(t.S.Key())
+		note(t.S)
 		if t.P.Value == hasGeom && (t.O.IsIRI() || t.O.IsBlank()) {
 			union(t.S.Key(), t.O.Key())
+			note(t.O)
 		}
 	}
-	// Respect prior assignments: if any member of a group is already
-	// owned, the whole group follows it. The owner table is consulted and
-	// extended under the write lock; per-shard Adds take each shard's own
-	// lock (lock order: ShardedStore.mu then Store.mu, never reversed).
+	// Placement must be deterministic across batches AND process
+	// restarts: the union-find root is batch-dependent, so hashing it is
+	// only safe for groups no shard has seen. Resolution order per
+	// group: a prior owner-table assignment, then a probe of the shards
+	// for a member that already has stored triples (the owner table is
+	// an in-memory cache that starts empty after a reopen), and only
+	// then the root hash. The owner table is consulted and extended
+	// under the write lock; per-shard calls take each shard's own lock
+	// (lock order: ShardedStore.mu then Store.mu, never reversed).
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	groupShard := map[string]int{}
-	for key := range parent {
-		if sh, ok := s.owner[key]; ok {
-			groupShard[find(key)] = sh
+	for _, m := range members {
+		root := find(m.key)
+		if _, done := groupShard[root]; done {
+			continue
+		}
+		if sh, ok := s.owner[m.key]; ok {
+			groupShard[root] = sh
+		}
+	}
+	for _, m := range members {
+		root := find(m.key)
+		if _, done := groupShard[root]; done {
+			continue
+		}
+		if sh, ok := s.probeLocked(m.term); ok {
+			groupShard[root] = sh
 		}
 	}
 	for _, t := range ts {
@@ -154,6 +193,20 @@ func (s *ShardedStore) AddAll(ts []rdf.Triple) {
 		s.owner[key] = sh
 		s.shards[sh].Add(t)
 	}
+}
+
+// probeLocked reports which shard already stores triples with the
+// given subject, if any (lowest shard index wins — deterministic). The
+// subject-bound cardinality estimate is an O(1)-ish index lookup and
+// is zero exactly when the shard has no row (live or tombstone) for
+// the subject, so a hit means "this subject's history lives here".
+func (s *ShardedStore) probeLocked(sub rdf.Term) (int, bool) {
+	for i, sh := range s.shards {
+		if sh.Cardinality(sub, rdf.Term{}, rdf.Term{}) > 0 {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // Add inserts one triple (by prior owner, else subject hash). Prefer
