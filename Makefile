@@ -3,14 +3,15 @@ GO ?= go
 # Packages exercised under the race detector: the concurrent query stack
 # (sharded store, OPeNDAP caches, federation fan-out, interlinking) plus
 # the fault-injection harness, the SPARQL HTTP transport it exercises,
-# and the segment storage engine (concurrent readers vs writer/flush).
-RACE_PKGS = ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ ./internal/federation/ ./internal/interlink/ ./internal/faults/ ./internal/endpoint/ ./internal/telemetry/ ./internal/admission/ ./internal/e2e/ ./internal/segment/
+# the segment storage engine (concurrent readers vs writer/flush), and
+# the spatial core (parallel join probes, bounded geometry cache).
+RACE_PKGS = ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ ./internal/federation/ ./internal/interlink/ ./internal/faults/ ./internal/endpoint/ ./internal/telemetry/ ./internal/admission/ ./internal/e2e/ ./internal/segment/ ./internal/geom/ ./internal/geom/rtree/ ./internal/geosparql/ ./internal/geographica/
 
 # End-to-end suites: the golden two-workflow test over live loopback
 # servers plus the cmd-level boot/query/shutdown tests.
 E2E_PKGS = ./internal/e2e/ ./cmd/strabon/ ./cmd/opendapd/
 
-.PHONY: all build test lint race fmt vet fuzz bench bench-telemetry bench-budget bench-segment e2e ci
+.PHONY: all build test lint race fmt vet fuzz bench bench-telemetry bench-budget bench-segment bench-spatial e2e ci
 
 all: build
 
@@ -48,9 +49,10 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzSegmentOpen$$' -fuzztime=3s ./internal/segment/
 	$(GO) test -run='^$$' -fuzz='^FuzzWALReplay$$' -fuzztime=3s ./internal/segment/
 
-# Engine benchmarks: the in-package BenchmarkEngine_* family, plus the
-# seed-vs-compiled comparison recorded machine-readably in BENCH_PR3.json.
-bench:
+# Engine benchmarks: the in-package BenchmarkEngine_* family, the
+# seed-vs-compiled comparison recorded machine-readably in BENCH_PR3.json,
+# and the spatial-join-vs-filter comparison in BENCH_PR8.json.
+bench: bench-spatial
 	$(GO) test -run=NONE -bench=BenchmarkEngine_ -benchmem ./internal/sparql/
 	$(GO) run ./cmd/applab-bench -json BENCH_PR3.json
 
@@ -70,6 +72,13 @@ bench-budget:
 # Engine_BGPJoin through the memory-mode store exceeds the 5% budget.
 bench-segment:
 	$(GO) run ./cmd/applab-bench -segment-json BENCH_PR7.json
+
+# Spatial join vs per-row filtering on Geographica join queries,
+# recorded in BENCH_PR8.json; fails if a join query misses the 3x
+# speedup floor, a strategy diverges on row count, or Engine_BGPJoin
+# pays more than 5% for the plan detection.
+bench-spatial:
+	$(GO) run ./cmd/applab-bench -spatial-json BENCH_PR8.json
 
 # End-to-end golden suite: boots both Figure-1 workflows on loopback
 # servers and asserts exact telemetry counters (see internal/e2e).

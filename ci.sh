@@ -40,7 +40,8 @@ go test -race ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ \
     ./internal/federation/ ./internal/interlink/ \
     ./internal/faults/ ./internal/endpoint/ \
     ./internal/telemetry/ ./internal/admission/ ./internal/e2e/ \
-    ./internal/segment/
+    ./internal/segment/ ./internal/geom/ ./internal/geom/rtree/ \
+    ./internal/geosparql/ ./internal/geographica/
 
 echo "== e2e golden suite (both workflows over live loopback servers)"
 make e2e
@@ -69,6 +70,8 @@ check_cover ./internal/sparql/ 80
 check_cover ./internal/admission/ 90
 check_cover ./internal/analysis/ 90
 check_cover ./internal/segment/ 90
+check_cover ./internal/geom/ 85
+check_cover ./internal/geom/rtree/ 85
 
 echo "== fuzz smoke (seed corpus + a few seconds of mutation)"
 # One -fuzz target per invocation: the flag rejects patterns matching
@@ -94,6 +97,13 @@ echo "== segment store gate (ingest, cold start, memory-mode overhead)"
 # records ingest throughput and the cold-start (footer open) vs .astr
 # (full image replay) latency this PR's lazy boot is built on.
 go run ./cmd/applab-bench -segment-json BENCH_PR7.json
+
+echo "== spatial join gate (envelope index vs per-row filtering)"
+# The planner-selected spatial join must beat the per-row filter path by
+# at least 3x on the Geographica join queries, every strategy (inl,
+# cells, store) must return the filter path's exact row count, and plans
+# with no spatial filter may not pay more than 5% for the detection.
+go run ./cmd/applab-bench -spatial-json BENCH_PR8.json
 
 echo "== bench compile smoke"
 # Benchmarks must at least compile and run one iteration; keeps the

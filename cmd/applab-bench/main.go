@@ -34,6 +34,7 @@ func main() {
 		telePath   = flag.String("telemetry-json", "", "benchmark the engine instrumented vs uninstrumented, write the comparison to this file (enforcing the Engine_BGPJoin overhead budget), then exit")
 		budgetPath = flag.String("budget-json", "", "benchmark the engine with vs without query budgets, write the comparison to this file (enforcing the Engine_BGPJoin overhead budget), then exit")
 		segPath    = flag.String("segment-json", "", "benchmark the disk-backed segment store (ingest, cold start vs .astr, memory-mode query overhead), write the report to this file (enforcing the Engine_BGPJoin overhead budget), then exit")
+		spatPath   = flag.String("spatial-json", "", "benchmark the spatial join vs per-row filtering on Geographica join queries, write the report to this file (enforcing the speedup floor and the Engine_BGPJoin overhead budget), then exit")
 	)
 	flag.Parse()
 
@@ -58,6 +59,12 @@ func main() {
 	if *segPath != "" {
 		if err := runSegmentBenchJSON(*segPath); err != nil {
 			log.Fatalf("segment bench: %v", err)
+		}
+		return
+	}
+	if *spatPath != "" {
+		if err := runSpatialBenchJSON(*spatPath); err != nil {
+			log.Fatalf("spatial bench: %v", err)
 		}
 		return
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"applab/internal/admission"
+	"applab/internal/geosparql"
 	"applab/internal/madis"
 	"applab/internal/obda"
 	"applab/internal/opendap"
@@ -44,6 +45,8 @@ func main() {
 
 		queryWorkers      = flag.Int("query-workers", 0, "SPARQL evaluator worker pool size (0 = GOMAXPROCS; capped at GOMAXPROCS; parallel execution stays off for remote-backed sources)")
 		parallelThreshold = flag.Int("parallel-threshold", 0, "minimum intermediate solutions before the evaluator parallelizes a stage (0 = default)")
+		spatialJoin       = flag.String("spatial-join", "auto", "spatial-join strategy: auto, off, inl, cells, store")
+		spatialCells      = flag.Int("spatial-cells", 0, "Hilbert grid order for the cells strategy (2^order cells per side; 0 = default)")
 
 		queryDeadline   = flag.Duration("query-deadline", 0, "wall-clock budget for the query, including mapping execution (0 disables)")
 		maxRows         = flag.Int("max-rows", 0, "cap on final result rows (0 disables)")
@@ -54,6 +57,10 @@ func main() {
 	flag.Parse()
 	sparql.SetQueryWorkers(*queryWorkers)
 	sparql.SetParallelThreshold(*parallelThreshold)
+	if err := sparql.SetSpatialJoin(*spatialJoin); err != nil {
+		log.Fatal(err)
+	}
+	sparql.SetSpatialCells(*spatialCells)
 	if *mappingPath == "" || *query == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -61,6 +68,7 @@ func main() {
 
 	reg := telemetry.NewRegistry()
 	sparql.SetMetrics(reg)
+	geosparql.SetMetrics(reg)
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {

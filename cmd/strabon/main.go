@@ -33,6 +33,7 @@ import (
 	"applab/internal/admission"
 	"applab/internal/endpoint"
 	"applab/internal/federation"
+	"applab/internal/geosparql"
 	"applab/internal/rdf"
 	"applab/internal/segment"
 	"applab/internal/sparql"
@@ -80,6 +81,8 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 
 		queryWorkers      = fs.Int("query-workers", 0, "SPARQL evaluator worker pool size (0 = GOMAXPROCS; capped at GOMAXPROCS)")
 		parallelThreshold = fs.Int("parallel-threshold", 0, "minimum intermediate solutions before the evaluator parallelizes a stage (0 = default)")
+		spatialJoin       = fs.String("spatial-join", "auto", "spatial-join strategy: auto, off, inl, cells, store")
+		spatialCells      = fs.Int("spatial-cells", 0, "Hilbert grid order for the cells strategy (2^order cells per side; 0 = default)")
 
 		maxInflight     = fs.Int("max-inflight", 0, "max concurrent query evaluations (0 disables admission control)")
 		maxQueue        = fs.Int("max-queue", 0, "max queries waiting for an evaluation slot; beyond this requests are shed with 503")
@@ -97,9 +100,14 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 	}
 	sparql.SetQueryWorkers(*queryWorkers)
 	sparql.SetParallelThreshold(*parallelThreshold)
+	if err := sparql.SetSpatialJoin(*spatialJoin); err != nil {
+		return err
+	}
+	sparql.SetSpatialCells(*spatialCells)
 
 	reg := telemetry.NewRegistry()
 	sparql.SetMetrics(reg)
+	geosparql.SetMetrics(reg)
 
 	var src sparql.Source
 	var load func([]rdf.Triple)

@@ -12,9 +12,12 @@ import (
 	"applab/internal/endpoint"
 	"applab/internal/faults"
 	"applab/internal/federation"
+	"applab/internal/geom"
+	"applab/internal/geosparql"
 	"applab/internal/madis"
 	"applab/internal/obda"
 	"applab/internal/opendap"
+	"applab/internal/rdf"
 	"applab/internal/sparql"
 	"applab/internal/strabon"
 	"applab/internal/telemetry"
@@ -299,4 +302,147 @@ func TestGoldenWorkflows(t *testing.T) {
 		}
 	}
 	t.Logf("final snapshot counters: %v", s4.Counters)
+}
+
+// TestGoldenSpatialJoin pins the spatial-join operator's telemetry the
+// way TestGoldenWorkflows pins the engine's: a tiny deterministic store
+// where every strategy's counter deltas and the probe count are exact,
+// and every strategy returns the filter path's answer.
+func TestGoldenSpatialJoin(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sparql.SetMetrics(reg)
+	geosparql.SetMetrics(reg)
+	t.Cleanup(func() {
+		sparql.SetMetrics(nil)
+		geosparql.SetMetrics(nil)
+		if err := sparql.SetSpatialJoin(""); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// 3 unit-square regions along the x axis; 3 places inside them plus
+	// one far away. Every IRI and coordinate is pinned, so the join
+	// produces exactly 3 pairs and the probe side is exactly the 4 places.
+	placeKind := rdf.NewIRI("http://ex.org/placeKind")
+	regionKind := rdf.NewIRI("http://ex.org/regionKind")
+	hasGeom := rdf.NewIRI(geosparql.HasGeometry)
+	asWKT := rdf.NewIRI(geosparql.AsWKT)
+	var triples []rdf.Triple
+	for i, p := range []geom.Point{{X: 0.5, Y: 0.5}, {X: 2.5, Y: 0.5}, {X: 4.5, Y: 0.5}, {X: 9, Y: 9}} {
+		f := rdf.NewIRI(fmt.Sprintf("http://ex.org/place%d", i))
+		gn := rdf.NewIRI(fmt.Sprintf("http://ex.org/place%d/geom", i))
+		triples = append(triples,
+			rdf.NewTriple(f, placeKind, rdf.NewLiteral("poi")),
+			rdf.NewTriple(f, hasGeom, gn),
+			rdf.NewTriple(gn, asWKT, rdf.NewWKT(geom.NewPoint(p.X, p.Y).WKT())))
+	}
+	for i := 0; i < 3; i++ {
+		x := float64(2 * i)
+		f := rdf.NewIRI(fmt.Sprintf("http://ex.org/region%d", i))
+		gn := rdf.NewIRI(fmt.Sprintf("http://ex.org/region%d/geom", i))
+		triples = append(triples,
+			rdf.NewTriple(f, regionKind, rdf.NewLiteral("zone")),
+			rdf.NewTriple(f, hasGeom, gn),
+			rdf.NewTriple(gn, asWKT, rdf.NewWKT(geom.NewRect(x, 0, x+1, 1).WKT())))
+	}
+	store := strabon.New()
+	store.AddAll(triples)
+	defer store.Close()
+
+	genericQ := `SELECT ?a ?b WHERE {
+  ?a <http://ex.org/placeKind> ?ka .
+  ?a geo:hasGeometry ?ga .
+  ?ga geo:asWKT ?wa .
+  ?b <http://ex.org/regionKind> ?kb .
+  ?b geo:hasGeometry ?gb .
+  ?gb geo:asWKT ?wb .
+  FILTER(geof:sfIntersects(?wa, ?wb))
+}`
+	// The bare geo:asWKT build side is the store-pushdown shape auto mode
+	// routes to the store's own R-tree.
+	storeQ := `SELECT ?a ?gb WHERE {
+  ?a <http://ex.org/placeKind> ?ka .
+  ?a geo:hasGeometry ?ga .
+  ?ga geo:asWKT ?wa .
+  ?gb geo:asWKT ?wb .
+  FILTER(geof:sfIntersects(?wa, ?wb))
+}`
+	pairs := func(t *testing.T, res *sparql.Results, va, vb string) []string {
+		t.Helper()
+		rows := make([]string, 0, len(res.Bindings))
+		for _, b := range res.Bindings {
+			rows = append(rows, b[va].Value+"|"+b[vb].Value)
+		}
+		sort.Strings(rows)
+		return rows
+	}
+
+	// Baseline: the per-row filter path must not touch the join counters.
+	if err := sparql.SetSpatialJoin(sparql.SpatialJoinOff); err != nil {
+		t.Fatal(err)
+	}
+	s0 := reg.Snapshot()
+	baseGeneric, err := store.Query(genericQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseStore, err := store.Query(storeQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseGeneric.Bindings) != 3 {
+		t.Fatalf("filter-path generic join = %d rows, want 3", len(baseGeneric.Bindings))
+	}
+	s1 := reg.Snapshot()
+	wantCounters(t, "spatial off", s0, s1, map[string]int64{
+		`spatial_join_total{strategy="inl"}`:   0,
+		`spatial_join_total{strategy="cells"}`: 0,
+		`spatial_join_total{strategy="store"}`: 0,
+		"spatial_index_probes_total":           0,
+	})
+
+	// One run per strategy: forced R-tree, forced cells, and auto routing
+	// the store-shape query to the store index. Each drives exactly the 4
+	// place geometries through a candidate index.
+	if err := sparql.SetSpatialJoin(sparql.SpatialJoinINL); err != nil {
+		t.Fatal(err)
+	}
+	inlRes, err := store.Query(genericQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparql.SetSpatialJoin(sparql.SpatialJoinCells); err != nil {
+		t.Fatal(err)
+	}
+	cellsRes, err := store.Query(genericQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparql.SetSpatialJoin(sparql.SpatialJoinAuto); err != nil {
+		t.Fatal(err)
+	}
+	storeRes, err := store.Query(storeQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := reg.Snapshot()
+	wantCounters(t, "spatial joins", s1, s2, map[string]int64{
+		`spatial_join_total{strategy="inl"}`:   1,
+		`spatial_join_total{strategy="cells"}`: 1,
+		`spatial_join_total{strategy="store"}`: 1,
+		"spatial_index_probes_total":           12,
+	})
+	if got := s2.Gauges["spatial_arena_bytes"]; got <= 0 {
+		t.Errorf("spatial_arena_bytes = %g, want > 0", got)
+	}
+
+	if !equalRows(pairs(t, baseGeneric, "a", "b"), pairs(t, inlRes, "a", "b")) {
+		t.Error("inl strategy diverged from the filter path")
+	}
+	if !equalRows(pairs(t, baseGeneric, "a", "b"), pairs(t, cellsRes, "a", "b")) {
+		t.Error("cells strategy diverged from the filter path")
+	}
+	if !equalRows(pairs(t, baseStore, "a", "gb"), pairs(t, storeRes, "a", "gb")) {
+		t.Error("store pushdown diverged from the filter path")
+	}
 }

@@ -1,0 +1,195 @@
+package geom
+
+// Arena is a columnar, append-only geometry store: every decoded
+// geometry's coordinates land in one flat []Point slice, with parallel
+// kind and envelope columns and a compact ring table describing how the
+// coordinate runs group back into geometries. Batch consumers (the
+// spatial-join operator, the bounded WKT cache) get cache-friendly
+// envelope scans without chasing one heap object per geometry, and
+// Geometry(id) materializes zero-copy views whose rings alias the
+// arena's coordinate slice.
+//
+// Geometries that do not flatten cleanly — GEOMETRYCOLLECTIONs, and
+// multi-geometries with empty members whose part boundaries the ring
+// table cannot represent — are kept as parsed objects in a side map, so
+// every WKT the parser accepts round-trips through the arena.
+type Arena struct {
+	kinds []Kind
+	envs  []Envelope
+	pts   []Point
+
+	// rings holds per-ring coordinate spans into pts (len = nrings+1);
+	// geomRings holds per-geometry ring spans into rings (len = Len()+1).
+	rings     []int32
+	geomRings []int32
+	// hole marks interior polygon rings; a false entry starts a new
+	// polygon part when reconstructing a MultiPolygon.
+	hole []bool
+
+	complex map[int32]Geometry
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{rings: []int32{0}, geomRings: []int32{0}}
+}
+
+// Len returns the number of geometries in the arena.
+func (a *Arena) Len() int { return len(a.kinds) }
+
+// AddWKT parses one WKT string into the arena and returns its id.
+func (a *Arena) AddWKT(wkt string) (int32, error) {
+	g, err := ParseWKT(wkt)
+	if err != nil {
+		return -1, err
+	}
+	return a.Add(g), nil
+}
+
+// Add flattens one geometry into the arena and returns its id.
+func (a *Arena) Add(g Geometry) int32 {
+	id := int32(len(a.kinds))
+	a.kinds = append(a.kinds, g.Kind())
+	a.envs = append(a.envs, g.Envelope())
+	switch t := g.(type) {
+	case *PointGeom:
+		a.addRing([]Point{t.P}, false)
+	case *MultiPoint:
+		a.addRing(t.Points, false)
+	case *LineString:
+		a.addRing(t.Points, false)
+	case *MultiLineString:
+		a.addParts(t, id, g)
+	case *Polygon:
+		for i, r := range t.Rings {
+			a.addRing(r, i > 0)
+		}
+	case *MultiPolygon:
+		a.addPolyParts(t, id, g)
+	default:
+		a.addComplex(id, g)
+	}
+	a.geomRings = append(a.geomRings, int32(len(a.rings))-1)
+	return id
+}
+
+// addParts flattens a MultiLineString, falling back to the side map
+// when an empty member would be lost by the ring table.
+func (a *Arena) addParts(t *MultiLineString, id int32, g Geometry) {
+	for _, l := range t.Lines {
+		if len(l.Points) == 0 {
+			a.addComplex(id, g)
+			return
+		}
+	}
+	for _, l := range t.Lines {
+		a.addRing(l.Points, false)
+	}
+}
+
+// addPolyParts flattens a MultiPolygon; a member with no rings has no
+// representation in the ring table, so such geometries stay parsed.
+func (a *Arena) addPolyParts(t *MultiPolygon, id int32, g Geometry) {
+	for _, p := range t.Polygons {
+		if len(p.Rings) == 0 {
+			a.addComplex(id, g)
+			return
+		}
+	}
+	for _, p := range t.Polygons {
+		for i, r := range p.Rings {
+			a.addRing(r, i > 0)
+		}
+	}
+}
+
+func (a *Arena) addComplex(id int32, g Geometry) {
+	if a.complex == nil {
+		a.complex = map[int32]Geometry{}
+	}
+	a.complex[id] = g
+}
+
+func (a *Arena) addRing(pts []Point, hole bool) {
+	a.pts = append(a.pts, pts...)
+	a.rings = append(a.rings, int32(len(a.pts)))
+	a.hole = append(a.hole, hole)
+}
+
+// ring returns ring r as a capacity-clipped view into the coordinate
+// column, so callers cannot append into a neighbouring ring.
+func (a *Arena) ring(r int32) []Point {
+	return a.pts[a.rings[r]:a.rings[r+1]:a.rings[r+1]]
+}
+
+// Kind returns the geometry's type tag.
+func (a *Arena) Kind(id int32) Kind { return a.kinds[id] }
+
+// Envelope returns the geometry's precomputed bounding box.
+func (a *Arena) Envelope(id int32) Envelope { return a.envs[id] }
+
+// Envelopes exposes the envelope column (shared, do not mutate): the
+// cell index and join operators build directly over it.
+func (a *Arena) Envelopes() []Envelope { return a.envs }
+
+// Geometry materializes geometry id. The returned value's coordinate
+// slices alias the arena (no copying); they stay valid for the arena's
+// lifetime and must not be mutated.
+func (a *Arena) Geometry(id int32) Geometry {
+	if g, ok := a.complex[id]; ok {
+		return g
+	}
+	r0, r1 := a.geomRings[id], a.geomRings[id+1]
+	switch a.kinds[id] {
+	case KindPoint:
+		return &PointGeom{P: a.pts[a.rings[r0]]}
+	case KindMultiPoint:
+		return &MultiPoint{Points: a.ring(r0)}
+	case KindLineString:
+		return &LineString{Points: a.ring(r0)}
+	case KindMultiLineString:
+		lines := make([]*LineString, 0, r1-r0)
+		for r := r0; r < r1; r++ {
+			lines = append(lines, &LineString{Points: a.ring(r)})
+		}
+		return &MultiLineString{Lines: lines}
+	case KindPolygon:
+		if r0 == r1 {
+			return &Polygon{}
+		}
+		rings := make([][]Point, 0, r1-r0)
+		for r := r0; r < r1; r++ {
+			rings = append(rings, a.ring(r))
+		}
+		return &Polygon{Rings: rings}
+	case KindMultiPolygon:
+		var polys []*Polygon
+		for r := r0; r < r1; r++ {
+			if !a.hole[r] {
+				polys = append(polys, &Polygon{})
+			}
+			cur := polys[len(polys)-1]
+			cur.Rings = append(cur.Rings, a.ring(r))
+		}
+		return &MultiPolygon{Polygons: polys}
+	default:
+		// A collection always lands in the side map; reaching here means
+		// the id is out of range and indexing below panics like a slice.
+		return a.complex[id]
+	}
+}
+
+// Bytes reports the arena's approximate live memory, for the
+// spatial_arena_bytes gauge.
+func (a *Arena) Bytes() int {
+	const (
+		ptSize   = 16 // 2 × float64
+		envSize  = 32 // 4 × float64
+		geomSize = 64 // rough per-object cost of a side-map geometry
+	)
+	return cap(a.pts)*ptSize +
+		cap(a.envs)*envSize +
+		cap(a.kinds) +
+		cap(a.rings)*4 + cap(a.geomRings)*4 + cap(a.hole) +
+		len(a.complex)*geomSize
+}

@@ -1,0 +1,141 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// arenaRoundTripWKTs covers every geometry kind, empty bodies, holes,
+// and the multi-member edge cases the ring table must preserve.
+var arenaRoundTripWKTs = []string{
+	"POINT (1 2)",
+	"POINT (-3.5 0.25)",
+	"MULTIPOINT ((1 1), (2 2), (3 1))",
+	"MULTIPOINT EMPTY",
+	"LINESTRING (0 0, 1 1, 2 0)",
+	"LINESTRING EMPTY",
+	"MULTILINESTRING ((0 0, 1 1), (2 2, 3 3, 4 2))",
+	"MULTILINESTRING EMPTY",
+	"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+	"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1))",
+	"POLYGON EMPTY",
+	"MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((2 2, 3 2, 3 3, 2 3, 2 2), (2.2 2.2, 2.8 2.2, 2.8 2.8, 2.2 2.8, 2.2 2.2)))",
+	"MULTIPOLYGON EMPTY",
+	"GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))",
+	"GEOMETRYCOLLECTION EMPTY",
+}
+
+func TestArenaRoundTrip(t *testing.T) {
+	a := NewArena()
+	ids := make([]int32, len(arenaRoundTripWKTs))
+	for i, w := range arenaRoundTripWKTs {
+		id, err := a.AddWKT(w)
+		if err != nil {
+			t.Fatalf("AddWKT(%q): %v", w, err)
+		}
+		ids[i] = id
+	}
+	if a.Len() != len(arenaRoundTripWKTs) {
+		t.Fatalf("Len = %d, want %d", a.Len(), len(arenaRoundTripWKTs))
+	}
+	for i, w := range arenaRoundTripWKTs {
+		want := MustParseWKT(w)
+		got := a.Geometry(ids[i])
+		if got.WKT() != want.WKT() {
+			t.Errorf("round trip %q: got %q", w, got.WKT())
+		}
+		if got.Kind() != want.Kind() || a.Kind(ids[i]) != want.Kind() {
+			t.Errorf("%q: kind mismatch", w)
+		}
+		if a.Envelope(ids[i]) != want.Envelope() {
+			t.Errorf("%q: envelope column %v, want %v", w, a.Envelope(ids[i]), want.Envelope())
+		}
+		if got.IsEmpty() != want.IsEmpty() {
+			t.Errorf("%q: IsEmpty mismatch", w)
+		}
+	}
+	if len(a.Envelopes()) != a.Len() {
+		t.Fatalf("Envelopes length %d, want %d", len(a.Envelopes()), a.Len())
+	}
+	if a.Bytes() <= 0 {
+		t.Fatalf("Bytes = %d, want > 0", a.Bytes())
+	}
+}
+
+func TestArenaAddWKTError(t *testing.T) {
+	a := NewArena()
+	if id, err := a.AddWKT("POLYGON (not wkt"); err == nil {
+		t.Fatalf("AddWKT accepted garbage (id %d)", id)
+	}
+	if a.Len() != 0 {
+		t.Fatalf("failed parse grew the arena to %d", a.Len())
+	}
+}
+
+// TestArenaViewsStableAcrossGrowth pins the aliasing contract: views
+// materialized early must survive later appends reallocating the
+// coordinate column.
+func TestArenaViewsStableAcrossGrowth(t *testing.T) {
+	a := NewArena()
+	id, err := a.AddWKT("LINESTRING (1 1, 2 2, 3 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := a.Geometry(id).(*LineString)
+	for i := 0; i < 1000; i++ {
+		if _, err := a.AddWKT("POLYGON ((0 0, 9 0, 9 9, 0 9, 0 0))"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := early.WKT(); got != "LINESTRING (1 1, 2 2, 3 3)" {
+		t.Fatalf("early view corrupted by growth: %s", got)
+	}
+	// The capacity-clipped ring view must not allow appends to clobber
+	// the next ring in the column.
+	if cap(early.Points) != len(early.Points) {
+		t.Fatalf("ring view not capacity-clipped: len %d cap %d", len(early.Points), cap(early.Points))
+	}
+}
+
+// TestArenaPredicatesMatchParsed runs the OGC predicates over arena
+// views and freshly parsed geometries: the flattened representation
+// must be semantically identical.
+func TestArenaPredicatesMatchParsed(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	wkts := make([]string, 0, 40)
+	for i := 0; i < 40; i++ {
+		x := rng.Float64() * 10
+		y := rng.Float64() * 10
+		w := 0.5 + rng.Float64()*2
+		h := 0.5 + rng.Float64()*2
+		switch i % 3 {
+		case 0:
+			wkts = append(wkts, NewRect(x, y, x+w, y+h).WKT())
+		case 1:
+			wkts = append(wkts, (&LineString{Points: []Point{{x, y}, {x + w, y + h}, {x + w, y}}}).WKT())
+		default:
+			wkts = append(wkts, NewPoint(x, y).WKT())
+		}
+	}
+	a := NewArena()
+	views := make([]Geometry, len(wkts))
+	parsed := make([]Geometry, len(wkts))
+	for i, w := range wkts {
+		id, err := a.AddWKT(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i] = a.Geometry(id)
+		parsed[i] = MustParseWKT(w)
+	}
+	for i := range wkts {
+		for j := range wkts {
+			if got, want := Intersects(views[i], views[j]), Intersects(parsed[i], parsed[j]); got != want {
+				t.Fatalf("Intersects(%d,%d): arena %v, parsed %v", i, j, got, want)
+			}
+			if got, want := Within(views[i], views[j]), Within(parsed[i], parsed[j]); got != want {
+				t.Fatalf("Within(%d,%d): arena %v, parsed %v", i, j, got, want)
+			}
+		}
+	}
+}

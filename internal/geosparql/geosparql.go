@@ -75,6 +75,22 @@ func Register() {
 				return rdf.NewBool(rel(a, b)), nil
 			})
 		}
+		// The envelope-conservative relations double as spatial-join
+		// predicates: the engine may evaluate FILTER(geof:rel(?a, ?b))
+		// over two unconnected pattern groups with an envelope index plus
+		// exact refinement. sfDisjoint is deliberately absent — disjoint
+		// pairs have no envelope overlap to prune by.
+		for iri, rel := range map[string]func(a, b geom.Geometry) bool{
+			FnSfIntersects: geom.Intersects,
+			FnSfContains:   geom.Contains,
+			FnSfWithin:     geom.Within,
+			FnSfTouches:    geom.Touches,
+			FnSfOverlaps:   geom.Overlaps,
+			FnSfCrosses:    geom.Crosses,
+			FnSfEquals:     geom.Equals,
+		} {
+			sparql.RegisterSpatialRelation(iri, rel)
+		}
 		sparql.RegisterFunction(FnDistance, func(args []rdf.Term) (rdf.Term, error) {
 			a, b, err := twoGeoms(args[:min(2, len(args))])
 			if err != nil {
@@ -232,23 +248,22 @@ func interval(fromT, toT rdf.Term) (from, to time.Time, err error) {
 
 // ---- geometry literal parsing with memoization ----
 
-var geomCache sync.Map // string (wkt) -> geom.Geometry
-
 // ParseGeometryTerm parses a geo:wktLiteral (or plain string holding WKT)
-// into a geometry, memoizing by lexical form.
+// into a geometry, memoizing by lexical form in the bounded
+// arena-backed cache (see cache.go).
 func ParseGeometryTerm(t rdf.Term) (geom.Geometry, error) {
 	if !t.IsLiteral() {
 		return nil, fmt.Errorf("geosparql: %s is not a geometry literal", t)
 	}
-	if g, ok := geomCache.Load(t.Value); ok {
-		return g.(geom.Geometry), nil
+	c := activeGeomCache()
+	if g, ok := c.get(t.Value); ok {
+		return g, nil
 	}
 	g, err := geom.ParseWKT(t.Value)
 	if err != nil {
 		return nil, fmt.Errorf("geosparql: %v", err)
 	}
-	geomCache.Store(t.Value, g)
-	return g, nil
+	return c.add(t.Value, g), nil
 }
 
 func twoGeoms(args []rdf.Term) (geom.Geometry, geom.Geometry, error) {

@@ -44,6 +44,23 @@ func noteRows(n int) {
 	metricsReg().Counter("sparql_rows_total").Add(int64(n))
 }
 
+// noteSpatialJoin counts one spatial-join operator execution by the
+// candidate-generation strategy its run chose: "inl" (R-tree index
+// nested loop), "cells" (Hilbert cell-partitioned join) or "store"
+// (SpatialSource index pushdown).
+func noteSpatialJoin(strategy string) {
+	metricsReg().Counter("spatial_join_total", "strategy", strategy).Inc()
+}
+
+// noteSpatialProbes counts probe-side rows driven through a spatial
+// candidate index (rows whose geometry decoded; empty batches are free).
+func noteSpatialProbes(n int) {
+	if n == 0 {
+		return
+	}
+	metricsReg().Counter("spatial_index_probes_total").Add(int64(n))
+}
+
 // noteParallelStage tracks worker-pool occupancy around one parallel
 // stage: the chunk counter records fan-out volume, the busy gauge holds
 // the number of in-flight chunk goroutines.

@@ -508,6 +508,20 @@ func (c *compiler) compileGroup(g *Group) []op {
 				pats = append(pats, nb.Patterns...)
 				i++
 			}
+			// A spatial FILTER in the trailing filter run may lower the
+			// whole unit to a spatial join instead of filter-after-cross.
+			var filters []Element
+			for j := i + 1; j < len(els); j++ {
+				if _, ok := els[j].(Filter); !ok {
+					break
+				}
+				filters = append(filters, els[j])
+			}
+			if sops, ok := c.compileSpatialUnit(pats, filters); ok {
+				ops = append(ops, sops...)
+				i += len(filters)
+				continue
+			}
 			ops = append(ops, c.compileBGP(pats)...)
 		case Filter:
 			ops = append(ops, &filterOp{cond: compileExpr(e.Expr, c.vt)})

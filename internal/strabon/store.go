@@ -318,6 +318,28 @@ func (s *Store) GeometriesIntersecting(q geom.Geometry) []*GeometryEntry {
 	return out
 }
 
+var _ sparql.SpatialSource = (*Store)(nil)
+
+// SpatialCandidates implements sparql.SpatialSource: it returns the
+// geo:asWKT triples whose geometry envelope intersects env, straight
+// from the R-tree. The spatial-join operator probes it instead of
+// materializing every geometry when a join's build side is the bare
+// `?g geo:asWKT ?w` scan; disk-backed stores are covered too, because
+// ensureFrozen rebuilds the index after a segment reopen.
+func (s *Store) SpatialCandidates(env geom.Envelope) ([]rdf.Triple, bool) {
+	s.ensureFrozen()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	asWKT := rdf.NewIRI(geosparql.AsWKT)
+	var out []rdf.Triple
+	s.spatial.Search(env, func(it rtree.Item) bool {
+		e := it.Data.(*GeometryEntry)
+		out = append(out, rdf.NewTriple(e.Node, asWKT, e.WKT))
+		return true
+	})
+	return out, true
+}
+
 // FeaturesIntersecting returns the features (via geo:hasGeometry) whose
 // geometry intersects q, sorted by term key.
 func (s *Store) FeaturesIntersecting(q geom.Geometry) []rdf.Term {
