@@ -11,7 +11,7 @@ RACE_PKGS = ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ ./interna
 # servers plus the cmd-level boot/query/shutdown tests.
 E2E_PKGS = ./internal/e2e/ ./cmd/strabon/ ./cmd/opendapd/
 
-.PHONY: all build test lint race fmt vet fuzz bench bench-telemetry bench-budget bench-segment bench-spatial e2e ci
+.PHONY: all build test lint race fmt vet fuzz bench bench-telemetry bench-budget bench-segment bench-spatial bench-cache e2e ci
 
 all: build
 
@@ -79,6 +79,13 @@ bench-segment:
 # pays more than 5% for the plan detection.
 bench-spatial:
 	$(GO) run ./cmd/applab-bench -spatial-json BENCH_PR8.json
+
+# Result cache report (federated upstream-request collapse and per-query
+# lookup overhead), recorded in BENCH_PR9.json; fails if the cached
+# federated workload collapses upstream requests less than 10x or the
+# cache-disabled Lookup path costs Engine_BGPJoin more than 5%.
+bench-cache:
+	$(GO) run ./cmd/applab-bench -cache-json BENCH_PR9.json
 
 # End-to-end golden suite: boots both Figure-1 workflows on loopback
 # servers and asserts exact telemetry counters (see internal/e2e).

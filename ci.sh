@@ -41,7 +41,8 @@ go test -race ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ \
     ./internal/faults/ ./internal/endpoint/ \
     ./internal/telemetry/ ./internal/admission/ ./internal/e2e/ \
     ./internal/segment/ ./internal/geom/ ./internal/geom/rtree/ \
-    ./internal/geosparql/ ./internal/geographica/
+    ./internal/geosparql/ ./internal/geographica/ \
+    ./internal/rescache/ ./internal/obda/
 
 echo "== e2e golden suite (both workflows over live loopback servers)"
 make e2e
@@ -72,6 +73,7 @@ check_cover ./internal/analysis/ 90
 check_cover ./internal/segment/ 90
 check_cover ./internal/geom/ 85
 check_cover ./internal/geom/rtree/ 85
+check_cover ./internal/rescache/ 90
 
 echo "== fuzz smoke (seed corpus + a few seconds of mutation)"
 # One -fuzz target per invocation: the flag rejects patterns matching
@@ -81,6 +83,7 @@ go test -run='^$' -fuzz='^FuzzParseConstraint$' -fuzztime=2s ./internal/opendap/
 go test -run='^$' -fuzz='^FuzzParseDDS$' -fuzztime=2s ./internal/opendap/
 go test -run='^$' -fuzz='^FuzzApplyConstraint$' -fuzztime=2s ./internal/opendap/
 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime=3s ./internal/sparql/
+go test -run='^$' -fuzz='^FuzzPlanKey$' -fuzztime=3s ./internal/sparql/
 go test -run='^$' -fuzz='^FuzzLoad$' -fuzztime=3s ./internal/strabon/
 go test -run='^$' -fuzz='^FuzzSegmentOpen$' -fuzztime=3s ./internal/segment/
 go test -run='^$' -fuzz='^FuzzWALReplay$' -fuzztime=3s ./internal/segment/
@@ -104,6 +107,13 @@ echo "== spatial join gate (envelope index vs per-row filtering)"
 # cells, store) must return the filter path's exact row count, and plans
 # with no spatial filter may not pay more than 5% for the detection.
 go run ./cmd/applab-bench -spatial-json BENCH_PR8.json
+
+echo "== result cache gate (federated collapse + lookup overhead)"
+# The plan-keyed result cache must collapse the repeated federated
+# workload's upstream requests at least 10x, and the cache-disabled
+# Lookup path (Bypass on an anonymous source) may not cost
+# Engine_BGPJoin more than 5% ns/op.
+go run ./cmd/applab-bench -cache-json BENCH_PR9.json
 
 echo "== bench compile smoke"
 # Benchmarks must at least compile and run one iteration; keeps the

@@ -45,25 +45,27 @@ func runBudgetBenchJSON(path string) error {
 		if err != nil {
 			return fmt.Errorf("parse %s: %w", bq.name, err)
 		}
-		base, err := bestNsPerOp(telemetryBenchTrials, func() (*sparql.Results, error) {
-			return parsed.Eval(g)
-		})
-		if err != nil {
-			return fmt.Errorf("%s baseline: %w", bq.name, err)
+		gate := unGated
+		if bq.name == "Engine_BGPJoin" {
+			gate = maxBudgetOverheadPct
 		}
-		budgeted, err := bestNsPerOp(telemetryBenchTrials, func() (*sparql.Results, error) {
-			ctx := admission.WithBudget(context.Background(), admission.NewBudget(limits, nil))
-			return parsed.EvalContext(ctx, g)
-		})
+		base, budgeted, overhead, err := pairedOverheadPct(gate, telemetryBenchTrials,
+			func() (*sparql.Results, error) {
+				return parsed.Eval(g)
+			},
+			func() (*sparql.Results, error) {
+				ctx := admission.WithBudget(context.Background(), admission.NewBudget(limits, nil))
+				return parsed.EvalContext(ctx, g)
+			})
 		if err != nil {
-			return fmt.Errorf("%s budgeted: %w", bq.name, err)
+			return fmt.Errorf("%s baseline/budgeted: %w", bq.name, err)
 		}
 
 		rec := budgetBenchRecord{
 			Name:            bq.name,
 			BaselineNsPerOp: base,
 			BudgetedNsPerOp: budgeted,
-			OverheadPct:     (budgeted - base) / base * 100,
+			OverheadPct:     overhead,
 			BudgetPct:       maxBudgetOverheadPct,
 			Enforced:        bq.name == "Engine_BGPJoin",
 		}

@@ -35,6 +35,7 @@ func main() {
 		budgetPath = flag.String("budget-json", "", "benchmark the engine with vs without query budgets, write the comparison to this file (enforcing the Engine_BGPJoin overhead budget), then exit")
 		segPath    = flag.String("segment-json", "", "benchmark the disk-backed segment store (ingest, cold start vs .astr, memory-mode query overhead), write the report to this file (enforcing the Engine_BGPJoin overhead budget), then exit")
 		spatPath   = flag.String("spatial-json", "", "benchmark the spatial join vs per-row filtering on Geographica join queries, write the report to this file (enforcing the speedup floor and the Engine_BGPJoin overhead budget), then exit")
+		cachePath  = flag.String("cache-json", "", "benchmark the plan-keyed result cache (federated upstream-request collapse and per-query lookup overhead), write the report to this file (enforcing the collapse floor and the Engine_BGPJoin overhead budget), then exit")
 	)
 	flag.Parse()
 
@@ -65,6 +66,12 @@ func main() {
 	if *spatPath != "" {
 		if err := runSpatialBenchJSON(*spatPath); err != nil {
 			log.Fatalf("spatial bench: %v", err)
+		}
+		return
+	}
+	if *cachePath != "" {
+		if err := runCacheBenchJSON(*cachePath); err != nil {
+			log.Fatalf("cache bench: %v", err)
 		}
 		return
 	}

@@ -188,23 +188,25 @@ func runSegmentBenchJSON(path string) error {
 		if err != nil {
 			return fmt.Errorf("parse %s: %w", bq.name, err)
 		}
-		base, err := bestNsPerOp(telemetryBenchTrials, func() (*sparql.Results, error) {
-			return parsed.Eval(g)
-		})
-		if err != nil {
-			return fmt.Errorf("%s graph baseline: %w", bq.name, err)
+		gate := unGated
+		if bq.name == "Engine_BGPJoin" {
+			gate = maxSegmentOverheadPct
 		}
-		seg, err := bestNsPerOp(telemetryBenchTrials, func() (*sparql.Results, error) {
-			return parsed.Eval(mem)
-		})
+		base, seg, overhead, err := pairedOverheadPct(gate, telemetryBenchTrials,
+			func() (*sparql.Results, error) {
+				return parsed.Eval(g)
+			},
+			func() (*sparql.Results, error) {
+				return parsed.Eval(mem)
+			})
 		if err != nil {
-			return fmt.Errorf("%s segment store: %w", bq.name, err)
+			return fmt.Errorf("%s graph/segment: %w", bq.name, err)
 		}
 		rec := segmentQueryRecord{
 			Name:           bq.name,
 			GraphNsPerOp:   base,
 			SegmentNsPerOp: seg,
-			OverheadPct:    (seg - base) / base * 100,
+			OverheadPct:    overhead,
 			BudgetPct:      maxSegmentOverheadPct,
 			Enforced:       bq.name == "Engine_BGPJoin",
 		}

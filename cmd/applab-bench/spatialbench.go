@@ -139,24 +139,30 @@ func runSpatialBenchJSON(path string) error {
 		if err != nil {
 			return fmt.Errorf("%s filter path: %w", bq.name, err)
 		}
-		offNs, err := bestNsPerOp(telemetryBenchTrials, eval)
+		// The speedup floor fails when auto is slower than off/minSpeedup,
+		// i.e. when the pair overhead exceeds 100/minSpeedup - 100.
+		offNs, autoNs, autoPct, err := pairedOverheadPct(100/minSpatialSpeedup-100, telemetryBenchTrials,
+			func() (*sparql.Results, error) {
+				if err := sparql.SetSpatialJoin(sparql.SpatialJoinOff); err != nil {
+					return nil, err
+				}
+				return eval()
+			},
+			func() (*sparql.Results, error) {
+				if err := sparql.SetSpatialJoin(sparql.SpatialJoinAuto); err != nil {
+					return nil, err
+				}
+				return eval()
+			})
 		if err != nil {
-			return fmt.Errorf("%s filter path: %w", bq.name, err)
-		}
-
-		if err := sparql.SetSpatialJoin(sparql.SpatialJoinAuto); err != nil {
-			return err
-		}
-		autoNs, err := bestNsPerOp(telemetryBenchTrials, eval)
-		if err != nil {
-			return fmt.Errorf("%s spatial join: %w", bq.name, err)
+			return fmt.Errorf("%s filter/spatial join: %w", bq.name, err)
 		}
 
 		rec := spatialJoinBenchRecord{
 			Name:            bq.name,
 			FilterNsPerOp:   offNs,
 			JoinNsPerOp:     autoNs,
-			Speedup:         offNs / autoNs,
+			Speedup:         100 / (100 + autoPct),
 			MinSpeedup:      minSpatialSpeedup,
 			Rows:            len(baseRes.Bindings),
 			StrategyNsPerOp: map[string]float64{},
@@ -202,17 +208,19 @@ func runSpatialBenchJSON(path string) error {
 		return err
 	}
 	eval := func() (*sparql.Results, error) { return parsed.Eval(g) }
-	if err := sparql.SetSpatialJoin(sparql.SpatialJoinOff); err != nil {
-		return err
-	}
-	offNs, err := bestNsPerOp(telemetryBenchTrials, eval)
-	if err != nil {
-		return err
-	}
-	if err := sparql.SetSpatialJoin(sparql.SpatialJoinAuto); err != nil {
-		return err
-	}
-	autoNs, err := bestNsPerOp(telemetryBenchTrials, eval)
+	offNs, autoNs, overhead, err := pairedOverheadPct(maxSpatialRegressionPct, telemetryBenchTrials,
+		func() (*sparql.Results, error) {
+			if err := sparql.SetSpatialJoin(sparql.SpatialJoinOff); err != nil {
+				return nil, err
+			}
+			return eval()
+		},
+		func() (*sparql.Results, error) {
+			if err := sparql.SetSpatialJoin(sparql.SpatialJoinAuto); err != nil {
+				return nil, err
+			}
+			return eval()
+		})
 	if err != nil {
 		return err
 	}
@@ -220,7 +228,7 @@ func runSpatialBenchJSON(path string) error {
 		Name:        engineBenchQueries[0].name,
 		OffNsPerOp:  offNs,
 		AutoNsPerOp: autoNs,
-		OverheadPct: (autoNs - offNs) / offNs * 100,
+		OverheadPct: overhead,
 		BudgetPct:   maxSpatialRegressionPct,
 	}
 	fmt.Printf("%-28s off %15.0f ns/op   auto %12.0f ns/op   overhead %+6.2f%%\n",

@@ -7,6 +7,10 @@
 //
 //	obda -mapping listing2.obda -opendap http://localhost:8080 \
 //	     -query 'SELECT ?s ?lai WHERE { ?s lai:lai ?lai }'
+//	obda -mapping listing2.obda -opendap http://localhost:8080 \
+//	     -serve :7861 -result-cache 256 -cache-ttl 10m       # SPARQL endpoint
+//	obda -mapping listing2.obda -opendap http://localhost:8080 \
+//	     -serve :7861 -promote-after 3                       # adaptive materialization
 package main
 
 import (
@@ -21,10 +25,12 @@ import (
 	"time"
 
 	"applab/internal/admission"
+	"applab/internal/endpoint"
 	"applab/internal/geosparql"
 	"applab/internal/madis"
 	"applab/internal/obda"
 	"applab/internal/opendap"
+	"applab/internal/rescache"
 	"applab/internal/sparql"
 	"applab/internal/telemetry"
 )
@@ -36,6 +42,12 @@ func main() {
 		mappingPath = flag.String("mapping", "", "mapping file (Ontop native syntax)")
 		opendapURL  = flag.String("opendap", "", "OPeNDAP server base URL for the opendap virtual table")
 		query       = flag.String("query", "", "GeoSPARQL query")
+		serve       = flag.String("serve", "", "address to serve a SPARQL endpoint over the virtual graph on (e.g. :7861)")
+
+		resultCache     = flag.Int("result-cache", 0, "plan-keyed result cache capacity in entries for -serve (0 disables); cache hits skip mapping execution entirely")
+		cacheTTL        = flag.Duration("cache-ttl", 0, "result-cache entry lifetime; match the mapping's cache window (e.g. 10m for Listing 2) so upstream changes inside the window stay invisible for exactly as long as the window cache would hide them anyway")
+		promoteAfter    = flag.Int("promote-after", 0, "adaptive materialization: promote the virtual view into a local store after this many uses per opendap region (0 disables; requires -opendap)")
+		revalidateEvery = flag.Duration("revalidate-every", time.Minute, "how often a promoted region's upstream content stamp is rechecked; drift demotes back to the virtual path")
 
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request OPeNDAP deadline (0 disables)")
 		retries  = flag.Int("retries", 3, "max OPeNDAP retries after the first attempt (idempotent GETs only)")
@@ -61,9 +73,12 @@ func main() {
 		log.Fatal(err)
 	}
 	sparql.SetSpatialCells(*spatialCells)
-	if *mappingPath == "" || *query == "" {
+	if *mappingPath == "" || (*query == "" && *serve == "") {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *promoteAfter > 0 && *opendapURL == "" {
+		log.Fatal("-promote-after requires -opendap (promotion tracks opendap virtual-table regions)")
 	}
 
 	reg := telemetry.NewRegistry()
@@ -91,6 +106,7 @@ func main() {
 	}
 
 	db := madis.NewDB()
+	var adapter *obda.OpendapAdapter
 	if *opendapURL != "" {
 		client := opendap.NewClient(*opendapURL)
 		client.Timeout = *timeout
@@ -100,19 +116,50 @@ func main() {
 			client.Breaker = opendap.NewBreaker(*brkFails, *brkCool)
 			client.Breaker.Metrics = reg
 		}
-		adapter := obda.NewOpendapAdapter(client)
+		adapter = obda.NewOpendapAdapter(client)
 		adapter.ServeStale = *staleOK
 		adapter.Metrics = reg
 		adapter.Register(db)
 	}
 
 	vg := obda.NewVirtualGraph(db, mappings)
-	ctx := context.Background()
+	var src sparql.Source = vg
+	var ag *obda.AdaptiveGraph
+	if *promoteAfter > 0 {
+		ag = obda.NewAdaptiveGraph(vg, adapter, *promoteAfter, *revalidateEvery)
+		ag.SetMetrics(reg)
+		src = ag
+		log.Printf("adaptive materialization: promote after %d uses, revalidate every %s", *promoteAfter, *revalidateEvery)
+	}
 	limits := admission.Limits{
 		Deadline:        *queryDeadline,
 		MaxRows:         *maxRows,
 		MaxIntermediate: *maxIntermediate,
 	}
+
+	if *serve != "" {
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := endpoint.Options{Limits: limits}
+		if *resultCache > 0 {
+			cache := rescache.New(*resultCache, *cacheTTL)
+			cache.Metrics = reg
+			opts.Cache = cache
+			log.Printf("result cache: %d entries, ttl %s", *resultCache, *cacheTTL)
+			if *cacheTTL == 0 && *opendapURL != "" {
+				log.Printf("WARNING: -cache-ttl 0 over OPeNDAP: upstream changes inside the mapping's cache window never move the data epoch; set -cache-ttl to the window duration to bound staleness")
+			}
+		}
+		log.Printf("serving SPARQL endpoint on %s/sparql", ln.Addr())
+		if err := http.Serve(ln, endpoint.NewHandlerOpts(src, reg, opts)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	ctx := context.Background()
 	if limits.Enabled() {
 		budget := admission.NewBudget(limits, reg)
 		var stopDeadline context.CancelFunc
@@ -120,7 +167,12 @@ func main() {
 		ctx, stopDeadline = budget.StartDeadline(ctx, nil)
 		defer stopDeadline()
 	}
-	res, err := vg.QueryContext(ctx, *query)
+	var res *sparql.Results
+	if ag != nil {
+		res, err = ag.QueryContext(ctx, *query)
+	} else {
+		res, err = vg.QueryContext(ctx, *query)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -35,6 +35,7 @@ import (
 	"applab/internal/federation"
 	"applab/internal/geosparql"
 	"applab/internal/rdf"
+	"applab/internal/rescache"
 	"applab/internal/segment"
 	"applab/internal/sparql"
 	"applab/internal/strabon"
@@ -83,6 +84,9 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 		parallelThreshold = fs.Int("parallel-threshold", 0, "minimum intermediate solutions before the evaluator parallelizes a stage (0 = default)")
 		spatialJoin       = fs.String("spatial-join", "auto", "spatial-join strategy: auto, off, inl, cells, store")
 		spatialCells      = fs.Int("spatial-cells", 0, "Hilbert grid order for the cells strategy (2^order cells per side; 0 = default)")
+
+		resultCache = fs.Int("result-cache", 0, "plan-keyed result cache capacity in entries (0 disables); served responses carry X-Applab-Cache")
+		cacheTTL    = fs.Duration("cache-ttl", 0, "result-cache entry lifetime (0 = epoch-validated only; set this when federating with remote endpoints, whose ingests are invisible to epoch validation)")
 
 		maxInflight     = fs.Int("max-inflight", 0, "max concurrent query evaluations (0 disables admission control)")
 		maxQueue        = fs.Int("max-queue", 0, "max queries waiting for an evaluation slot; beyond this requests are shed with 503")
@@ -300,6 +304,15 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 		}
 		log.Printf("serving SPARQL endpoint on %s/sparql", ln.Addr())
 		opts := endpoint.Options{Limits: limits}
+		if *resultCache > 0 {
+			cache := rescache.New(*resultCache, *cacheTTL)
+			cache.Metrics = reg
+			opts.Cache = cache
+			log.Printf("result cache: %d entries, ttl %s", *resultCache, *cacheTTL)
+			if fed != nil && *cacheTTL == 0 {
+				log.Printf("WARNING: federating with -cache-ttl 0: remote member ingests are invisible to epoch validation; set -cache-ttl to bound staleness")
+			}
+		}
 		if *maxInflight > 0 {
 			opts.Admission = &admission.Controller{
 				MaxInflight:  *maxInflight,

@@ -18,6 +18,7 @@ import (
 
 	"applab/internal/admission"
 	"applab/internal/rdf"
+	"applab/internal/rescache"
 	"applab/internal/sparql"
 	"applab/internal/telemetry"
 )
@@ -58,7 +59,21 @@ type Options struct {
 	// After is the budget-deadline clock hook (time.After when nil);
 	// tests drive it from a faults.Clock.
 	After func(time.Duration) <-chan time.Time
+	// Cache, when set, is the plan-keyed result cache consulted between
+	// parse and eval. Responses carry X-Applab-Cache: hit|miss|stale;
+	// shed requests may be answered from an invalidated entry (stale)
+	// before falling back to the Degraded source.
+	Cache *rescache.Cache
 }
+
+// Refresher is implemented by sources whose Match view is a transient
+// snapshot of live upstream data (obda.VirtualGraph): the handler drops
+// the snapshot before each evaluation — mirroring VirtualGraph.Query —
+// so every evaluated request sees current upstream data, with the
+// adapter's window caches (not a pinned snapshot) deciding what is
+// actually refetched. Result-cache hits skip evaluation and therefore
+// skip the refresh, which is what makes a hit completely free.
+type Refresher interface{ Invalidate() }
 
 // NewHandlerOpts is NewHandler with overload protection: an admission
 // controller in front of evaluation, a per-query budget threaded into
@@ -93,6 +108,17 @@ func NewHandlerOpts(src sparql.Source, reg *telemetry.Registry, opts Options) ht
 				// Shed — but a cache-satisfiable query can still be
 				// answered from the degraded source without occupying an
 				// evaluation slot.
+				if opts.Cache != nil {
+					if query, perr := sparql.Parse(q); perr == nil {
+						if res, ok := opts.Cache.LookupStale(query, src); ok {
+							degraded.Inc()
+							w.Header().Set("X-Applab-Degraded", "stale")
+							w.Header().Set("X-Applab-Cache", "stale")
+							writeResults(w, res)
+							return
+						}
+					}
+				}
 				if opts.Degraded != nil {
 					if res, derr := sparql.Eval(opts.Degraded, q); derr == nil {
 						degraded.Inc()
@@ -122,6 +148,25 @@ func NewHandlerOpts(src sparql.Source, reg *telemetry.Registry, opts Options) ht
 			return
 		}
 
+		var fill rescache.Fill
+		if opts.Cache != nil {
+			res, f, st := opts.Cache.Lookup(query, src)
+			if st == rescache.Hit {
+				w.Header().Set("X-Applab-Cache", "hit")
+				sp = tr.StartSpan("encode", now)
+				writeResults(w, res)
+				now = reg.Time()
+				sp.End(now)
+				encodeSec.ObserveDuration(sp.Duration())
+				tr.End(reg, now)
+				return
+			}
+			if st != rescache.Bypass {
+				w.Header().Set("X-Applab-Cache", "miss")
+				fill = f
+			}
+		}
+
 		ctx := r.Context()
 		if opts.Limits.Enabled() {
 			budget := admission.NewBudget(opts.Limits, reg)
@@ -131,6 +176,9 @@ func NewHandlerOpts(src sparql.Source, reg *telemetry.Registry, opts Options) ht
 			defer stop()
 		}
 
+		if rf, ok := src.(Refresher); ok {
+			rf.Invalidate()
+		}
 		sp = tr.StartSpan("eval", now)
 		res, err := query.EvalContext(ctx, src)
 		now = reg.Time()
@@ -147,6 +195,7 @@ func NewHandlerOpts(src sparql.Source, reg *telemetry.Registry, opts Options) ht
 			return
 		}
 		sp.Annotate("rows", strconv.Itoa(len(res.Bindings)))
+		fill.Store(res)
 
 		sp = tr.StartSpan("encode", now)
 		writeResults(w, res)
@@ -277,6 +326,13 @@ func NewRemoteSource(base string) *RemoteSource {
 		base = strings.TrimSuffix(base, "/") + "/sparql"
 	}
 	return &RemoteSource{URL: base}
+}
+
+// Fingerprint implements rescache.Fingerprinter. A remote endpoint has
+// no observable data epoch, so cache entries over a RemoteSource are
+// TTL-bounded only; the URL is identity enough for that.
+func (r *RemoteSource) Fingerprint() string {
+	return "remote:" + r.URL
 }
 
 func (r *RemoteSource) httpClient() *http.Client {

@@ -32,6 +32,7 @@ import (
 
 	"applab/internal/admission"
 	"applab/internal/rdf"
+	"applab/internal/rescache"
 	"applab/internal/sparql"
 	"applab/internal/telemetry"
 )
@@ -102,6 +103,10 @@ type Federation struct {
 	// Metrics, when set, records fan-out counts, per-member latency,
 	// failures and demotions in the registry (see metrics.go).
 	Metrics *telemetry.Registry
+	// Cache, when set, caches whole federated query results (partial
+	// answers are never cached). Sub-plan answers cache at each member's
+	// own endpoint independently of this wrapper.
+	Cache *rescache.Cache
 
 	members []Member
 
@@ -556,6 +561,9 @@ type QueryReport struct {
 	Patterns int
 	Partial  bool
 	Members  map[string]*MemberReport
+	// Cached marks an answer served from the federation's result cache:
+	// no pattern fan-out ran at all.
+	Cached bool
 }
 
 // reportingSource funnels every pattern of a query evaluation through
@@ -669,17 +677,65 @@ func (f *Federation) QueryPartial(q string) (*sparql.Results, *QueryReport, erro
 // cancellation or violation, returning the structured budget error with
 // the report of whatever work was done.
 func (f *Federation) QueryPartialContext(ctx context.Context, q string) (*sparql.Results, *QueryReport, error) {
+	query, err := sparql.Parse(q)
+	if err != nil {
+		return nil, &QueryReport{Members: map[string]*MemberReport{}}, err
+	}
+	var fill rescache.Fill
+	if f.Cache != nil {
+		res, fl, st := f.Cache.Lookup(query, f)
+		if st == rescache.Hit {
+			return res, &QueryReport{Cached: true, Members: map[string]*MemberReport{}}, nil
+		}
+		if st != rescache.Bypass {
+			fill = fl
+		}
+	}
 	rec := &reportingSource{f: f}
 	rec.qr.Members = map[string]*MemberReport{}
-	query, err := sparql.Parse(q)
-	var res *sparql.Results
-	if err == nil {
-		res, err = query.EvalContext(ctx, rec)
-	}
+	res, err := query.EvalContext(ctx, rec)
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
 	qr := rec.qr
+	if err == nil && !qr.Partial {
+		fill.Store(res)
+	}
 	return res, &qr, err
+}
+
+// DataEpoch implements rescache.Epocher by summing the members' epochs.
+// Members without an epoch (remote endpoints) contribute nothing — their
+// changes are invisible here, so federations with such members should
+// run the cache with a TTL bound.
+func (f *Federation) DataEpoch() uint64 {
+	f.mu.Lock()
+	members := append([]Member(nil), f.members...)
+	f.mu.Unlock()
+	var total uint64
+	for _, m := range members {
+		if ep, ok := m.Source.(rescache.Epocher); ok {
+			total += ep.DataEpoch()
+		}
+	}
+	return total
+}
+
+// Fingerprint implements rescache.Fingerprinter by composing the member
+// fingerprints (position-sensitive), so replacing any member instance
+// re-keys the whole federation.
+func (f *Federation) Fingerprint() string {
+	f.mu.Lock()
+	members := append([]Member(nil), f.members...)
+	f.mu.Unlock()
+	fp := "fed"
+	for _, m := range members {
+		if fpr, ok := m.Source.(rescache.Fingerprinter); ok {
+			fp += "|" + fpr.Fingerprint()
+		} else {
+			fp += "|anon:" + m.Name
+		}
+	}
+	return fp
 }
 
 // ForgetCapabilities clears learned source selection (e.g. after member

@@ -52,6 +52,12 @@ type OpendapAdapter struct {
 	// ServeStale).
 	Metrics *telemetry.Registry
 
+	// OnTable, when set, observes every virtual-table materialization
+	// with its region key "<dataset>/<var>?w=<window>" — the hot-region
+	// feed of the adaptive promoter (rescache.Promoter.Note). Set before
+	// the first query; called outside the adapter lock.
+	OnTable func(region string)
+
 	mu     sync.Mutex
 	caches map[time.Duration]*opendap.WindowCache
 	// Now overrides the cache clock in tests.
@@ -121,6 +127,24 @@ func (a *OpendapAdapter) PhysicalCalls() int64 {
 	return a.calls
 }
 
+// Generation returns a counter that moves whenever upstream content may
+// have entered the serving path: the physical fetch count plus every
+// window cache's content generation. Result caches over OBDA sources
+// fold it into their data epoch.
+func (a *OpendapAdapter) Generation() uint64 {
+	a.mu.Lock()
+	gen := uint64(a.calls)
+	caches := make([]*opendap.WindowCache, 0, len(a.caches))
+	for _, c := range a.caches {
+		caches = append(caches, c)
+	}
+	a.mu.Unlock()
+	for _, c := range caches {
+		gen += c.Generation()
+	}
+	return gen
+}
+
 // Stats returns the cache statistics for window w.
 func (a *OpendapAdapter) Stats(w time.Duration) opendap.CacheStats {
 	return a.cacheFor(w).Stats()
@@ -142,6 +166,9 @@ func (a *OpendapAdapter) Table(args []string) (*madis.Table, error) {
 			return nil, fmt.Errorf("opendap: bad cache window %q", args[1])
 		}
 		window = time.Duration(mins * float64(time.Minute))
+	}
+	if hook := a.OnTable; hook != nil {
+		hook(dataset + "/" + varName + "?w=" + strconv.FormatFloat(window.Minutes(), 'g', -1, 64))
 	}
 	fetcher := opendap.Fetcher(countingFetcher{a})
 	if window > 0 {

@@ -11,6 +11,7 @@ import (
 	"applab/internal/geosparql"
 	"applab/internal/madis"
 	"applab/internal/rdf"
+	"applab/internal/rescache"
 	"applab/internal/sparql"
 )
 
@@ -25,15 +26,22 @@ type VirtualGraph struct {
 	db       *madis.DB
 	mappings []Mapping
 
-	mu      sync.Mutex
-	snap    *rdf.Graph // per-query transient view; nil = stale
-	lastErr error      // most recent Snapshot failure; nil after success
+	// EpochFn, when set, supplies the upstream data epoch (typically
+	// OpendapAdapter.Generation) folded into DataEpoch. Set before the
+	// first query.
+	EpochFn func() uint64
+
+	mu          sync.Mutex
+	snap        *rdf.Graph // per-query transient view; nil = stale
+	lastErr     error      // most recent Snapshot failure; nil after success
+	rebuilds    uint64     // snapshot builds (DataEpoch fallback)
+	fingerprint string
 }
 
 // NewVirtualGraph builds a virtual graph over db with the given mappings.
 func NewVirtualGraph(db *madis.DB, mappings []Mapping) *VirtualGraph {
 	geosparql.Register()
-	return &VirtualGraph{db: db, mappings: mappings}
+	return &VirtualGraph{db: db, mappings: mappings, fingerprint: rescache.NextFingerprint("obda")}
 }
 
 // Invalidate drops the transient view so the next query re-executes the
@@ -108,6 +116,7 @@ func (vg *VirtualGraph) SnapshotContext(ctx context.Context) (*rdf.Graph, error)
 	}
 	vg.snap = g
 	vg.lastErr = nil
+	vg.rebuilds++
 	return g, nil
 }
 
@@ -163,6 +172,34 @@ func (vg *VirtualGraph) Cardinality(s, p, o rdf.Term) int {
 		return -1
 	}
 	return snap.Cardinality(s, p, o)
+}
+
+// DataEpoch implements rescache.Epocher. With EpochFn wired (usually to
+// the OPeNDAP adapter's Generation) the epoch moves exactly when
+// upstream content may have changed, so cached answers survive window
+// -cache hits; without it every snapshot rebuild counts — safe but
+// never validating across the Invalidate each query performs.
+func (vg *VirtualGraph) DataEpoch() uint64 {
+	vg.mu.Lock()
+	rebuilds := vg.rebuilds
+	fn := vg.EpochFn
+	vg.mu.Unlock()
+	if fn != nil {
+		return fn()
+	}
+	return rebuilds
+}
+
+// EpochAdvancesOnEval marks the virtual graph as a self-mutating source
+// for rescache: evaluating a query itself refreshes the window cache
+// and may advance the epoch, so result-cache fills capture the epoch
+// after evaluation (sound — snapshot builds are serialized under vg.mu
+// and are a pure function of backend state).
+func (vg *VirtualGraph) EpochAdvancesOnEval() {}
+
+// Fingerprint implements rescache.Fingerprinter (per-instance identity).
+func (vg *VirtualGraph) Fingerprint() string {
+	return vg.fingerprint
 }
 
 // LastError reports the most recent snapshot failure (nil once a

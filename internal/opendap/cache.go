@@ -55,6 +55,10 @@ type WindowCache struct {
 	mu      sync.Mutex
 	entries map[string]windowEntry
 	stats   CacheStats
+	// gen counts content changes: every fresh upstream response stored
+	// and every Invalidate. Result caches layered above the adapter fold
+	// it into their data epoch so window refreshes invalidate them.
+	gen uint64
 }
 
 // StaleAttr is the global attribute set on datasets served from an
@@ -130,6 +134,7 @@ func (c *WindowCache) Fetch(name string, constraint Constraint) (*netcdf.Dataset
 	if c.window > 0 {
 		c.entries[key] = windowEntry{ds: ds, fetched: now}
 	}
+	c.gen++
 	c.mu.Unlock()
 	c.cacheMiss()
 	return ds, nil
@@ -147,6 +152,15 @@ func (c *WindowCache) Invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = map[string]windowEntry{}
+	c.gen++
+}
+
+// Generation returns a counter bumped on every content change (fresh
+// upstream response stored, invalidation). Monotonic; never reset.
+func (c *WindowCache) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
 }
 
 // TileCache is the index-aligned cache of the paper's §5 discussion:

@@ -1,0 +1,89 @@
+package rescache
+
+// Metric helpers: one per series, each owning its name literal (the
+// applab-lint telemetry checker enforces one registration site per
+// name). All are nil-safe through the registry.
+
+func (c *Cache) noteHit() {
+	if c.Metrics != nil {
+		c.Metrics.Counter("rescache_hits_total").Inc()
+	}
+}
+
+func (c *Cache) noteMiss() {
+	if c.Metrics != nil {
+		c.Metrics.Counter("rescache_misses_total").Inc()
+	}
+}
+
+func (c *Cache) noteStale() {
+	if c.Metrics != nil {
+		c.Metrics.Counter("rescache_stale_total").Inc()
+	}
+}
+
+func (c *Cache) noteBypass() {
+	if c.Metrics != nil {
+		c.Metrics.Counter("rescache_bypass_total").Inc()
+	}
+}
+
+func (c *Cache) noteFill() {
+	if c.Metrics != nil {
+		c.Metrics.Counter("rescache_fills_total").Inc()
+	}
+}
+
+func (c *Cache) noteEviction() {
+	if c.Metrics != nil {
+		c.Metrics.Counter("rescache_evictions_total").Inc()
+	}
+}
+
+func (c *Cache) noteStaleServed() {
+	if c.Metrics != nil {
+		c.Metrics.Counter("rescache_stale_served_total").Inc()
+	}
+}
+
+func (c *Cache) setEntries(n int) {
+	if c.Metrics != nil {
+		c.Metrics.Gauge("rescache_entries").Set(float64(n))
+	}
+}
+
+func (p *Promoter) notePromotionStarted() {
+	if p.Metrics != nil {
+		p.Metrics.Counter("promotion_started_total").Inc()
+	}
+}
+
+func (p *Promoter) notePromotionDone() {
+	if p.Metrics != nil {
+		p.Metrics.Counter("promotion_completed_total").Inc()
+	}
+}
+
+func (p *Promoter) notePromotionFailed() {
+	if p.Metrics != nil {
+		p.Metrics.Counter("promotion_failed_total").Inc()
+	}
+}
+
+func (p *Promoter) noteDemotion() {
+	if p.Metrics != nil {
+		p.Metrics.Counter("promotion_demotions_total").Inc()
+	}
+}
+
+func (p *Promoter) noteRevalidation() {
+	if p.Metrics != nil {
+		p.Metrics.Counter("promotion_revalidations_total").Inc()
+	}
+}
+
+func (p *Promoter) setPromotedRegions(n int) {
+	if p.Metrics != nil {
+		p.Metrics.Gauge("promotion_promoted_regions").Set(float64(n))
+	}
+}

@@ -1,0 +1,265 @@
+package rescache
+
+import (
+	"sync"
+	"time"
+
+	"applab/internal/telemetry"
+)
+
+// regionState is the promotion lifecycle of one hot region.
+type regionState int
+
+const (
+	regionCold regionState = iota
+	regionPromoting
+	regionPromoted
+)
+
+type region struct {
+	state     regionState
+	uses      int
+	stamp     string // upstream change stamp captured at promotion
+	lastCheck time.Time
+}
+
+// Promoter tracks access counts for remote regions (an opaque key such
+// as "dataset/var?w=window") and drives the cold → promoting → promoted
+// → demoted state machine:
+//
+//   - Note(region) counts a use; at PromoteAfter uses the region enters
+//     promoting and Promote runs in a background goroutine (callers keep
+//     serving the virtual/stale path meanwhile).
+//   - Promoted() reports whether every tracked region is promoted; it
+//     also kicks lazy revalidation: when RevalidateEvery has elapsed
+//     since the last upstream check, Check(region) re-reads the upstream
+//     change stamp and a mismatch demotes everything (next uses re-count
+//     toward re-promotion). Check errors keep serving the promoted copy
+//     and retry after another RevalidateEvery (stale-while-error).
+//   - Epoch() is bumped on every completed promotion and demotion, so a
+//     result cache layered on a promoter-backed source invalidates on
+//     every serving-mode flip.
+//
+// There are no timers: time only advances through the Now func, and
+// Quiesce() waits for in-flight background promotions — tests run with
+// a fake clock and zero real sleeps.
+type Promoter struct {
+	// PromoteAfter is the use count that triggers promotion (min 1).
+	PromoteAfter int
+	// RevalidateEvery is how long a promoted region may serve locally
+	// before the upstream stamp is re-checked. Zero disables demotion.
+	RevalidateEvery time.Duration
+	// Promote materializes the region and returns the upstream change
+	// stamp it was built from. Runs on a background goroutine.
+	Promote func(region string) (stamp string, err error)
+	// Check re-reads the upstream change stamp for revalidation.
+	Check func(region string) (stamp string, err error)
+	// OnDemote, if set, runs after a demotion completes (outside locks).
+	OnDemote func(region string)
+	// Now is the clock; defaults to time.Now. Metrics records
+	// promotion_* series.
+	Now     func() time.Time
+	Metrics *telemetry.Registry
+
+	mu      sync.Mutex
+	regions map[string]*region
+	epoch   uint64
+	wg      sync.WaitGroup
+}
+
+// NewPromoter returns a promoter that promotes after promoteAfter uses
+// and revalidates promoted regions every revalidate.
+func NewPromoter(promoteAfter int, revalidate time.Duration) *Promoter {
+	if promoteAfter < 1 {
+		promoteAfter = 1
+	}
+	return &Promoter{
+		PromoteAfter:    promoteAfter,
+		RevalidateEvery: revalidate,
+		Now:             time.Now,
+		regions:         make(map[string]*region),
+	}
+}
+
+func (p *Promoter) now() time.Time {
+	if p.Now != nil {
+		return p.Now()
+	}
+	return time.Now()
+}
+
+// Note records one use of a region, starting a background promotion
+// when the threshold is reached.
+func (p *Promoter) Note(reg string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	r := p.regions[reg]
+	if r == nil {
+		r = &region{}
+		p.regions[reg] = r
+	}
+	if r.state != regionCold {
+		p.mu.Unlock()
+		return
+	}
+	r.uses++
+	start := r.uses >= p.PromoteAfter && p.Promote != nil
+	if start {
+		r.state = regionPromoting
+		p.wg.Add(1)
+	}
+	p.mu.Unlock()
+	if !start {
+		return
+	}
+	p.notePromotionStarted()
+	go p.runPromotion(reg)
+}
+
+func (p *Promoter) runPromotion(reg string) {
+	defer p.wg.Done()
+	stamp, err := p.Promote(reg)
+	p.mu.Lock()
+	r := p.regions[reg]
+	if r == nil || r.state != regionPromoting {
+		p.mu.Unlock()
+		return
+	}
+	if err != nil {
+		r.state = regionCold
+		r.uses = 0
+		p.mu.Unlock()
+		p.notePromotionFailed()
+		return
+	}
+	r.state = regionPromoted
+	r.stamp = stamp
+	r.lastCheck = p.now()
+	p.epoch++
+	n := p.promotedLocked()
+	p.mu.Unlock()
+	p.notePromotionDone()
+	p.setPromotedRegions(n)
+}
+
+func (p *Promoter) promotedLocked() int {
+	n := 0
+	for _, r := range p.regions {
+		if r.state == regionPromoted {
+			n++
+		}
+	}
+	return n
+}
+
+// Promoted reports whether the region set is non-empty and every region
+// is promoted — i.e. the materialized copy covers the whole working
+// set. It also drives lazy revalidation off the serve path.
+func (p *Promoter) Promoted() bool {
+	if p == nil {
+		return false
+	}
+	p.revalidate()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.regions) == 0 {
+		return false
+	}
+	for _, r := range p.regions {
+		if r.state != regionPromoted {
+			return false
+		}
+	}
+	return true
+}
+
+// revalidate re-checks upstream stamps for promoted regions whose
+// RevalidateEvery has elapsed. Checks run synchronously (they are cheap
+// stamp reads, not materializations) but outside p.mu.
+func (p *Promoter) revalidate() {
+	if p.RevalidateEvery <= 0 || p.Check == nil {
+		return
+	}
+	now := p.now()
+	p.mu.Lock()
+	var due []string
+	for name, r := range p.regions {
+		if r.state == regionPromoted && now.Sub(r.lastCheck) >= p.RevalidateEvery {
+			r.lastCheck = now // back off even on error (stale-while-error)
+			due = append(due, name)
+		}
+	}
+	p.mu.Unlock()
+	for _, name := range due {
+		p.noteRevalidation()
+		stamp, err := p.Check(name)
+		if err != nil {
+			continue // keep serving the promoted copy
+		}
+		p.mu.Lock()
+		r := p.regions[name]
+		changed := r != nil && r.state == regionPromoted && r.stamp != stamp
+		p.mu.Unlock()
+		if changed {
+			p.Demote(name)
+		}
+	}
+}
+
+// Demote drops a region (and, because a partial promotion set cannot be
+// served, callers fall back to the virtual path until it re-promotes).
+func (p *Promoter) Demote(reg string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	r := p.regions[reg]
+	if r == nil || r.state != regionPromoted {
+		p.mu.Unlock()
+		return
+	}
+	r.state = regionCold
+	r.uses = 0
+	r.stamp = ""
+	p.epoch++
+	n := p.promotedLocked()
+	p.mu.Unlock()
+	p.noteDemotion()
+	p.setPromotedRegions(n)
+	if p.OnDemote != nil {
+		p.OnDemote(reg)
+	}
+}
+
+// Epoch counts completed promotions + demotions; it is a component of
+// the serving source's DataEpoch so mode flips invalidate result-cache
+// entries.
+func (p *Promoter) Epoch() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// Regions returns the number of tracked regions.
+func (p *Promoter) Regions() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.regions)
+}
+
+// Quiesce blocks until all in-flight background promotions finish —
+// the deterministic-test hook replacing any real sleep.
+func (p *Promoter) Quiesce() {
+	if p == nil {
+		return
+	}
+	p.wg.Wait()
+}

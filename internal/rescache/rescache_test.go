@@ -1,0 +1,685 @@
+package rescache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"applab/internal/rdf"
+	"applab/internal/sparql"
+	"applab/internal/telemetry"
+)
+
+// memSource is a tiny epoch-tracking in-memory source.
+type memSource struct {
+	mu      sync.Mutex
+	triples []rdf.Triple
+	epoch   uint64
+	fp      string
+}
+
+func newMemSource() *memSource {
+	return &memSource{fp: NextFingerprint("mem")}
+}
+
+func (m *memSource) Add(t rdf.Triple) {
+	m.mu.Lock()
+	m.triples = append(m.triples, t)
+	m.epoch++
+	m.mu.Unlock()
+}
+
+func (m *memSource) Match(s, p, o rdf.Term) []rdf.Triple {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []rdf.Triple
+	for _, t := range m.triples {
+		if (s.Value == "" || t.S == s) && (p.Value == "" || t.P == p) && (o.Value == "" || t.O == o) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (m *memSource) DataEpoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+func (m *memSource) Fingerprint() string { return m.fp }
+
+func triple(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: rdf.NewLiteral(o)}
+}
+
+const qBase = `SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }`
+
+func parseQ(t *testing.T, s string) *sparql.Query {
+	t.Helper()
+	q, err := sparql.Parse(s)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return q
+}
+
+// evalThrough runs the cache protocol like a real caller would.
+func evalThrough(t *testing.T, c *Cache, src *memSource, query string) (*sparql.Results, Status) {
+	t.Helper()
+	q := parseQ(t, query)
+	if res, _, st := c.Lookup(q, src); st == Hit {
+		return res, st
+	} else if st == Bypass {
+		t.Fatalf("unexpected bypass")
+	}
+	_, fill, st := c.Lookup(q, src) // deliberate double-lookup is fine; returns same status
+	res, err := q.Eval(src)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	fill.Store(res)
+	return res, st
+}
+
+func TestCacheMissHitInvalidate(t *testing.T) {
+	src := newMemSource()
+	src.Add(triple("http://ex/a", "http://ex/p", "1"))
+	c := New(16, 0)
+
+	q := parseQ(t, qBase)
+	if _, _, st := c.Lookup(q, src); st != Miss {
+		t.Fatalf("first lookup: got %v, want Miss", st)
+	}
+	_, fill, _ := c.Lookup(q, src)
+	res, err := q.Eval(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill.Store(res)
+
+	got, _, st := c.Lookup(q, src)
+	if st != Hit {
+		t.Fatalf("second lookup: got %v, want Hit", st)
+	}
+	if len(got.Bindings) != 1 {
+		t.Fatalf("wrong cached rows: %+v", got.Bindings)
+	}
+
+	// Ingest bumps the epoch: entry must go stale.
+	src.Add(triple("http://ex/b", "http://ex/p", "2"))
+	if _, _, st := c.Lookup(q, src); st != Stale {
+		t.Fatalf("after ingest: got %v, want Stale", st)
+	}
+	// Refill validates again.
+	_, fill, _ = c.Lookup(q, src)
+	res, _ = q.Eval(src)
+	fill.Store(res)
+	got, _, st = c.Lookup(q, src)
+	if st != Hit || len(got.Bindings) != 2 {
+		t.Fatalf("refill: st=%v rows=%d", st, len(got.Bindings))
+	}
+}
+
+func TestCacheRenamedQueryHits(t *testing.T) {
+	src := newMemSource()
+	src.Add(triple("http://ex/a", "http://ex/p", "1"))
+	c := New(16, 0)
+
+	if _, st := evalThrough(t, c, src, qBase); st != Miss {
+		t.Fatalf("expected miss")
+	}
+	// Same shape, different variable names: must hit, with remapped columns.
+	q2 := parseQ(t, `SELECT ?subj ?val WHERE { ?subj <http://ex/p> ?val }`)
+	got, _, st := c.Lookup(q2, src)
+	if st != Hit {
+		t.Fatalf("renamed lookup: got %v, want Hit", st)
+	}
+	if len(got.Vars) != 2 || got.Vars[0] != "subj" || got.Vars[1] != "val" {
+		t.Fatalf("columns not remapped: %v", got.Vars)
+	}
+	if got.Bindings[0]["subj"].Value != "http://ex/a" || got.Bindings[0]["val"].Value != "1" {
+		t.Fatalf("row not remapped: %+v", got.Bindings[0])
+	}
+	// Fresh eval must agree exactly.
+	want, err := q2.Eval(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", want.Bindings) != fmt.Sprintf("%+v", got.Bindings) {
+		t.Fatalf("cached != fresh:\n  %+v\n  %+v", got.Bindings, want.Bindings)
+	}
+}
+
+func TestCacheDistinctSourcesDoNotShare(t *testing.T) {
+	a, b := newMemSource(), newMemSource()
+	a.Add(triple("http://ex/a", "http://ex/p", "1"))
+	c := New(16, 0)
+	evalThrough(t, c, a, qBase)
+	if _, _, st := c.Lookup(parseQ(t, qBase), b); st != Miss {
+		t.Fatalf("entry leaked across source instances: %v", st)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	src := newMemSource()
+	src.Add(triple("http://ex/a", "http://ex/p", "1"))
+	now := time.Unix(1000, 0)
+	c := New(16, 30*time.Second)
+	c.Now = func() time.Time { return now }
+
+	evalThrough(t, c, src, qBase)
+	if _, _, st := c.Lookup(parseQ(t, qBase), src); st != Hit {
+		t.Fatalf("want hit before expiry")
+	}
+	now = now.Add(31 * time.Second)
+	if _, _, st := c.Lookup(parseQ(t, qBase), src); st != Stale {
+		t.Fatalf("want stale after ttl")
+	}
+}
+
+// fpOnlySource has a fingerprint but no epoch: TTL is the only bound.
+type fpOnlySource struct {
+	src *memSource
+}
+
+func (f fpOnlySource) Match(s, p, o rdf.Term) []rdf.Triple { return f.src.Match(s, p, o) }
+func (f fpOnlySource) Fingerprint() string                 { return f.src.fp }
+
+func TestCacheEpochlessUsesTTL(t *testing.T) {
+	inner := newMemSource()
+	inner.Add(triple("http://ex/a", "http://ex/p", "1"))
+	src := fpOnlySource{src: inner}
+	now := time.Unix(1000, 0)
+	c := New(16, 0) // no explicit ttl → epochless default bound
+	c.Now = func() time.Time { return now }
+
+	q := parseQ(t, qBase)
+	_, fill, st := c.Lookup(q, src)
+	if st != Miss {
+		t.Fatalf("want miss")
+	}
+	res, _ := q.Eval(src)
+	fill.Store(res)
+	if _, _, st := c.Lookup(q, src); st != Hit {
+		t.Fatalf("want hit inside default ttl")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, _, st := c.Lookup(q, src); st != Stale {
+		t.Fatalf("want stale past default ttl")
+	}
+}
+
+// evalSource mutates its own epoch during Match, like the OBDA virtual
+// graph; it declares EvalEpocher so fills capture the post-eval epoch.
+type evalSource struct {
+	*memSource
+}
+
+func (evalSource) EpochAdvancesOnEval() {}
+
+func (e evalSource) Match(s, p, o rdf.Term) []rdf.Triple {
+	e.mu.Lock()
+	e.epoch++ // self-advance, as a window-cache refresh would
+	e.mu.Unlock()
+	return e.memSource.Match(s, p, o)
+}
+
+func TestCacheEvalEpocherNoDoubleMiss(t *testing.T) {
+	src := evalSource{newMemSource()}
+	src.memSource.triples = append(src.memSource.triples, triple("http://ex/a", "http://ex/p", "1"))
+	c := New(16, 0)
+
+	q := parseQ(t, qBase)
+	_, fill, st := c.Lookup(q, src)
+	if st != Miss {
+		t.Fatalf("want miss")
+	}
+	res, err := q.Eval(src) // advances the epoch
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill.Store(res) // must capture the post-eval epoch
+	if _, _, st := c.Lookup(q, src); st != Hit {
+		t.Fatalf("EvalEpocher fill did not validate: got %v (double-miss bug)", st)
+	}
+	// External mutation still invalidates.
+	src.Add(triple("http://ex/b", "http://ex/p", "2"))
+	if _, _, st := c.Lookup(q, src); st != Stale {
+		t.Fatalf("want stale after external mutation")
+	}
+}
+
+func TestCacheMidEvalWriteNeverValidates(t *testing.T) {
+	src := newMemSource()
+	src.Add(triple("http://ex/a", "http://ex/p", "1"))
+	c := New(16, 0)
+
+	q := parseQ(t, qBase)
+	_, fill, _ := c.Lookup(q, src)
+	res, _ := q.Eval(src)
+	// A write lands between eval and fill (models a mid-eval write): the
+	// stored pre-read epoch is behind, so the entry must never validate.
+	src.Add(triple("http://ex/b", "http://ex/p", "2"))
+	fill.Store(res)
+	if _, _, st := c.Lookup(q, src); st != Stale {
+		t.Fatalf("torn fill validated: %v", st)
+	}
+}
+
+func TestCacheLookupStale(t *testing.T) {
+	src := newMemSource()
+	src.Add(triple("http://ex/a", "http://ex/p", "1"))
+	c := New(16, 0)
+	evalThrough(t, c, src, qBase)
+	src.Add(triple("http://ex/b", "http://ex/p", "2"))
+
+	q := parseQ(t, qBase)
+	if _, _, st := c.Lookup(q, src); st != Stale {
+		t.Fatalf("setup: want stale")
+	}
+	got, ok := c.LookupStale(q, src)
+	if !ok || len(got.Bindings) != 1 {
+		t.Fatalf("stale serve failed: ok=%v", ok)
+	}
+	// Renamed query also stale-serves with remapping.
+	q2 := parseQ(t, `SELECT ?x ?y WHERE { ?x <http://ex/p> ?y }`)
+	got, ok = c.LookupStale(q2, src)
+	if !ok || got.Vars[0] != "x" {
+		t.Fatalf("stale remap failed: ok=%v vars=%v", ok, got.Vars)
+	}
+	// Unknown query: no stale entry.
+	if _, ok := c.LookupStale(parseQ(t, `ASK { ?s <http://ex/p> ?o }`), src); ok {
+		t.Fatalf("stale serve invented an entry")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	src := newMemSource()
+	src.Add(triple("http://ex/a", "http://ex/p", "1"))
+	c := New(2, 0)
+	queries := []string{
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o }`,
+		`SELECT ?s WHERE { ?s <http://ex/q> ?o }`,
+		`SELECT ?s WHERE { ?s <http://ex/r> ?o }`,
+	}
+	for _, qs := range queries {
+		evalThrough(t, c, src, qs)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("capacity not enforced: %d", c.Len())
+	}
+	// Oldest (queries[0]) was evicted.
+	if _, _, st := c.Lookup(parseQ(t, queries[0]), src); st != Miss {
+		t.Fatalf("oldest not evicted: %v", st)
+	}
+	if _, _, st := c.Lookup(parseQ(t, queries[2]), src); st != Hit {
+		t.Fatalf("newest evicted: %v", st)
+	}
+}
+
+func TestCacheBypassWithoutFingerprint(t *testing.T) {
+	c := New(16, 0)
+	bare := sourceFunc(func(s, p, o rdf.Term) []rdf.Triple { return nil })
+	if _, _, st := c.Lookup(parseQ(t, qBase), bare); st != Bypass {
+		t.Fatalf("fingerprint-less source must bypass")
+	}
+	if _, ok := c.LookupStale(parseQ(t, qBase), bare); ok {
+		t.Fatalf("stale lookup must bypass too")
+	}
+}
+
+type sourceFunc func(s, p, o rdf.Term) []rdf.Triple
+
+func (f sourceFunc) Match(s, p, o rdf.Term) []rdf.Triple { return f(s, p, o) }
+
+func TestNilCacheIsNoop(t *testing.T) {
+	var c *Cache
+	src := newMemSource()
+	if _, _, st := c.Lookup(parseQ(t, qBase), src); st != Bypass {
+		t.Fatalf("nil cache must bypass")
+	}
+	if _, ok := c.LookupStale(parseQ(t, qBase), src); ok {
+		t.Fatalf("nil cache stale lookup")
+	}
+	Fill{}.Store(&sparql.Results{})
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("nil len")
+	}
+}
+
+func TestCacheMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	src := newMemSource()
+	src.Add(triple("http://ex/a", "http://ex/p", "1"))
+	c := New(16, 0)
+	c.Metrics = reg
+
+	evalThrough(t, c, src, qBase)   // 2 misses (double lookup), 1 fill
+	c.Lookup(parseQ(t, qBase), src) // hit
+	src.Add(triple("http://ex/b", "http://ex/p", "2"))
+	c.Lookup(parseQ(t, qBase), src)      // stale
+	c.LookupStale(parseQ(t, qBase), src) // stale served
+
+	if v := reg.Counter("rescache_misses_total").Value(); v != 2 {
+		t.Fatalf("misses: %v", v)
+	}
+	if v := reg.Counter("rescache_hits_total").Value(); v != 1 {
+		t.Fatalf("hits: %v", v)
+	}
+	if v := reg.Counter("rescache_stale_total").Value(); v != 1 {
+		t.Fatalf("stale: %v", v)
+	}
+	if v := reg.Counter("rescache_stale_served_total").Value(); v != 1 {
+		t.Fatalf("stale served: %v", v)
+	}
+	if v := reg.Counter("rescache_fills_total").Value(); v != 1 {
+		t.Fatalf("fills: %v", v)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	src := newMemSource()
+	src.Add(triple("http://ex/a", "http://ex/p", "1"))
+	c := New(64, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := parseQ(t, qBase)
+				res, fill, st := c.Lookup(q, src)
+				switch st {
+				case Hit:
+					if len(res.Bindings) == 0 {
+						t.Error("empty hit")
+						return
+					}
+				case Miss, Stale:
+					fresh, err := q.Eval(src)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					fill.Store(fresh)
+				}
+				if w == 0 && i%10 == 0 {
+					src.Add(triple(fmt.Sprintf("http://ex/n%d", i), "http://ex/p", "x"))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestNextFingerprintUnique(t *testing.T) {
+	a, b := NextFingerprint("x"), NextFingerprint("x")
+	if a == b {
+		t.Fatalf("fingerprints collide: %s", a)
+	}
+}
+
+// ---- promoter ----
+
+func TestPromoterLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	p := NewPromoter(3, time.Minute)
+	p.Now = func() time.Time { return now }
+	stamp := "v1"
+	var promoted, checked int
+	p.Promote = func(region string) (string, error) { promoted++; return stamp, nil }
+	p.Check = func(region string) (string, error) { checked++; return stamp, nil }
+
+	p.Note("r1")
+	p.Note("r1")
+	if p.Promoted() {
+		t.Fatalf("promoted before threshold")
+	}
+	p.Note("r1") // threshold: background promotion starts
+	p.Quiesce()
+	if !p.Promoted() {
+		t.Fatalf("not promoted after threshold")
+	}
+	if promoted != 1 {
+		t.Fatalf("promote calls: %d", promoted)
+	}
+	if p.Epoch() != 1 {
+		t.Fatalf("epoch after promote: %d", p.Epoch())
+	}
+
+	// Within the revalidation window: no checks.
+	now = now.Add(30 * time.Second)
+	p.Promoted()
+	if checked != 0 {
+		t.Fatalf("checked early: %d", checked)
+	}
+
+	// Past the window with an unchanged stamp: still promoted.
+	now = now.Add(31 * time.Second)
+	if !p.Promoted() || checked != 1 {
+		t.Fatalf("revalidation failed: promoted=%v checked=%d", p.Promoted(), checked)
+	}
+
+	// Upstream changes: next revalidation demotes.
+	stamp = "v2"
+	var demoted []string
+	p.OnDemote = func(r string) { demoted = append(demoted, r) }
+	now = now.Add(time.Minute)
+	if p.Promoted() {
+		t.Fatalf("still promoted after upstream change")
+	}
+	if len(demoted) != 1 || demoted[0] != "r1" {
+		t.Fatalf("demote hook: %v", demoted)
+	}
+	if p.Epoch() != 2 {
+		t.Fatalf("epoch after demote: %d", p.Epoch())
+	}
+
+	// Uses re-accumulate toward re-promotion.
+	p.Note("r1")
+	p.Note("r1")
+	p.Note("r1")
+	p.Quiesce()
+	if !p.Promoted() {
+		t.Fatalf("re-promotion failed")
+	}
+}
+
+func TestPromoterCheckErrorServesStale(t *testing.T) {
+	now := time.Unix(0, 0)
+	p := NewPromoter(1, time.Minute)
+	p.Now = func() time.Time { return now }
+	p.Promote = func(string) (string, error) { return "v1", nil }
+	fail := true
+	checks := 0
+	p.Check = func(string) (string, error) {
+		checks++
+		if fail {
+			return "", errors.New("upstream down")
+		}
+		return "v1", nil
+	}
+	p.Note("r")
+	p.Quiesce()
+	now = now.Add(2 * time.Minute)
+	if !p.Promoted() || checks != 1 {
+		t.Fatalf("check error must keep serving promoted: %v %d", p.Promoted(), checks)
+	}
+	// Backed off: immediate re-call doesn't re-check.
+	p.Promoted()
+	if checks != 1 {
+		t.Fatalf("no backoff after error: %d", checks)
+	}
+	now = now.Add(2 * time.Minute)
+	fail = false
+	if !p.Promoted() || checks != 2 {
+		t.Fatalf("recovery check missing: %d", checks)
+	}
+}
+
+func TestPromoterPromoteFailureStaysCold(t *testing.T) {
+	p := NewPromoter(1, 0)
+	p.Promote = func(string) (string, error) { return "", errors.New("boom") }
+	p.Note("r")
+	p.Quiesce()
+	if p.Promoted() {
+		t.Fatalf("failed promotion marked promoted")
+	}
+	if p.Epoch() != 0 {
+		t.Fatalf("failed promotion bumped epoch")
+	}
+	// Counter reset: threshold must be crossed again.
+	ok := false
+	p.Promote = func(string) (string, error) { ok = true; return "v", nil }
+	p.Note("r")
+	p.Quiesce()
+	if !ok || !p.Promoted() {
+		t.Fatalf("retry after failure did not promote")
+	}
+}
+
+func TestPromoterPartialSetNotPromoted(t *testing.T) {
+	p := NewPromoter(2, 0)
+	p.Promote = func(string) (string, error) { return "v", nil }
+	p.Note("a")
+	p.Note("a")
+	p.Quiesce()
+	p.Note("b") // b is cold
+	if p.Promoted() {
+		t.Fatalf("partial region set reported promoted")
+	}
+	p.Note("b")
+	p.Quiesce()
+	if !p.Promoted() {
+		t.Fatalf("full set not promoted")
+	}
+	if p.Regions() != 2 {
+		t.Fatalf("regions: %d", p.Regions())
+	}
+}
+
+func TestPromoterEmptyAndNil(t *testing.T) {
+	p := NewPromoter(1, 0)
+	if p.Promoted() {
+		t.Fatalf("empty set reported promoted")
+	}
+	var nilP *Promoter
+	nilP.Note("x")
+	nilP.Demote("x")
+	nilP.Quiesce()
+	if nilP.Promoted() || nilP.Epoch() != 0 || nilP.Regions() != 0 {
+		t.Fatalf("nil promoter misbehaved")
+	}
+}
+
+func TestPromoterConcurrentNotes(t *testing.T) {
+	p := NewPromoter(10, 0)
+	var promotions int
+	var mu sync.Mutex
+	p.Promote = func(string) (string, error) {
+		mu.Lock()
+		promotions++
+		mu.Unlock()
+		return "v", nil
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.Note("hot")
+			}
+		}()
+	}
+	wg.Wait()
+	p.Quiesce()
+	if promotions != 1 {
+		t.Fatalf("promotion ran %d times", promotions)
+	}
+	if !p.Promoted() {
+		t.Fatalf("not promoted")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{Hit: "hit", Miss: "miss", Stale: "stale", Bypass: "bypass"} {
+		if st.String() != want {
+			t.Fatalf("%d: %s", st, st.String())
+		}
+	}
+}
+
+func TestCachePurgeAndDefaults(t *testing.T) {
+	src := newMemSource()
+	src.Add(triple("http://ex/a", "http://ex/p", "1"))
+	c := New(0, 0) // capacity default
+	c.Metrics = telemetry.NewRegistry()
+	evalThrough(t, c, src, qBase)
+	if c.Len() != 1 {
+		t.Fatalf("len: %d", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("purge left entries")
+	}
+	if _, _, st := c.Lookup(parseQ(t, qBase), src); st != Miss {
+		t.Fatalf("purged entry hit")
+	}
+	// Bypass + eviction metric paths with a registry attached.
+	bare := sourceFunc(func(s, p, o rdf.Term) []rdf.Triple { return nil })
+	c.Lookup(parseQ(t, qBase), bare)
+	if v := c.Metrics.Counter("rescache_bypass_total").Value(); v != 1 {
+		t.Fatalf("bypass counter: %v", v)
+	}
+	small := New(1, 0)
+	small.Metrics = c.Metrics
+	evalThrough(t, small, src, `SELECT ?s WHERE { ?s <http://ex/p> ?o }`)
+	evalThrough(t, small, src, `SELECT ?s WHERE { ?s <http://ex/q> ?o }`)
+	if v := c.Metrics.Counter("rescache_evictions_total").Value(); v != 1 {
+		t.Fatalf("eviction counter: %v", v)
+	}
+}
+
+func TestPromoterMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	now := time.Unix(0, 0)
+	p := NewPromoter(0, time.Minute) // promoteAfter default → 1
+	p.Metrics = reg
+	p.Now = func() time.Time { return now }
+	stamp := "v1"
+	p.Promote = func(string) (string, error) { return stamp, nil }
+	p.Check = func(string) (string, error) { return stamp, nil }
+
+	p.Note("r")
+	p.Quiesce()
+	if !p.Promoted() {
+		t.Fatalf("not promoted")
+	}
+	stamp = "v2"
+	now = now.Add(2 * time.Minute)
+	p.Promoted() // revalidate → demote
+	for name, want := range map[string]int64{
+		"promotion_started_total":       1,
+		"promotion_completed_total":     1,
+		"promotion_demotions_total":     1,
+		"promotion_revalidations_total": 1,
+	} {
+		if v := reg.Counter(name).Value(); v != want {
+			t.Fatalf("%s: %v", name, v)
+		}
+	}
+	// Failure path with metrics.
+	p2 := NewPromoter(1, 0)
+	p2.Metrics = reg
+	p2.Promote = func(string) (string, error) { return "", errors.New("x") }
+	p2.Note("r")
+	p2.Quiesce()
+	if v := reg.Counter("promotion_failed_total").Value(); v != 1 {
+		t.Fatalf("failed counter: %v", v)
+	}
+}

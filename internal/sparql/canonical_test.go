@@ -1,0 +1,470 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"applab/internal/rdf"
+)
+
+func mustParse(t testing.TB, q string) *Query {
+	t.Helper()
+	parsed, err := Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return parsed
+}
+
+func keyOf(t testing.TB, q string) string {
+	t.Helper()
+	return mustParse(t, q).PlanKey().Key
+}
+
+// TestPlanKeySlotNormalization is the regression test for keying on
+// parser-chosen variable names: two queries that differ only in their
+// variable spelling must canonicalize to the same key. Without slot
+// normalization (rendering ?x / ?y verbatim) this fails.
+func TestPlanKeySlotNormalization(t *testing.T) {
+	a := keyOf(t, `SELECT ?x WHERE { ?x <http://ex/p> ?y . FILTER(?y > 3) }`)
+	b := keyOf(t, `SELECT ?a WHERE { ?a <http://ex/p> ?b . FILTER(?b > 3) }`)
+	if a != b {
+		t.Fatalf("renamed variables changed the plan key:\n  %s\n  %s", a, b)
+	}
+	// Different structure must still separate.
+	c := keyOf(t, `SELECT ?a WHERE { ?a <http://ex/p> ?b . FILTER(?a > 3) }`)
+	if a == c {
+		t.Fatalf("filter over a different variable collided: %s", a)
+	}
+}
+
+func TestPlanKeyVarMapConsistency(t *testing.T) {
+	p1 := mustParse(t, `SELECT ?x WHERE { ?x <http://ex/p> ?y }`).PlanKey()
+	p2 := mustParse(t, `SELECT ?s WHERE { ?s <http://ex/p> ?o }`).PlanKey()
+	if p1.Key != p2.Key {
+		t.Fatalf("isomorphic queries got different keys")
+	}
+	if p1.VarMap["x"] != p2.VarMap["s"] || p1.VarMap["y"] != p2.VarMap["o"] {
+		t.Fatalf("corresponding variables map to different slots: %v vs %v", p1.VarMap, p2.VarMap)
+	}
+	if p1.VarMap["x"] == p1.VarMap["y"] {
+		t.Fatalf("distinct variables share a slot: %v", p1.VarMap)
+	}
+}
+
+func TestPlanKeyPatternReorder(t *testing.T) {
+	pats := []string{
+		`?s <http://ex/p> ?o`,
+		`?o <http://ex/q> ?v`,
+		`?s <http://ex/r> "lit"`,
+		`?v <http://ex/t> ?w`,
+	}
+	perm := func(idx ...int) string {
+		var sb strings.Builder
+		sb.WriteString("SELECT ?s WHERE { ")
+		for _, i := range idx {
+			sb.WriteString(pats[i])
+			sb.WriteString(" . ")
+		}
+		sb.WriteString("}")
+		return sb.String()
+	}
+	want := keyOf(t, perm(0, 1, 2, 3))
+	var perms [][]int
+	var gen func(cur, rest []int)
+	gen = func(cur, rest []int) {
+		if len(rest) == 0 {
+			perms = append(perms, append([]int(nil), cur...))
+			return
+		}
+		for i := range rest {
+			nr := append(append([]int(nil), rest[:i]...), rest[i+1:]...)
+			gen(append(cur, rest[i]), nr)
+		}
+	}
+	gen(nil, []int{0, 1, 2, 3})
+	for _, p := range perms {
+		if got := keyOf(t, perm(p...)); got != want {
+			t.Fatalf("permutation %v changed the key:\n  %s\n  %s", p, got, want)
+		}
+	}
+}
+
+// TestPlanKeyCycleRotation exercises the symmetric case WL coloring alone
+// cannot break: every variable of a predicate cycle has the same color,
+// so the number-render-resort fixed point must collapse the rotations.
+func TestPlanKeyCycleRotation(t *testing.T) {
+	forms := []string{
+		`SELECT ?a WHERE { ?a <http://ex/p> ?b . ?b <http://ex/p> ?c . ?c <http://ex/p> ?a }`,
+		`SELECT ?b WHERE { ?b <http://ex/p> ?c . ?c <http://ex/p> ?a . ?a <http://ex/p> ?b }`,
+		`SELECT ?x WHERE { ?z <http://ex/p> ?x . ?x <http://ex/p> ?y . ?y <http://ex/p> ?z }`,
+	}
+	want := keyOf(t, forms[0])
+	for _, f := range forms[1:] {
+		if got := keyOf(t, f); got != want {
+			t.Fatalf("cycle rotation changed the key:\n  %s\n  %s", got, want)
+		}
+	}
+}
+
+// TestPlanKeyAdjacentBGPSplit pins the join-unit coalescing: patterns
+// split across adjacent BGP blocks form one unit (as in compileGroup),
+// so the split must not reach the key.
+func TestPlanKeyAdjacentBGPSplit(t *testing.T) {
+	p := rdf.NewIRI("http://ex/p")
+	q := rdf.NewIRI("http://ex/q")
+	one := &Query{
+		Type:       QuerySelect,
+		Projection: []Projection{{Var: "s"}},
+		Where: &Group{Elements: []Element{
+			BGP{Patterns: []TriplePattern{
+				{S: Vart("s"), P: Const(p), O: Vart("o")},
+				{S: Vart("o"), P: Const(q), O: Vart("v")},
+			}},
+		}},
+		Limit: -1,
+	}
+	split := &Query{
+		Type:       QuerySelect,
+		Projection: []Projection{{Var: "s"}},
+		Where: &Group{Elements: []Element{
+			BGP{Patterns: []TriplePattern{{S: Vart("o"), P: Const(q), O: Vart("v")}}},
+			BGP{Patterns: []TriplePattern{{S: Vart("s"), P: Const(p), O: Vart("o")}}},
+		}},
+		Limit: -1,
+	}
+	if one.PlanKey().Key != split.PlanKey().Key {
+		t.Fatalf("adjacent BGP split changed the key")
+	}
+}
+
+func TestPlanKeyConstantFolding(t *testing.T) {
+	a := keyOf(t, `SELECT ?v WHERE { ?s <http://ex/p> ?v . FILTER(?v > 2 + 3) }`)
+	b := keyOf(t, `SELECT ?v WHERE { ?s <http://ex/p> ?v . FILTER(?v > 5) }`)
+	if a != b {
+		t.Fatalf("constant-folded filter changed the key:\n  %s\n  %s", a, b)
+	}
+	// A fold that would error at runtime (division by zero) must be left
+	// alone, not collapsed onto some other constant.
+	c := keyOf(t, `SELECT ?v WHERE { ?s <http://ex/p> ?v . FILTER(?v > 1 / 0) }`)
+	if c == a {
+		t.Fatalf("erroring constant expression was folded")
+	}
+}
+
+func TestPlanKeyWhitespace(t *testing.T) {
+	a := keyOf(t, `SELECT ?s WHERE { ?s <http://ex/p> ?o . FILTER(?o > 1) }`)
+	b := keyOf(t, "SELECT   ?s\nWHERE {\n\t?s <http://ex/p> ?o .\n\tFILTER( ?o > 1 )\n}")
+	if a != b {
+		t.Fatalf("whitespace changed the key")
+	}
+}
+
+// TestPlanKeyFilterPosition pins the conservative choice: this engine
+// applies filters positionally, so moving a filter across a pattern is
+// not a rewrite the key may erase.
+func TestPlanKeyFilterPosition(t *testing.T) {
+	a := keyOf(t, `SELECT ?s WHERE { ?s <http://ex/p> ?o . FILTER(?v > 1) ?o <http://ex/q> ?v }`)
+	b := keyOf(t, `SELECT ?s WHERE { ?s <http://ex/p> ?o . ?o <http://ex/q> ?v . FILTER(?v > 1) }`)
+	if a == b {
+		t.Fatalf("filter position was erased from the key")
+	}
+}
+
+func TestPlanKeyDistinctQueries(t *testing.T) {
+	queries := []string{
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o }`,
+		`SELECT ?s WHERE { ?s <http://ex/q> ?o }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> "x" }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> "y" }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o } LIMIT 3`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o } LIMIT 3 OFFSET 2`,
+		`SELECT DISTINCT ?s WHERE { ?s <http://ex/p> ?o }`,
+		`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o } ORDER BY ?o`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o } ORDER BY DESC(?o)`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o . OPTIONAL { ?s <http://ex/q> ?v } }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o . ?s <http://ex/q> ?v }`,
+		`SELECT ?s WHERE { { ?s <http://ex/p> ?o } UNION { ?s <http://ex/q> ?o } }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o . FILTER(?o > 1) }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o . FILTER(?o >= 1) }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o . FILTER EXISTS { ?s <http://ex/q> ?v } }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o . FILTER NOT EXISTS { ?s <http://ex/q> ?v } }`,
+		`SELECT (COUNT(?o) AS ?n) WHERE { ?s <http://ex/p> ?o }`,
+		`SELECT (SUM(?o) AS ?n) WHERE { ?s <http://ex/p> ?o }`,
+		`SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s <http://ex/p> ?o } GROUP BY ?s`,
+		`ASK { ?s <http://ex/p> ?o }`,
+		`CONSTRUCT { ?s <http://ex/derived> ?o } WHERE { ?s <http://ex/p> ?o }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o . VALUES ?o { "a" "b" } }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o . VALUES ?o { "a" "c" } }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o . BIND(?o + 1 AS ?v) }`,
+	}
+	seen := map[string]string{}
+	for _, q := range queries {
+		k := keyOf(t, q)
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("key collision between distinct queries:\n  %s\n  %s", prev, q)
+		}
+		seen[k] = q
+	}
+}
+
+// ---- fuzzing ----
+
+// renameVars rewrites every variable through f — a semantics-preserving
+// transform as long as f is injective on the query's names.
+func renameVars(q *Query, f func(string) string) *Query {
+	var rex func(e Expr) Expr
+	rex = func(e Expr) Expr {
+		switch x := e.(type) {
+		case VarExpr:
+			return VarExpr{Name: f(x.Name)}
+		case BinaryExpr:
+			return BinaryExpr{Op: x.Op, L: rex(x.L), R: rex(x.R)}
+		case UnaryExpr:
+			return UnaryExpr{Op: x.Op, X: rex(x.X)}
+		case CallExpr:
+			args := make([]Expr, len(x.Args))
+			for i, a := range x.Args {
+				args[i] = rex(a)
+			}
+			return CallExpr{IRI: x.IRI, Args: args}
+		default:
+			return e
+		}
+	}
+	rpt := func(pt PatternTerm) PatternTerm {
+		if pt.IsVar() {
+			return PatternTerm{Var: f(pt.Var)}
+		}
+		return pt
+	}
+	rtp := func(tp TriplePattern) TriplePattern {
+		return TriplePattern{S: rpt(tp.S), P: rpt(tp.P), O: rpt(tp.O)}
+	}
+	var rg func(g *Group) *Group
+	rg = func(g *Group) *Group {
+		if g == nil {
+			return nil
+		}
+		out := &Group{}
+		for _, el := range g.Elements {
+			switch e := el.(type) {
+			case BGP:
+				pats := make([]TriplePattern, len(e.Patterns))
+				for i, tp := range e.Patterns {
+					pats[i] = rtp(tp)
+				}
+				out.Elements = append(out.Elements, BGP{Patterns: pats})
+			case Filter:
+				out.Elements = append(out.Elements, Filter{Expr: rex(e.Expr)})
+			case Optional:
+				out.Elements = append(out.Elements, Optional{Group: rg(e.Group)})
+			case Union:
+				alts := make([]*Group, len(e.Alternatives))
+				for i, a := range e.Alternatives {
+					alts[i] = rg(a)
+				}
+				out.Elements = append(out.Elements, Union{Alternatives: alts})
+			case SubGroup:
+				out.Elements = append(out.Elements, SubGroup{Group: rg(e.Group)})
+			case Exists:
+				out.Elements = append(out.Elements, Exists{Negated: e.Negated, Group: rg(e.Group)})
+			case Bind:
+				out.Elements = append(out.Elements, Bind{Var: f(e.Var), Expr: rex(e.Expr)})
+			case Values:
+				vars := make([]string, len(e.Vars))
+				for i, v := range e.Vars {
+					vars[i] = f(v)
+				}
+				out.Elements = append(out.Elements, Values{Vars: vars, Rows: e.Rows})
+			}
+		}
+		return out
+	}
+	nq := *q
+	nq.Where = rg(q.Where)
+	nq.Projection = nil
+	for _, pr := range q.Projection {
+		np := Projection{Var: f(pr.Var)}
+		if pr.Expr != nil {
+			np.Expr = rex(pr.Expr)
+		}
+		if pr.Agg != nil {
+			agg := *pr.Agg
+			if agg.Arg != nil {
+				agg.Arg = rex(agg.Arg)
+			}
+			np.Agg = &agg
+		}
+		nq.Projection = append(nq.Projection, np)
+	}
+	nq.GroupBy = nil
+	for _, gv := range q.GroupBy {
+		nq.GroupBy = append(nq.GroupBy, f(gv))
+	}
+	nq.OrderBy = nil
+	for _, ok := range q.OrderBy {
+		nq.OrderBy = append(nq.OrderBy, OrderKey{Expr: rex(ok.Expr), Desc: ok.Desc})
+	}
+	nq.Template = nil
+	for _, tp := range q.Template {
+		nq.Template = append(nq.Template, rtp(tp))
+	}
+	return &nq
+}
+
+// reverseBGPs reverses pattern order inside every BGP — a rewrite inside
+// the planner's join unit, so it must be key-invariant.
+func reverseBGPs(q *Query) *Query {
+	var rg func(g *Group) *Group
+	rg = func(g *Group) *Group {
+		if g == nil {
+			return nil
+		}
+		out := &Group{}
+		for _, el := range g.Elements {
+			switch e := el.(type) {
+			case BGP:
+				pats := make([]TriplePattern, len(e.Patterns))
+				for i, tp := range e.Patterns {
+					pats[len(pats)-1-i] = tp
+				}
+				out.Elements = append(out.Elements, BGP{Patterns: pats})
+			case Optional:
+				out.Elements = append(out.Elements, Optional{Group: rg(e.Group)})
+			case Union:
+				alts := make([]*Group, len(e.Alternatives))
+				for i, a := range e.Alternatives {
+					alts[i] = rg(a)
+				}
+				out.Elements = append(out.Elements, Union{Alternatives: alts})
+			case SubGroup:
+				out.Elements = append(out.Elements, SubGroup{Group: rg(e.Group)})
+			case Exists:
+				out.Elements = append(out.Elements, Exists{Negated: e.Negated, Group: rg(e.Group)})
+			default:
+				out.Elements = append(out.Elements, el)
+			}
+		}
+		return out
+	}
+	nq := *q
+	nq.Where = rg(q.Where)
+	return &nq
+}
+
+// splitBGPs splits every multi-pattern BGP into adjacent single-pattern
+// BGPs — coalesced back into one unit by the compiler, so key-invariant.
+func splitBGPs(q *Query) *Query {
+	var rg func(g *Group) *Group
+	rg = func(g *Group) *Group {
+		if g == nil {
+			return nil
+		}
+		out := &Group{}
+		for _, el := range g.Elements {
+			switch e := el.(type) {
+			case BGP:
+				for _, tp := range e.Patterns {
+					out.Elements = append(out.Elements, BGP{Patterns: []TriplePattern{tp}})
+				}
+			case Optional:
+				out.Elements = append(out.Elements, Optional{Group: rg(e.Group)})
+			case Union:
+				alts := make([]*Group, len(e.Alternatives))
+				for i, a := range e.Alternatives {
+					alts[i] = rg(a)
+				}
+				out.Elements = append(out.Elements, Union{Alternatives: alts})
+			case SubGroup:
+				out.Elements = append(out.Elements, SubGroup{Group: rg(e.Group)})
+			case Exists:
+				out.Elements = append(out.Elements, Exists{Negated: e.Negated, Group: rg(e.Group)})
+			default:
+				out.Elements = append(out.Elements, el)
+			}
+		}
+		return out
+	}
+	nq := *q
+	nq.Where = rg(q.Where)
+	return &nq
+}
+
+func FuzzPlanKey(f *testing.F) {
+	seeds := []string{
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o }`,
+		`SELECT ?x ?y WHERE { ?x <http://ex/p> ?y . ?y <http://ex/q> ?z . FILTER(?z > 1 + 2) }`,
+		`SELECT ?a WHERE { ?a <http://ex/p> ?b . ?b <http://ex/p> ?c . ?c <http://ex/p> ?a }`,
+		`SELECT DISTINCT ?s WHERE { { ?s <http://ex/p> ?o } UNION { ?s <http://ex/q> ?o } } ORDER BY ?s LIMIT 5`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o . OPTIONAL { ?o <http://ex/q> ?v . FILTER(?v != "x") } }`,
+		`SELECT (COUNT(?o) AS ?n) ?s WHERE { ?s <http://ex/p> ?o } GROUP BY ?s`,
+		`ASK { ?s <http://ex/p> ?o . ?o <http://ex/q> "lit" }`,
+		`CONSTRUCT { ?s <http://ex/d> ?o } WHERE { ?s <http://ex/p> ?o . BIND(?o + 1 AS ?v) . FILTER(?v < 10) }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o . VALUES ?o { "a" "b" } . FILTER EXISTS { ?s <http://ex/q> ?w } }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			t.Skip()
+		}
+		base := q.PlanKey()
+
+		// Variable renaming is invisible.
+		renamed := renameVars(q, func(v string) string { return "zz_" + v })
+		if got := renamed.PlanKey(); got.Key != base.Key {
+			t.Fatalf("rename changed key for %q:\n  %s\n  %s", input, base.Key, got.Key)
+		}
+
+		// Pattern order inside a join unit is invisible.
+		if got := reverseBGPs(q).PlanKey(); got.Key != base.Key {
+			t.Fatalf("BGP reversal changed key for %q:\n  %s\n  %s", input, base.Key, got.Key)
+		}
+
+		// Splitting a unit across adjacent BGP blocks is invisible.
+		if got := splitBGPs(q).PlanKey(); got.Key != base.Key {
+			t.Fatalf("BGP split changed key for %q:\n  %s\n  %s", input, base.Key, got.Key)
+		}
+
+		// Composition of all three is invisible.
+		combo := splitBGPs(reverseBGPs(renameVars(q, func(v string) string { return v + "_r" })))
+		if got := combo.PlanKey(); got.Key != base.Key {
+			t.Fatalf("combined rewrite changed key for %q", input)
+		}
+
+		// A semantic change must separate: LIMIT is part of the answer.
+		mutated := *q
+		if mutated.Limit < 0 {
+			mutated.Limit = 1
+		} else {
+			mutated.Limit++
+		}
+		if got := mutated.PlanKey(); got.Key == base.Key {
+			t.Fatalf("limit mutation kept the key for %q: %s", input, base.Key)
+		}
+
+		// VarMap must be a bijection onto the slots used in the key.
+		inv := map[string]string{}
+		for name, slot := range base.VarMap {
+			if prev, ok := inv[slot]; ok {
+				t.Fatalf("two variables (%s, %s) share slot %s for %q", prev, name, slot, input)
+			}
+			inv[slot] = name
+		}
+	})
+}
+
+func BenchmarkPlanKey(b *testing.B) {
+	q := mustParse(b, `SELECT ?s ?lai WHERE { ?s <http://ex/p> ?o . ?o <http://ex/q> ?lai . FILTER(?lai > 0) }`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = q.PlanKey()
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debugging helpers

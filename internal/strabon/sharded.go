@@ -95,6 +95,26 @@ func (s *ShardedStore) Close() error {
 // Shards exposes the per-shard stores (metrics registration).
 func (s *ShardedStore) Shards() []*Store { return s.shards }
 
+// DataEpoch sums the per-shard epochs — sound because each component is
+// monotonic, so the sum moves on every mutation anywhere in the set.
+func (s *ShardedStore) DataEpoch() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		total += sh.DataEpoch()
+	}
+	return total
+}
+
+// Fingerprint composes the shard fingerprints, so the sharded wrapper's
+// cache identity changes whenever any shard instance is replaced.
+func (s *ShardedStore) Fingerprint() string {
+	fp := "sharded"
+	for _, sh := range s.shards {
+		fp += "|" + sh.Fingerprint()
+	}
+	return fp
+}
+
 // ShardCount returns the number of shards.
 func (s *ShardedStore) ShardCount() int { return len(s.shards) }
 

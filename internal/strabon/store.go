@@ -22,6 +22,7 @@ import (
 	"applab/internal/geom/rtree"
 	"applab/internal/geosparql"
 	"applab/internal/rdf"
+	"applab/internal/rescache"
 	"applab/internal/segment"
 	"applab/internal/sparql"
 )
@@ -72,6 +73,11 @@ type Store struct {
 	obs      []Observation             // sorted by Time
 	// validTime holds triples with attached valid-time, sorted by ValidFrom.
 	validTime []rdf.Triple
+
+	// epoch counts mutations that changed data; fingerprint identifies
+	// this store instance (see DataEpoch / Fingerprint).
+	epoch       uint64
+	fingerprint string
 }
 
 // New returns an empty in-memory store and ensures the geof:* functions
@@ -80,7 +86,7 @@ type Store struct {
 // this); use Open for a disk-backed store.
 func New() *Store {
 	geosparql.Register()
-	return &Store{eng: segment.New(), dirty: true}
+	return &Store{eng: segment.New(), dirty: true, fingerprint: rescache.NextFingerprint("strabon")}
 }
 
 // Open opens (creating if needed) a disk-backed store in dir: the
@@ -93,7 +99,7 @@ func Open(dir string, opts segment.Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{eng: eng, dirty: true}, nil
+	return &Store{eng: eng, dirty: true, fingerprint: rescache.NextFingerprint("strabon")}, nil
 }
 
 // Engine exposes the storage engine (metrics registration, stats).
@@ -141,6 +147,7 @@ func (s *Store) Add(t rdf.Triple) {
 	}
 	if changed {
 		s.dirty = true
+		s.epoch++
 	}
 }
 
@@ -154,6 +161,7 @@ func (s *Store) AddAll(ts []rdf.Triple) {
 	}
 	if changed {
 		s.dirty = true
+		s.epoch++
 	}
 }
 
@@ -168,7 +176,26 @@ func (s *Store) Delete(t rdf.Triple) {
 	}
 	if changed {
 		s.dirty = true
+		s.epoch++
 	}
+}
+
+// DataEpoch returns a counter bumped on every mutation that changed
+// data. Result caches (internal/rescache) validate entries against it;
+// reading it before evaluation and comparing after makes mid-eval
+// writes conservatively invalidating.
+func (s *Store) DataEpoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// Fingerprint identifies this store *instance*. A store reopened from
+// disk mints a fresh fingerprint — its epoch restarts at zero, so cache
+// entries from the previous instance must become unreachable rather
+// than wrongly validate.
+func (s *Store) Fingerprint() string {
+	return s.fingerprint
 }
 
 // Len returns the number of stored triples.
