@@ -42,7 +42,7 @@ go test -race ./internal/sparql/ ./internal/strabon/ ./internal/opendap/ \
     ./internal/telemetry/ ./internal/admission/ ./internal/e2e/ \
     ./internal/segment/ ./internal/geom/ ./internal/geom/rtree/ \
     ./internal/geosparql/ ./internal/geographica/ \
-    ./internal/rescache/ ./internal/obda/
+    ./internal/rescache/ ./internal/obda/ ./internal/cluster/
 
 echo "== e2e golden suite (both workflows over live loopback servers)"
 make e2e
@@ -74,6 +74,7 @@ check_cover ./internal/segment/ 90
 check_cover ./internal/geom/ 85
 check_cover ./internal/geom/rtree/ 85
 check_cover ./internal/rescache/ 90
+check_cover ./internal/cluster/ 85
 
 echo "== fuzz smoke (seed corpus + a few seconds of mutation)"
 # One -fuzz target per invocation: the flag rejects patterns matching
@@ -87,6 +88,7 @@ go test -run='^$' -fuzz='^FuzzPlanKey$' -fuzztime=3s ./internal/sparql/
 go test -run='^$' -fuzz='^FuzzLoad$' -fuzztime=3s ./internal/strabon/
 go test -run='^$' -fuzz='^FuzzSegmentOpen$' -fuzztime=3s ./internal/segment/
 go test -run='^$' -fuzz='^FuzzWALReplay$' -fuzztime=3s ./internal/segment/
+go test -run='^$' -fuzz='^FuzzWireDecode$' -fuzztime=3s ./internal/cluster/
 
 echo "== budget overhead gate (budgeted vs unlimited engine)"
 # Query budgets may not slow the engine down: applab-bench fails when
@@ -114,6 +116,13 @@ echo "== result cache gate (federated collapse + lookup overhead)"
 # Lookup path (Bypass on an anonymous source) may not cost
 # Engine_BGPJoin more than 5% ns/op.
 go run ./cmd/applab-bench -cache-json BENCH_PR9.json
+
+echo "== cluster serving gate (read scaling + hedged tail latency)"
+# The replicated cluster must scale: 4 nodes serve the routed read
+# workload at least 2.5x faster than 1 node in the deterministic
+# queueing model, hedged reads must cut the slow-replica p99 at least
+# 3x, and no hedged read may ever return duplicate rows.
+go run ./cmd/applab-bench -cluster-json BENCH_PR10.json
 
 echo "== bench compile smoke"
 # Benchmarks must at least compile and run one iteration; keeps the

@@ -1,0 +1,422 @@
+package main
+
+// The -cluster-json mode measures the replicated cluster serving layer
+// from two directions, both deterministically on the faults fake clock
+// (zero real sleeps, so the gate is immune to CI machine noise and core
+// counts).
+//
+// Scaling: routed subject-bound reads run closed-loop against a
+// single-server queueing model of node capacity — every RPC occupies
+// its node exclusively for a fixed 1ms service time, the textbook model
+// of a remote replica bound by its own CPU/disk. Four nodes holding
+// four shards must sustain >= 2.5x the read throughput of one node
+// holding everything, in simulated time.
+//
+// Hedging: a scripted 40ms-slow replica leads one replica group. With
+// hedging disabled every read routed there waits out the full delay;
+// with a 5ms hedge the coordinator duplicates the read to the fast
+// peer and takes the first answer. The hedged p99 must be >= 3x lower,
+// and no read may return duplicate rows (first-wins suppression).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"applab/internal/cluster"
+	"applab/internal/faults"
+	"applab/internal/rdf"
+	"applab/internal/telemetry"
+)
+
+// minClusterReadSpeedup is the floor on 4-node vs 1-node read
+// throughput in the queueing model.
+const minClusterReadSpeedup = 2.5
+
+// minHedgeP99Cut is the floor on the slow-replica p99 reduction that
+// hedged reads must deliver.
+const minHedgeP99Cut = 3.0
+
+// clusterServiceTime is the modeled per-RPC node occupancy.
+const clusterServiceTime = time.Millisecond
+
+type clusterScaleRecord struct {
+	Workers       int     `json:"workers"`
+	Reads         int     `json:"reads"`
+	ServiceMS     float64 `json:"service_ms"`
+	SingleNodes   int     `json:"single_nodes"`
+	ClusterNodes  int     `json:"cluster_nodes"`
+	SingleQPS     float64 `json:"single_qps"`
+	ClusterQPS    float64 `json:"cluster_qps"`
+	Speedup       float64 `json:"speedup"`
+	FloorSpeedup  float64 `json:"floor_speedup"`
+	SimulatedTime bool    `json:"simulated_time"`
+}
+
+type clusterHedgeRecord struct {
+	Reads         int     `json:"reads"`
+	SlowDelayMS   float64 `json:"slow_delay_ms"`
+	HedgeAfterMS  float64 `json:"hedge_after_ms"`
+	UnhedgedP99MS float64 `json:"unhedged_p99_ms"`
+	HedgedP99MS   float64 `json:"hedged_p99_ms"`
+	P99Cut        float64 `json:"p99_cut"`
+	FloorCut      float64 `json:"floor_cut"`
+	Hedges        int64   `json:"hedges"`
+	HedgeWins     int64   `json:"hedge_wins"`
+	DuplicateRows bool    `json:"duplicate_rows"`
+}
+
+type clusterBenchReport struct {
+	Scale clusterScaleRecord `json:"scale"`
+	Hedge clusterHedgeRecord `json:"hedge"`
+}
+
+// modelTransport imposes the single-server queueing model: each call
+// waits for exclusive use of its target node, then for the service
+// time, on the fake clock, before the in-memory node answers.
+type modelTransport struct {
+	inner   *cluster.MemNetwork
+	clk     *faults.Clock
+	service time.Duration
+
+	mu     sync.Mutex
+	tokens map[string]chan struct{}
+}
+
+// nodeToken returns the node's single-slot token channel; holding the
+// token models exclusive use of that node's one server.
+func (t *modelTransport) nodeToken(node string) chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tokens[node] == nil {
+		t.tokens[node] = make(chan struct{}, 1)
+	}
+	return t.tokens[node]
+}
+
+func (t *modelTransport) Call(ctx context.Context, node string, req cluster.Message) (cluster.Message, error) {
+	tok := t.nodeToken(node)
+	select {
+	case tok <- struct{}{}:
+	case <-ctx.Done():
+		return cluster.Message{}, ctx.Err()
+	}
+	defer func() { <-tok }()
+	select {
+	case <-t.clk.After(t.service):
+	case <-ctx.Done():
+		return cluster.Message{}, ctx.Err()
+	}
+	return t.inner.Call(ctx, node, req)
+}
+
+// driveClock steps the fake clock until done closes, so every modeled
+// wait makes progress without real sleeping.
+func driveClock(clk *faults.Clock, done <-chan struct{}) error {
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			return nil
+		default:
+		}
+		if i > 20_000_000 {
+			return fmt.Errorf("cluster bench: fake clock made no progress")
+		}
+		clk.Advance(time.Millisecond)
+		runtime.Gosched()
+	}
+}
+
+func clusterBenchSubject(i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("http://bench/cluster/s%d", i))
+}
+
+func clusterBenchTriple(i int) rdf.Triple {
+	return rdf.Triple{
+		S: clusterBenchSubject(i),
+		P: rdf.NewIRI("http://bench/p"),
+		O: rdf.NewLiteral(fmt.Sprintf("v%d", i)),
+	}
+}
+
+// newModelCluster boots nodes under the queueing model and preloads
+// nsubj single-triple subjects (loaded before the service clock
+// matters, through the same transport).
+func newModelCluster(groups [][]string, nodes []string, clk *faults.Clock, nsubj int) (*cluster.Coordinator, error) {
+	net := cluster.NewMemNetwork()
+	net.After = clk.After
+	for _, id := range nodes {
+		net.AddNode(cluster.NewNode(id))
+	}
+	tr := &modelTransport{inner: net, clk: clk, service: clusterServiceTime, tokens: map[string]chan struct{}{}}
+	c, err := cluster.NewCoordinator(cluster.Config{
+		Groups:     groups,
+		Transport:  tr,
+		Now:        clk.Now,
+		After:      clk.After,
+		HedgeAfter: time.Hour, // scaling leg measures queueing, not hedging
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts := make([]rdf.Triple, nsubj)
+	for i := range ts {
+		ts[i] = clusterBenchTriple(i)
+	}
+	var applied []rdf.Triple
+	var aerr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		applied, aerr = c.AddAll(context.Background(), ts)
+	}()
+	if err := driveClock(clk, done); err != nil {
+		return nil, err
+	}
+	if aerr != nil || len(applied) != nsubj {
+		return nil, fmt.Errorf("cluster bench preload: %d/%d applied: %v", len(applied), nsubj, aerr)
+	}
+	return c, nil
+}
+
+// readThroughput runs workers doing closed-loop routed reads and
+// reports simulated-time QPS.
+func readThroughput(c *cluster.Coordinator, clk *faults.Clock, workers, readsPerWorker, nsubj int) (float64, error) {
+	// Round-robin subjects across shards so the read stream spreads over
+	// every replica group; stagger workers to avoid convoying.
+	byShard := make([][]rdf.Term, c.Shards())
+	for i := 0; i < nsubj; i++ {
+		s := clusterBenchSubject(i)
+		frag, _ := c.Route(s, rdf.Term{}, rdf.Term{})
+		byShard[frag] = append(byShard[frag], s)
+	}
+	var stream []rdf.Term
+	for i := 0; len(stream) < workers*readsPerWorker; i++ {
+		for _, shard := range byShard {
+			if len(shard) > 0 {
+				stream = append(stream, shard[i%len(shard)])
+			}
+		}
+	}
+	start := clk.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < readsPerWorker; i++ {
+				s := stream[(w*readsPerWorker+i+w*7)%len(stream)]
+				if rows := c.Match(s, rdf.Term{}, rdf.Term{}); len(rows) != 1 {
+					errs[w] = fmt.Errorf("read of %s returned %d rows", s.Value, len(rows))
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	if err := driveClock(clk, done); err != nil {
+		return 0, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	elapsed := clk.Now().Sub(start)
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("cluster bench: zero simulated elapsed time")
+	}
+	return float64(workers*readsPerWorker) / elapsed.Seconds(), nil
+}
+
+func runClusterScale() (clusterScaleRecord, error) {
+	const (
+		workers = 8
+		reads   = 75 // per worker
+		nsubj   = 256
+	)
+	rec := clusterScaleRecord{
+		Workers: workers, Reads: workers * reads,
+		ServiceMS:    float64(clusterServiceTime) / float64(time.Millisecond),
+		SingleNodes:  1,
+		ClusterNodes: 4,
+		FloorSpeedup: minClusterReadSpeedup, SimulatedTime: true,
+	}
+
+	clk1 := faults.NewClock(time.Unix(1700000000, 0))
+	single, err := newModelCluster([][]string{{"m1"}}, []string{"m1"}, clk1, nsubj)
+	if err != nil {
+		return rec, err
+	}
+	rec.SingleQPS, err = readThroughput(single, clk1, workers, reads, nsubj)
+	if err != nil {
+		return rec, fmt.Errorf("single-node leg: %w", err)
+	}
+
+	clk4 := faults.NewClock(time.Unix(1700000000, 0))
+	groups := [][]string{{"m1", "m2"}, {"m2", "m3"}, {"m3", "m4"}, {"m4", "m1"}}
+	quad, err := newModelCluster(groups, []string{"m1", "m2", "m3", "m4"}, clk4, nsubj)
+	if err != nil {
+		return rec, err
+	}
+	rec.ClusterQPS, err = readThroughput(quad, clk4, workers, reads, nsubj)
+	if err != nil {
+		return rec, fmt.Errorf("4-node leg: %w", err)
+	}
+	if rec.SingleQPS > 0 {
+		rec.Speedup = rec.ClusterQPS / rec.SingleQPS
+	}
+	return rec, nil
+}
+
+// hedgeLatencies measures per-read latency in simulated time against a
+// 3-node cluster whose shard-0 leader answers slowly.
+func hedgeLatencies(hedgeAfter time.Duration, slow time.Duration, reads int, reg *telemetry.Registry) ([]time.Duration, bool, error) {
+	clk := faults.NewClock(time.Unix(1700000000, 0))
+	net := cluster.NewMemNetwork()
+	net.After = clk.After
+	for _, id := range []string{"h1", "h2", "h3"} {
+		net.AddNode(cluster.NewNode(id))
+	}
+	c, err := cluster.NewCoordinator(cluster.Config{
+		Groups:     [][]string{{"h1", "h2"}, {"h2", "h3"}, {"h3", "h1"}},
+		Transport:  net,
+		Metrics:    reg,
+		Now:        clk.Now,
+		After:      clk.After,
+		HedgeAfter: hedgeAfter,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	// Find subjects whose placement group is led by the slow node, and
+	// load one triple for each.
+	var subjects []rdf.Term
+	var ts []rdf.Triple
+	for i := 0; len(subjects) < reads; i++ {
+		s := clusterBenchSubject(i)
+		if frag, ok := c.Route(s, rdf.Term{}, rdf.Term{}); ok && frag == 0 {
+			subjects = append(subjects, s)
+			ts = append(ts, clusterBenchTriple(i))
+		}
+	}
+	if _, err := c.AddAll(context.Background(), ts); err != nil {
+		return nil, false, err
+	}
+	net.SetSlow("h1", slow)
+
+	var lats []time.Duration
+	duplicates := false
+	for _, s := range subjects {
+		start := clk.Now()
+		var rows []rdf.Triple
+		done := make(chan struct{})
+		go func(s rdf.Term) {
+			defer close(done)
+			rows = c.Match(s, rdf.Term{}, rdf.Term{})
+		}(s)
+		if err := driveClock(clk, done); err != nil {
+			return nil, false, err
+		}
+		if len(rows) != 1 {
+			duplicates = duplicates || len(rows) > 1
+			if len(rows) == 0 {
+				return nil, false, fmt.Errorf("hedged read of %s lost its row", s.Value)
+			}
+		}
+		lats = append(lats, clk.Now().Sub(start))
+	}
+	return lats, duplicates, nil
+}
+
+func p99(lats []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(float64(len(sorted)) * 0.99)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func runClusterHedge() (clusterHedgeRecord, error) {
+	const (
+		reads      = 100
+		slowDelay  = 40 * time.Millisecond
+		hedgeDelay = 5 * time.Millisecond
+	)
+	rec := clusterHedgeRecord{
+		Reads:        reads,
+		SlowDelayMS:  float64(slowDelay) / float64(time.Millisecond),
+		HedgeAfterMS: float64(hedgeDelay) / float64(time.Millisecond),
+		FloorCut:     minHedgeP99Cut,
+	}
+	unhedged, dup1, err := hedgeLatencies(time.Hour, slowDelay, reads, nil)
+	if err != nil {
+		return rec, fmt.Errorf("unhedged leg: %w", err)
+	}
+	reg := telemetry.NewRegistry()
+	hedged, dup2, err := hedgeLatencies(hedgeDelay, slowDelay, reads, reg)
+	if err != nil {
+		return rec, fmt.Errorf("hedged leg: %w", err)
+	}
+	snap := reg.Snapshot()
+	rec.Hedges = int64(snap.Counters["cluster_hedges_total"])
+	rec.HedgeWins = int64(snap.Counters["cluster_hedge_wins_total"])
+	rec.UnhedgedP99MS = float64(p99(unhedged)) / float64(time.Millisecond)
+	rec.HedgedP99MS = float64(p99(hedged)) / float64(time.Millisecond)
+	if rec.HedgedP99MS > 0 {
+		rec.P99Cut = rec.UnhedgedP99MS / rec.HedgedP99MS
+	}
+	rec.DuplicateRows = dup1 || dup2
+	return rec, nil
+}
+
+// runClusterBenchJSON runs both cluster benchmarks, writes the report,
+// and fails when the scaling or hedging floor is blown or a hedged read
+// produced duplicate rows.
+func runClusterBenchJSON(path string) error {
+	scale, err := runClusterScale()
+	if err != nil {
+		return fmt.Errorf("scale: %w", err)
+	}
+	fmt.Printf("reads x%d, %d workers, %.0fms service: 1 node %.0f q/s, 4 nodes %.0f q/s (%.2fx, floor %.1fx, simulated time)\n",
+		scale.Reads, scale.Workers, scale.ServiceMS, scale.SingleQPS, scale.ClusterQPS, scale.Speedup, scale.FloorSpeedup)
+
+	hedge, err := runClusterHedge()
+	if err != nil {
+		return fmt.Errorf("hedge: %w", err)
+	}
+	fmt.Printf("slow replica %.0fms: p99 %.1fms unhedged vs %.1fms hedged (%.1fx cut, floor %.1fx; %d hedges, %d wins, duplicates=%v)\n",
+		hedge.SlowDelayMS, hedge.UnhedgedP99MS, hedge.HedgedP99MS, hedge.P99Cut, hedge.FloorCut,
+		hedge.Hedges, hedge.HedgeWins, hedge.DuplicateRows)
+
+	report := clusterBenchReport{Scale: scale, Hedge: hedge}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if scale.Speedup < scale.FloorSpeedup {
+		return fmt.Errorf("4-node read throughput only %.2fx of 1 node, floor is %.1fx", scale.Speedup, scale.FloorSpeedup)
+	}
+	if hedge.P99Cut < hedge.FloorCut {
+		return fmt.Errorf("hedging cut slow-replica p99 only %.2fx, floor is %.1fx", hedge.P99Cut, hedge.FloorCut)
+	}
+	if hedge.DuplicateRows {
+		return fmt.Errorf("hedged reads returned duplicate rows")
+	}
+	if hedge.Hedges == 0 {
+		return fmt.Errorf("hedged leg recorded no hedges")
+	}
+	return nil
+}

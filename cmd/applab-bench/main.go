@@ -36,6 +36,7 @@ func main() {
 		segPath    = flag.String("segment-json", "", "benchmark the disk-backed segment store (ingest, cold start vs .astr, memory-mode query overhead), write the report to this file (enforcing the Engine_BGPJoin overhead budget), then exit")
 		spatPath   = flag.String("spatial-json", "", "benchmark the spatial join vs per-row filtering on Geographica join queries, write the report to this file (enforcing the speedup floor and the Engine_BGPJoin overhead budget), then exit")
 		cachePath  = flag.String("cache-json", "", "benchmark the plan-keyed result cache (federated upstream-request collapse and per-query lookup overhead), write the report to this file (enforcing the collapse floor and the Engine_BGPJoin overhead budget), then exit")
+		clustPath  = flag.String("cluster-json", "", "benchmark cluster serving (4-node vs 1-node read throughput in the queueing model, hedged vs unhedged slow-replica p99) on the deterministic fake clock, write the report to this file (enforcing the scaling and hedging floors), then exit")
 	)
 	flag.Parse()
 
@@ -72,6 +73,12 @@ func main() {
 	if *cachePath != "" {
 		if err := runCacheBenchJSON(*cachePath); err != nil {
 			log.Fatalf("cache bench: %v", err)
+		}
+		return
+	}
+	if *clustPath != "" {
+		if err := runClusterBenchJSON(*clustPath); err != nil {
+			log.Fatalf("cluster bench: %v", err)
 		}
 		return
 	}

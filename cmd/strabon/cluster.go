@@ -1,0 +1,81 @@
+package main
+
+// Cluster modes of the strabon command.
+//
+// Node mode (-cluster-node ADDR) turns the process into a shard server:
+// it answers the versioned cluster RPC protocol on ADDR and holds the
+// replica stores for whatever shards the coordinator routes to it. It
+// loads nothing itself — replicas are populated by coordinator writes,
+// snapshot installs, and log-tail catch-up.
+//
+// Coordinator mode (-cluster "a,b;b,c;c,a") makes the serving process a
+// cluster coordinator instead of a local store: each ';'-separated
+// replica group lists the node addresses holding one shard, -load
+// batches are replicated through the shard write path, and the SPARQL
+// endpoint evaluates through the exchange operator with hedged reads,
+// demotion, and partial degradation (X-Applab-Partial).
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"time"
+
+	"applab/internal/cluster"
+)
+
+// parseClusterGroups parses the -cluster spec: ';' separates replica
+// groups, ',' separates the node addresses within a group.
+func parseClusterGroups(spec string) ([][]string, error) {
+	var groups [][]string
+	for _, g := range strings.Split(spec, ";") {
+		var members []string
+		for _, m := range strings.Split(g, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		if len(members) == 0 {
+			return nil, fmt.Errorf("cluster: empty replica group in spec %q", spec)
+		}
+		groups = append(groups, members)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("cluster: no replica groups in spec %q", spec)
+	}
+	return groups, nil
+}
+
+// runClusterNode serves the cluster RPC protocol until ctx is
+// cancelled. The node is identified by its bound address — the same
+// string coordinators put in their -cluster spec.
+func runClusterNode(ctx context.Context, addr string, ready func(name, addr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := cluster.ServeNode(ln, cluster.NewNode(ln.Addr().String()))
+	if ready != nil {
+		ready("cluster-node", srv.Addr())
+	}
+	log.Printf("cluster node serving on %s", srv.Addr())
+	<-ctx.Done()
+	return srv.Close()
+}
+
+// repairLoop runs coordinator catch-up on a fixed cadence so restarted
+// or healed replicas converge without an operator poke.
+func repairLoop(ctx context.Context, coord *cluster.Coordinator, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			coord.Repair(ctx)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+// Cluster-mode e2e: three node-mode processes (in-process run() calls)
+// plus a coordinator serving the SPARQL endpoint over them, end to end
+// through real flags, real TCP, and real HTTP.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParseClusterGroups(t *testing.T) {
+	got, err := parseClusterGroups(" a:1 ,b:2; b:2,c:3 ;c:3,a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"a:1", "b:2"}, {"b:2", "c:3"}, {"c:3", "a:1"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", " ; ", "a:1;;b:2"} {
+		if _, err := parseClusterGroups(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestRunClusterEndToEnd(t *testing.T) {
+	// Three shard nodes, each a full run() in node mode.
+	var nodes []string
+	for i := 0; i < 3; i++ {
+		addrs, cancel, _ := startRun(t,
+			[]string{"-cluster-node", "127.0.0.1:0"}, "cluster-node")
+		defer cancel()
+		nodes = append(nodes, addrs["cluster-node"])
+	}
+
+	nt := filepath.Join(t.TempDir(), "data.nt")
+	if err := os.WriteFile(nt, []byte(e2eTriples), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := nodes[0] + "," + nodes[1] + ";" + nodes[1] + "," + nodes[2] + ";" + nodes[2] + "," + nodes[0]
+	addrs, cancel, result := startRun(t, []string{
+		"-cluster", spec,
+		"-cluster-repair-every", "50ms",
+		"-load", nt,
+		"-serve", "127.0.0.1:0",
+		"-drain", "5s",
+	}, "sparql")
+	defer cancel()
+
+	q := url.QueryEscape(`SELECT ?s ?o WHERE { ?s <http://example.org/p> ?o }`)
+	resp, err := http.Get("http://" + addrs["sparql"] + "/sparql?query=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Applab-Partial") != "" {
+		t.Fatal("healthy cluster answered partial")
+	}
+	var doc struct {
+		Results struct {
+			Bindings []map[string]any `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results.Bindings) != 2 {
+		t.Fatalf("got %d bindings, want 2", len(doc.Results.Bindings))
+	}
+
+	cancel()
+	select {
+	case err := <-result:
+		if err != nil {
+			t.Fatalf("coordinator run = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator did not shut down")
+	}
+}
+
+func TestRunClusterBadSpec(t *testing.T) {
+	fs := startQuiet(t)
+	defer fs()
+	if err := run(context.Background(), []string{"-cluster", ";"}, nil); err == nil {
+		t.Fatal("empty cluster spec accepted")
+	}
+}

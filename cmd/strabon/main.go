@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"applab/internal/admission"
+	"applab/internal/cluster"
 	"applab/internal/endpoint"
 	"applab/internal/federation"
 	"applab/internal/geosparql"
@@ -87,6 +88,14 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 
 		resultCache = fs.Int("result-cache", 0, "plan-keyed result cache capacity in entries (0 disables); served responses carry X-Applab-Cache")
 		cacheTTL    = fs.Duration("cache-ttl", 0, "result-cache entry lifetime (0 = epoch-validated only; set this when federating with remote endpoints, whose ingests are invisible to epoch validation)")
+		cacheBytes  = fs.Int64("cache-bytes", 0, "result-cache byte budget; entry cost is the encoded answer size (0 = entry-count bound only)")
+
+		clusterNode        = fs.String("cluster-node", "", "serve this process as a cluster shard node on the given address (node mode; other serving flags are ignored)")
+		clusterSpec        = fs.String("cluster", "", "replica groups of node addresses, ';' between groups and ',' within (coordinator mode; e.g. \"a:1,b:2;b:2,c:3;c:3,a:1\")")
+		clusterHedge       = fs.Duration("cluster-hedge", 0, "fixed hedge delay before a read is duplicated to another replica (0 = adaptive p95 of recent reads)")
+		clusterDemote      = fs.Int("cluster-demote-after", 3, "consecutive failures before a cluster replica is demoted (-1 disables)")
+		clusterRetry       = fs.Duration("cluster-retry-demoted", 30*time.Second, "how long a demoted replica sits out before being probed again")
+		clusterRepairEvery = fs.Duration("cluster-repair-every", 0, "cadence for background log-tail catch-up of lagging replicas (0 disables)")
 
 		maxInflight     = fs.Int("max-inflight", 0, "max concurrent query evaluations (0 disables admission control)")
 		maxQueue        = fs.Int("max-queue", 0, "max queries waiting for an evaluation slot; beyond this requests are shed with 503")
@@ -109,6 +118,10 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 	}
 	sparql.SetSpatialCells(*spatialCells)
 
+	if *clusterNode != "" {
+		return runClusterNode(ctx, *clusterNode, ready)
+	}
+
 	reg := telemetry.NewRegistry()
 	sparql.SetMetrics(reg)
 	geosparql.SetMetrics(reg)
@@ -120,6 +133,40 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 	var closeStore func() error
 	segOpts := segment.Options{FlushEvery: *flushEvery, CompactAt: *compactAt}
 	switch {
+	case *clusterSpec != "":
+		groups, err := parseClusterGroups(*clusterSpec)
+		if err != nil {
+			return err
+		}
+		tr := cluster.NewTCPTransport()
+		coord, err := cluster.NewCoordinator(cluster.Config{
+			Groups:        groups,
+			Transport:     tr,
+			Metrics:       reg,
+			HedgeAfter:    *clusterHedge,
+			DemoteAfter:   *clusterDemote,
+			RetryCooldown: *clusterRetry,
+		})
+		if err != nil {
+			tr.Close()
+			return err
+		}
+		log.Printf("cluster coordinator: %d shards over %d replica groups", coord.Shards(), len(groups))
+		if *clusterRepairEvery > 0 {
+			go repairLoop(ctx, coord, *clusterRepairEvery)
+		}
+		loaded := 0
+		src = coord
+		load = func(ts []rdf.Triple) {
+			applied, aerr := coord.AddAll(ctx, ts)
+			loaded += len(applied)
+			if aerr != nil {
+				log.Printf("cluster load: %d/%d applied: %v", len(applied), len(ts), aerr)
+			}
+		}
+		count = func() int { return loaded }
+		registerStore = func(*telemetry.Registry) {}
+		closeStore = func() error { tr.Close(); return nil }
 	case *shards > 1 && *dataDir != "":
 		st, err := strabon.OpenSharded(*dataDir, *shards, segOpts)
 		if err != nil {
@@ -307,8 +354,9 @@ func run(ctx context.Context, args []string, ready func(name, addr string)) erro
 		if *resultCache > 0 {
 			cache := rescache.New(*resultCache, *cacheTTL)
 			cache.Metrics = reg
+			cache.SetMaxBytes(*cacheBytes)
 			opts.Cache = cache
-			log.Printf("result cache: %d entries, ttl %s", *resultCache, *cacheTTL)
+			log.Printf("result cache: %d entries, %d bytes, ttl %s", *resultCache, *cacheBytes, *cacheTTL)
 			if fed != nil && *cacheTTL == 0 {
 				log.Printf("WARNING: federating with -cache-ttl 0: remote member ingests are invisible to epoch validation; set -cache-ttl to bound staleness")
 			}

@@ -1,0 +1,78 @@
+package cluster
+
+import "sync"
+
+// shardLog is the coordinator's replication log for one shard: the
+// sequence of committed record images (AWAL1-framed batches) that have
+// been acknowledged by at least one replica. Laggards catch up by
+// replaying the tail after their last applied sequence; when the tail
+// has been truncated past them they bootstrap from a snapshot of a
+// caught-up replica instead (Coordinator.Repair).
+type shardLog struct {
+	mu sync.Mutex
+	// firstSeq is the sequence of entries[0]; entries before it have
+	// been truncated and are only reachable via snapshot.
+	firstSeq uint64
+	lastSeq  uint64
+	entries  [][]byte
+}
+
+func newShardLog() *shardLog {
+	return &shardLog{firstSeq: 1}
+}
+
+// last returns the newest committed sequence (0 when empty).
+func (l *shardLog) last() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// commit appends a record image at the given sequence, which must be
+// exactly last()+1 — the coordinator serializes writers per shard.
+func (l *shardLog) commit(seq uint64, img []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq != l.lastSeq+1 {
+		panic("cluster: shard log commit out of order")
+	}
+	l.entries = append(l.entries, img)
+	l.lastSeq = seq
+}
+
+// tail returns copies of the record images after afterSeq, in order.
+// ok is false when the tail has been truncated past afterSeq and the
+// laggard must snapshot instead.
+func (l *shardLog) tail(afterSeq uint64) (imgs [][]byte, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if afterSeq+1 < l.firstSeq {
+		return nil, false
+	}
+	if afterSeq >= l.lastSeq {
+		return nil, true
+	}
+	start := int(afterSeq + 1 - l.firstSeq)
+	out := make([][]byte, 0, len(l.entries)-start)
+	out = append(out, l.entries[start:]...)
+	return out, true
+}
+
+// truncateTo drops entries at or below seq, bounding log memory once
+// every replica has applied them. Reads past the truncation point force
+// the snapshot catch-up path.
+func (l *shardLog) truncateTo(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq >= l.lastSeq {
+		l.entries = nil
+		l.firstSeq = l.lastSeq + 1
+		return
+	}
+	if seq+1 <= l.firstSeq {
+		return
+	}
+	drop := int(seq + 1 - l.firstSeq)
+	l.entries = append([][]byte(nil), l.entries[drop:]...)
+	l.firstSeq = seq + 1
+}

@@ -1,0 +1,57 @@
+package cluster
+
+import "testing"
+
+func TestShardLogTailAndTruncate(t *testing.T) {
+	l := newShardLog()
+	if l.last() != 0 {
+		t.Fatal("fresh log not empty")
+	}
+	if imgs, ok := l.tail(0); !ok || len(imgs) != 0 {
+		t.Fatal("empty log tail should be ok and empty")
+	}
+	for i := 1; i <= 5; i++ {
+		l.commit(uint64(i), []byte{byte(i)})
+	}
+	imgs, ok := l.tail(2)
+	if !ok || len(imgs) != 3 || imgs[0][0] != 3 {
+		t.Fatalf("tail(2) = %v ok=%v", imgs, ok)
+	}
+	if imgs, ok := l.tail(5); !ok || len(imgs) != 0 {
+		t.Fatalf("caught-up tail = %v ok=%v", imgs, ok)
+	}
+
+	l.truncateTo(3)
+	if _, ok := l.tail(2); ok {
+		t.Fatal("tail before truncation point should force snapshot")
+	}
+	imgs, ok = l.tail(3)
+	if !ok || len(imgs) != 2 || imgs[0][0] != 4 {
+		t.Fatalf("tail(3) after truncate = %v ok=%v", imgs, ok)
+	}
+
+	// Truncating everything keeps future commits working.
+	l.truncateTo(99)
+	if _, ok := l.tail(4); ok {
+		t.Fatal("tail(4) should be gone after full truncate")
+	}
+	if _, ok := l.tail(5); !ok {
+		t.Fatal("tail at head should stay ok after full truncate")
+	}
+	l.commit(6, []byte{6})
+	imgs, ok = l.tail(5)
+	if !ok || len(imgs) != 1 || imgs[0][0] != 6 {
+		t.Fatalf("commit after truncate: tail(5) = %v ok=%v", imgs, ok)
+	}
+}
+
+func TestShardLogCommitOrder(t *testing.T) {
+	l := newShardLog()
+	l.commit(1, []byte{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order commit did not panic")
+		}
+	}()
+	l.commit(3, []byte{3})
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrUnreachable is what MemNetwork returns for calls to nodes that are
+// dead or partitioned away from the coordinator.
+var ErrUnreachable = errors.New("cluster: node unreachable")
+
+// MemNetwork is an in-process Transport with scripted fault injection:
+// node kill/restart, coordinator-side partitions, and per-node added
+// latency that waits on an injectable After (the faults.Clock in tests
+// and the chaos harness), so every failure schedule runs with zero real
+// sleeps. The bench's hedging scenario runs on it too.
+type MemNetwork struct {
+	// After supplies timers for injected latency; defaults to
+	// time.After. Tests plug (*faults.Clock).After.
+	After func(time.Duration) <-chan time.Time
+
+	mu    sync.Mutex
+	nodes map[string]*Node
+	down  map[string]bool
+	cut   map[string]bool
+	slow  map[string]time.Duration
+}
+
+// NewMemNetwork returns an empty fabric.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{
+		nodes: map[string]*Node{},
+		down:  map[string]bool{},
+		cut:   map[string]bool{},
+		slow:  map[string]time.Duration{},
+	}
+}
+
+// AddNode attaches a node to the fabric under its ID.
+func (m *MemNetwork) AddNode(n *Node) {
+	m.mu.Lock()
+	m.nodes[n.ID] = n
+	m.mu.Unlock()
+}
+
+// Node returns the attached node by ID (nil if unknown).
+func (m *MemNetwork) Node(id string) *Node {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nodes[id]
+}
+
+// Kill marks the node dead and wipes its state — a process crash of an
+// in-memory node. Calls fail immediately with ErrUnreachable.
+func (m *MemNetwork) Kill(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down[id] = true
+	if n := m.nodes[id]; n != nil {
+		n.Reset()
+	}
+}
+
+// Restart brings a killed node back empty; it must be re-bootstrapped
+// via Coordinator.Repair before it can serve caught-up reads.
+func (m *MemNetwork) Restart(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.down, id)
+}
+
+// Partition cuts the node off from the coordinator without killing it:
+// its state survives, it just misses writes until Heal.
+func (m *MemNetwork) Partition(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cut[id] = true
+}
+
+// Heal undoes Partition.
+func (m *MemNetwork) Heal(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.cut, id)
+}
+
+// SetSlow adds fixed latency to every call to the node (0 clears it).
+func (m *MemNetwork) SetSlow(id string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d <= 0 {
+		delete(m.slow, id)
+		return
+	}
+	m.slow[id] = d
+}
+
+// Call delivers the request unless the node is dead or partitioned,
+// waiting out any injected latency on the fabric's clock first. Faults
+// are re-checked after the wait: a node killed while a slow call was in
+// flight fails, it does not answer from the grave.
+func (m *MemNetwork) Call(ctx context.Context, id string, req Message) (Message, error) {
+	m.mu.Lock()
+	n := m.nodes[id]
+	unreachable := n == nil || m.down[id] || m.cut[id]
+	d := m.slow[id]
+	after := m.After
+	m.mu.Unlock()
+	if unreachable {
+		return Message{}, ErrUnreachable
+	}
+	if d > 0 {
+		if after == nil {
+			after = time.After
+		}
+		select {
+		case <-after(d):
+		case <-ctx.Done():
+			return Message{}, ctx.Err()
+		}
+		m.mu.Lock()
+		unreachable = m.down[id] || m.cut[id]
+		m.mu.Unlock()
+		if unreachable {
+			return Message{}, ErrUnreachable
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Message{}, err
+	}
+	return n.Handle(req), nil
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import "time"
+
+// Metric registration helpers: every cluster metric name literal lives
+// here, one call site each (enforced by the applab-lint telemetry
+// checker), and all helpers no-op when no registry is attached to the
+// coordinator.
+
+// noteRPC counts one RPC issued to a node, labeled by message type.
+func (c *Coordinator) noteRPC(kind string) {
+	c.Metrics.Counter("cluster_rpcs_total", "type", kind).Inc()
+}
+
+// noteReplicaError counts a node call that failed or answered stale.
+func (c *Coordinator) noteReplicaError(node string) {
+	c.Metrics.Counter("cluster_replica_errors_total", "node", node).Inc()
+}
+
+// noteHedge counts a hedge fired at a backup replica after the primary
+// stayed silent past the hedge delay.
+func (c *Coordinator) noteHedge() {
+	c.Metrics.Counter("cluster_hedges_total").Inc()
+}
+
+// noteHedgeWin counts a hedged request whose backup answered first.
+func (c *Coordinator) noteHedgeWin() {
+	c.Metrics.Counter("cluster_hedge_wins_total").Inc()
+}
+
+// notePartial counts a fragment read degraded to empty because its
+// whole replica group was unreadable.
+func (c *Coordinator) notePartial() {
+	c.Metrics.Counter("cluster_partial_total").Inc()
+}
+
+// noteDemotion counts a replica newly demoted out of read selection.
+func (c *Coordinator) noteDemotion(node string) {
+	c.Metrics.Counter("cluster_demotions_total", "node", node).Inc()
+}
+
+// noteWrite counts one replicated shard write (one log record).
+func (c *Coordinator) noteWrite() {
+	c.Metrics.Counter("cluster_writes_total").Inc()
+}
+
+// noteCatchupRecords counts log-tail records replayed onto laggards.
+func (c *Coordinator) noteCatchupRecords(n int) {
+	if n == 0 {
+		return
+	}
+	c.Metrics.Counter("cluster_catchup_records_total").Add(int64(n))
+}
+
+// noteCatchupSnapshot counts a replica bootstrapped by snapshot
+// transfer because the log tail was truncated past it.
+func (c *Coordinator) noteCatchupSnapshot() {
+	c.Metrics.Counter("cluster_catchup_snapshots_total").Inc()
+}
+
+// noteReadLatency records one replica answer latency on the
+// coordinator's clock, so fake-clock tests see exact values and the
+// hedge delay can be derived from the same distribution.
+func (c *Coordinator) noteReadLatency(d time.Duration) {
+	c.Metrics.Histogram("cluster_read_seconds", nil).ObserveDuration(d)
+}

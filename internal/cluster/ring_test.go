@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingBalanceAndDeterminism(t *testing.T) {
+	r1 := NewRing(3)
+	r2 := NewRing(3)
+	counts := make([]int, 3)
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("<http://example.org/subject/%d>", i)
+		g := r1.Lookup(k)
+		if g2 := r2.Lookup(k); g2 != g {
+			t.Fatalf("lookup not deterministic: %d vs %d for %q", g, g2, k)
+		}
+		counts[g]++
+	}
+	for g, n := range counts {
+		if n < keys/10 {
+			t.Errorf("group %d badly underloaded: %d of %d keys", g, n, keys)
+		}
+	}
+}
+
+func TestRingConsistency(t *testing.T) {
+	// Consistent hashing: growing 3 -> 4 groups must keep most keys in
+	// place (naive modulo would move ~75%).
+	r3, r4 := NewRing(3), NewRing(4)
+	const keys = 3000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("<http://example.org/subject/%d>", i)
+		if r3.Lookup(k) != r4.Lookup(k) {
+			moved++
+		}
+	}
+	if moved > keys/2 {
+		t.Fatalf("adding one group moved %d of %d keys", moved, keys)
+	}
+}
+
+func TestRingSingleGroup(t *testing.T) {
+	r := NewRing(1)
+	if g := r.Lookup("anything"); g != 0 {
+		t.Fatalf("single-group lookup = %d", g)
+	}
+	if NewRing(0).Groups() != 1 {
+		t.Fatal("zero groups should clamp to 1")
+	}
+}

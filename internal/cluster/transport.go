@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport delivers one request to a node and returns its response.
+// Implementations: TCPTransport (production), MemNetwork (deterministic
+// in-process fabric with fault injection).
+type Transport interface {
+	Call(ctx context.Context, node string, req Message) (Message, error)
+}
+
+// TCPTransport speaks the wire protocol over TCP with a per-address
+// connection pool. The node name passed to Call is its dial address.
+type TCPTransport struct {
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+
+	mu    sync.Mutex
+	conns map[string][]net.Conn
+}
+
+// NewTCPTransport returns a transport with an empty pool.
+func NewTCPTransport() *TCPTransport {
+	return &TCPTransport{conns: map[string][]net.Conn{}}
+}
+
+func (t *TCPTransport) get(addr string) (net.Conn, error) {
+	t.mu.Lock()
+	pool := t.conns[addr]
+	if n := len(pool); n > 0 {
+		c := pool[n-1]
+		t.conns[addr] = pool[:n-1]
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+	d := t.DialTimeout
+	if d <= 0 {
+		d = 2 * time.Second
+	}
+	return net.DialTimeout("tcp", addr, d)
+}
+
+func (t *TCPTransport) put(addr string, c net.Conn) {
+	t.mu.Lock()
+	t.conns[addr] = append(t.conns[addr], c)
+	t.mu.Unlock()
+}
+
+// Call sends one request frame and reads one response frame. A failed
+// exchange closes the connection instead of returning it to the pool,
+// so a half-dead connection cannot poison later calls.
+func (t *TCPTransport) Call(ctx context.Context, addr string, req Message) (Message, error) {
+	c, err := t.get(addr)
+	if err != nil {
+		return Message{}, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.SetDeadline(dl)
+	} else {
+		_ = c.SetDeadline(time.Time{})
+	}
+	if err := WriteMessage(c, req); err != nil {
+		_ = c.Close()
+		return Message{}, err
+	}
+	resp, err := ReadMessage(c)
+	if err != nil {
+		_ = c.Close()
+		return Message{}, err
+	}
+	t.put(addr, c)
+	return resp, nil
+}
+
+// Close drops every pooled connection.
+func (t *TCPTransport) Close() {
+	t.mu.Lock()
+	var conns []net.Conn
+	for _, pool := range t.conns {
+		conns = append(conns, pool...)
+	}
+	t.conns = map[string][]net.Conn{}
+	t.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// NodeServer serves a node's RPCs on a listener.
+type NodeServer struct {
+	node *Node
+	l    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServeNode starts serving the node on the listener and returns
+// immediately; Close stops the accept loop and severs live connections
+// (the blunt instrument the bench uses to kill a node).
+func ServeNode(l net.Listener, n *Node) *NodeServer {
+	s := &NodeServer{node: n, l: l, conns: map[net.Conn]bool{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr reports the listener address.
+func (s *NodeServer) Addr() string { return s.l.Addr().String() }
+
+func (s *NodeServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		closed := s.closed
+		if !closed {
+			s.conns[c] = true
+			s.wg.Add(1)
+		}
+		s.mu.Unlock()
+		if closed {
+			_ = c.Close()
+			return
+		}
+		go s.serveConn(c)
+	}
+}
+
+func (s *NodeServer) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := ReadMessage(c)
+		if err != nil {
+			return
+		}
+		if err := WriteMessage(c, s.node.Handle(req)); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and waits for connection handlers to exit.
+func (s *NodeServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.l.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

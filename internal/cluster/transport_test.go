@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"applab/internal/rdf"
+	"applab/internal/segment"
+)
+
+func TestTCPTransportRoundtrip(t *testing.T) {
+	n := NewNode("n1")
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeNode(l, n)
+	defer srv.Close()
+
+	tr := NewTCPTransport()
+	defer tr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if resp, err := tr.Call(ctx, srv.Addr(), Message{Type: MsgPingReq}); err != nil || resp.Type != MsgPingResp {
+		t.Fatalf("ping: %v %+v", err, resp)
+	}
+	img := mustRecord(t, segment.LogRecord{Triples: testTriples(5, 0)})
+	if resp, err := tr.Call(ctx, srv.Addr(), Message{Type: MsgApplyReq, Shard: 0, Seq: 1, Records: img}); err != nil || !resp.OK {
+		t.Fatalf("apply over tcp: %v %+v", err, resp)
+	}
+	// Connection reuse: a second call on the pooled connection.
+	resp, err := tr.Call(ctx, srv.Addr(), Message{Type: MsgMatchReq, Shard: 0, P: rdf.NewIRI("http://ex/p0")})
+	if err != nil || resp.Type != MsgMatchResp || resp.Seq != 1 {
+		t.Fatalf("match over tcp: %v %+v", err, resp)
+	}
+	recs, err := segment.DecodeLogRecords(resp.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || len(recs[0].Triples) != 5 {
+		t.Fatalf("match payload: %+v", recs)
+	}
+	if resp, err := tr.Call(ctx, srv.Addr(), Message{Type: MsgCardReq, Shard: 0, P: rdf.NewIRI("http://ex/p0")}); err != nil || resp.Card != 5 {
+		t.Fatalf("card over tcp: %v %+v", err, resp)
+	}
+}
+
+func TestTCPTransportServerDown(t *testing.T) {
+	n := NewNode("n1")
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeNode(l, n)
+	addr := srv.Addr()
+	tr := NewTCPTransport()
+	tr.DialTimeout = 2 * time.Second
+	defer tr.Close()
+	ctx := context.Background()
+	if _, err := tr.Call(ctx, addr, Message{Type: MsgPingReq}); err != nil {
+		t.Fatalf("ping before close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	// The pooled connection is severed; the failed call must not poison
+	// the pool, and a fresh dial to the dead address must error too.
+	if _, err := tr.Call(ctx, addr, Message{Type: MsgPingReq}); err == nil {
+		t.Fatal("call to closed server succeeded")
+	}
+}
+
+// TestTCPCluster runs the full coordinator over real TCP loopback: the
+// production transport end to end.
+func TestTCPCluster(t *testing.T) {
+	tr := NewTCPTransport()
+	defer tr.Close()
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := ServeNode(l, NewNode(l.Addr().String()))
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr())
+	}
+	c, err := NewCoordinator(Config{
+		Groups:    [][]string{{addrs[0], addrs[1]}, {addrs[1], addrs[2]}, {addrs[2], addrs[0]}},
+		Transport: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ts := clusterTriples(20, 0)
+	applied, err := c.AddAll(ctx, ts)
+	if err != nil || len(applied) != len(ts) {
+		t.Fatalf("AddAll over tcp: %d applied, err %v", len(applied), err)
+	}
+	res, partial, err := c.EvalPartialContext(ctx, qFan)
+	if err != nil || partial {
+		t.Fatalf("eval over tcp: partial=%v err=%v", partial, err)
+	}
+	if len(res.Bindings) != 20 {
+		t.Fatalf("eval over tcp: %d rows, want 20", len(res.Bindings))
+	}
+}

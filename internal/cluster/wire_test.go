@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"bytes"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"applab/internal/rdf"
+	"applab/internal/segment"
+)
+
+func wireMessages(t testing.TB) []Message {
+	t.Helper()
+	img, err := segment.EncodeLogRecord(segment.LogRecord{Triples: []rdf.Triple{
+		rdf.NewTriple(rdf.NewIRI("http://ex/s"), rdf.NewIRI("http://ex/p"), rdf.NewLiteral("v")),
+	}})
+	if err != nil {
+		t.Fatalf("encode record: %v", err)
+	}
+	return []Message{
+		{Type: MsgMatchReq, Shard: 3, S: rdf.NewIRI("http://ex/s"), P: rdf.Term{}, O: rdf.NewLangLiteral("hi", "en")},
+		{Type: MsgMatchResp, Seq: 42, Records: img},
+		{Type: MsgCardReq, Shard: 0, S: rdf.Term{}, P: rdf.NewIRI("http://ex/p"), O: rdf.Term{}},
+		{Type: MsgCardResp, Seq: 7, Card: -1},
+		{Type: MsgApplyReq, Shard: 1, Seq: 9, Records: img},
+		{Type: MsgApplyResp, Seq: 9, OK: true},
+		{Type: MsgApplyResp, Seq: 8, OK: false},
+		{Type: MsgSnapReq, Shard: 2},
+		{Type: MsgSnapResp, Seq: 5, Records: img},
+		{Type: MsgInstallReq, Shard: 2, Seq: 5, Records: img},
+		{Type: MsgInstallResp},
+		{Type: MsgSeqReq, Shard: 4},
+		{Type: MsgSeqResp, Seq: 11},
+		{Type: MsgPingReq},
+		{Type: MsgPingResp},
+		{Type: MsgErr, Msg: "boom"},
+	}
+}
+
+func TestWireRoundtrip(t *testing.T) {
+	for _, m := range wireMessages(t) {
+		buf, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("encode %v: %v", m.Type, err)
+		}
+		got, n, err := DecodeMessage(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", m.Type, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("type %v: consumed %d of %d", m.Type, n, len(buf))
+		}
+		if len(got.Records) == 0 {
+			got.Records = nil
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("type %v roundtrip:\n got %+v\nwant %+v", m.Type, got, m)
+		}
+	}
+}
+
+func TestWireStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := wireMessages(t)
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if got.Type != want.Type {
+			t.Fatalf("stream order: got %v want %v", got.Type, want.Type)
+		}
+	}
+}
+
+func TestWireDecodeStrict(t *testing.T) {
+	valid, err := EncodeMessage(Message{Type: MsgSeqResp, Seq: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       nil,
+		"short":       valid[:wireHeaderLen-1],
+		"bad version": append([]byte{9}, valid[1:]...),
+		"bad type":    append([]byte{wireVersion, 0}, valid[2:]...),
+		"truncated":   valid[:len(valid)-2],
+	}
+	crcFlip := append([]byte(nil), valid...)
+	crcFlip[len(crcFlip)-1] ^= 0xff
+	cases["bad crc"] = crcFlip
+	// A frame whose body decodes but leaves trailing bytes.
+	body := []byte{1, 2, 3, 4, 5, 6, 7, 8, 0xaa}
+	trailing := []byte{wireVersion, byte(MsgSeqResp)}
+	trailing = appendU32(trailing, uint32(len(body)))
+	trailing = appendU32(trailing, crc32.ChecksumIEEE(body))
+	cases["trailing body"] = append(trailing, body...)
+	for name, data := range cases {
+		if _, _, err := DecodeMessage(data); err == nil {
+			t.Errorf("%s: decode accepted malformed frame", name)
+		}
+	}
+}
+
+func TestWireBodyCap(t *testing.T) {
+	m := Message{Type: MsgMatchResp, Records: make([]byte, maxWireBody)}
+	if _, err := EncodeMessage(m); err == nil {
+		t.Fatal("encode accepted over-cap body")
+	}
+}
+
+// FuzzWireDecode hammers the strict frame decode with hostile input.
+// The invariants: no panic, no unbounded allocation (caps are enforced
+// before allocating), and every frame the decoder accepts re-encodes to
+// an identical frame (the codec is canonical).
+func FuzzWireDecode(f *testing.F) {
+	seedMsgs := []Message{
+		{Type: MsgMatchReq, Shard: 1, S: rdf.NewIRI("http://ex/s")},
+		{Type: MsgApplyResp, Seq: 5, OK: true},
+		{Type: MsgSeqResp, Seq: 1},
+		{Type: MsgErr, Msg: "x"},
+		{Type: MsgPingReq},
+	}
+	for _, m := range seedMsgs {
+		buf, err := EncodeMessage(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	// Regression seeds: hostile length fields and truncated frames.
+	f.Add([]byte{wireVersion, byte(MsgMatchResp), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Add([]byte{wireVersion, byte(MsgErr), 4, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{wireVersion, byte(MsgApplyReq)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		re, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("accepted message does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("decode/encode not canonical:\n in %x\nout %x", data[:n], re)
+		}
+	})
+}

@@ -66,6 +66,16 @@ type Options struct {
 	Cache *rescache.Cache
 }
 
+// PartialEvaluator is implemented by sources that can degrade to partial
+// answers instead of failing outright (cluster.Coordinator when a whole
+// replica group is unreachable). The handler prefers it over plain
+// evaluation: when the source reports a partial answer the response
+// carries X-Applab-Partial: true and is never written into the result
+// cache, so a later healthy evaluation is not shadowed by a degraded one.
+type PartialEvaluator interface {
+	EvalPartialContext(ctx context.Context, query string) (*sparql.Results, bool, error)
+}
+
 // Refresher is implemented by sources whose Match view is a transient
 // snapshot of live upstream data (obda.VirtualGraph): the handler drops
 // the snapshot before each evaluation — mirroring VirtualGraph.Query —
@@ -84,6 +94,7 @@ func NewHandlerOpts(src sparql.Source, reg *telemetry.Registry, opts Options) ht
 	requests := reg.Counter("endpoint_requests_total")
 	errors := reg.Counter("endpoint_errors_total")
 	degraded := reg.Counter("endpoint_degraded_total")
+	partialCount := reg.Counter("endpoint_partial_total")
 	stageSeconds := func(stage string) *telemetry.Histogram {
 		return reg.Histogram("endpoint_stage_seconds", nil, "stage", stage)
 	}
@@ -180,7 +191,13 @@ func NewHandlerOpts(src sparql.Source, reg *telemetry.Registry, opts Options) ht
 			rf.Invalidate()
 		}
 		sp = tr.StartSpan("eval", now)
-		res, err := query.EvalContext(ctx, src)
+		var res *sparql.Results
+		var partial bool
+		if pe, ok := src.(PartialEvaluator); ok {
+			res, partial, err = pe.EvalPartialContext(ctx, q)
+		} else {
+			res, err = query.EvalContext(ctx, src)
+		}
 		now = reg.Time()
 		sp.End(now)
 		evalSec.ObserveDuration(sp.Duration())
@@ -195,7 +212,12 @@ func NewHandlerOpts(src sparql.Source, reg *telemetry.Registry, opts Options) ht
 			return
 		}
 		sp.Annotate("rows", strconv.Itoa(len(res.Bindings)))
-		fill.Store(res)
+		if partial {
+			partialCount.Inc()
+			w.Header().Set("X-Applab-Partial", "true")
+		} else {
+			fill.Store(res)
+		}
 
 		sp = tr.StartSpan("encode", now)
 		writeResults(w, res)

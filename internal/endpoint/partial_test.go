@@ -1,0 +1,94 @@
+package endpoint
+
+// Partial-answer wiring tests: a source implementing PartialEvaluator
+// (cluster.Coordinator in production) is preferred over plain
+// evaluation, a partial answer carries X-Applab-Partial and is never
+// written into the result cache, and a full answer from the same
+// source fills the cache normally.
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"applab/internal/rdf"
+	"applab/internal/rescache"
+	"applab/internal/sparql"
+	"applab/internal/strabon"
+	"applab/internal/telemetry"
+)
+
+// partialFake serves a fixed store and reports the partial flag it is
+// configured with, mimicking a degraded cluster coordinator.
+type partialFake struct {
+	st      *strabon.Store
+	partial bool
+	evals   int
+}
+
+func (f *partialFake) Match(s, p, o rdf.Term) []rdf.Triple { return f.st.Match(s, p, o) }
+
+func (f *partialFake) Fingerprint() string { return "partialfake" }
+
+func (f *partialFake) EvalPartialContext(ctx context.Context, q string) (*sparql.Results, bool, error) {
+	f.evals++
+	query, err := sparql.Parse(q)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := query.EvalContext(ctx, f.st)
+	return res, f.partial, err
+}
+
+func TestHandlerPartialHeaderAndCacheSkip(t *testing.T) {
+	triples, _, err := rdf.ParseTurtleString(`
+@prefix ex: <http://ex.org/> .
+ex:a ex:name "Alpha" .
+ex:b ex:name "Beta" .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := strabon.New()
+	st.AddAll(triples)
+	fake := &partialFake{st: st, partial: true}
+	reg := telemetry.NewRegistry()
+	cache := rescache.New(8, 0)
+	srv := httptest.NewServer(NewHandlerOpts(fake, reg, Options{Cache: cache}))
+	defer srv.Close()
+	q := `PREFIX ex: <http://ex.org/> SELECT ?n WHERE { ?s ex:name ?n }`
+
+	// Degraded phase: every response is partial-flagged, evaluated via the
+	// PartialEvaluator, and never cached.
+	for i := 1; i <= 2; i++ {
+		code, hdr, _ := get(t, srv.URL, q)
+		if code != 200 {
+			t.Fatalf("partial request %d: status %d", i, code)
+		}
+		if hdr.Get("X-Applab-Partial") != "true" {
+			t.Fatalf("partial request %d: X-Applab-Partial = %q", i, hdr.Get("X-Applab-Partial"))
+		}
+		if hdr.Get("X-Applab-Cache") != "miss" {
+			t.Fatalf("partial answer was cached: X-Applab-Cache = %q", hdr.Get("X-Applab-Cache"))
+		}
+	}
+	if fake.evals != 2 {
+		t.Fatalf("evals = %d, want 2 (partial answers must not be served from cache)", fake.evals)
+	}
+	if got := reg.Snapshot().Counters["endpoint_partial_total"]; got != 2 {
+		t.Fatalf("endpoint_partial_total = %d, want 2", got)
+	}
+
+	// Healthy phase: the same source recovers; the full answer has no
+	// partial header and fills the cache, so the repeat is a hit.
+	fake.partial = false
+	if _, hdr, _ := get(t, srv.URL, q); hdr.Get("X-Applab-Partial") != "" || hdr.Get("X-Applab-Cache") != "miss" {
+		t.Fatalf("healthy miss: partial=%q cache=%q", hdr.Get("X-Applab-Partial"), hdr.Get("X-Applab-Cache"))
+	}
+	if _, hdr, _ := get(t, srv.URL, q); hdr.Get("X-Applab-Cache") != "hit" {
+		t.Fatalf("healthy repeat: cache=%q, want hit", hdr.Get("X-Applab-Cache"))
+	}
+	if fake.evals != 3 {
+		t.Fatalf("evals = %d, want 3 (healthy answer should be cached)", fake.evals)
+	}
+}

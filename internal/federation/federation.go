@@ -123,8 +123,10 @@ type Federation struct {
 	capable map[string][]int
 	// stats counts per-member pattern requests (for tests/diagnostics).
 	stats map[string]int64
-	// health tracks per-member consecutive failures and demotion.
-	health map[string]*memberHealth
+	// health tracks per-member consecutive failures and demotion — the
+	// shared cooldown machinery (see health.go) the cluster coordinator
+	// reuses for replica selection.
+	health *HealthTracker
 }
 
 type memberHealth struct {
@@ -139,7 +141,7 @@ func New(members ...Member) *Federation {
 		members: members,
 		capable: map[string][]int{},
 		stats:   map[string]int64{},
-		health:  map[string]*memberHealth{},
+		health:  NewHealthTracker(0, 0),
 	}
 }
 
@@ -201,13 +203,7 @@ func (f *Federation) RequestCount(name string) int64 {
 // MemberHealth reports a member's consecutive-failure count and whether
 // it is currently demoted out of source selection.
 func (f *Federation) MemberHealth(name string) (consecFails int, demoted bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	h := f.health[name]
-	if h == nil {
-		return 0, false
-	}
-	return h.consecFails, h.demoted
+	return f.health.Status(name)
 }
 
 // capKey identifies a learnable pattern class: subject-unbound patterns
@@ -477,27 +473,13 @@ collect:
 	return out, rep, abortErr
 }
 
-// recordHealthLocked folds one member outcome into the health table.
+// recordHealthLocked folds one member outcome into the health tracker.
 // Demotion requires DemoteAfter consecutive failures; a success fully
-// rehabilitates the member. Callers hold f.mu.
+// rehabilitates the member. Callers hold f.mu (for the surrounding
+// stats writes; the tracker locks itself).
 func (f *Federation) recordHealthLocked(name string, mr MemberResult, now time.Time) {
-	h := f.health[name]
-	if h == nil {
-		h = &memberHealth{}
-		f.health[name] = h
-	}
-	if mr.OK() {
-		h.consecFails = 0
-		h.demoted = false
-		return
-	}
-	h.consecFails++
-	if f.demoteAfter() > 0 && h.consecFails >= f.demoteAfter() {
-		if !h.demoted {
-			f.noteDemotion(name)
-		}
-		h.demoted = true
-		h.demotedAt = now
+	if f.health.Record(name, mr.OK(), now) {
+		f.noteDemotion(name)
 	}
 }
 
@@ -509,6 +491,7 @@ func (f *Federation) recordHealthLocked(name string, mr MemberResult, now time.T
 // with every member skipped helps nobody.
 func (f *Federation) selectSources(s, p, o rdf.Term) (targets, skipped []int, members []Member) {
 	now := f.now()
+	f.health.SetLimits(f.demoteAfter(), f.retryDemoted())
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	members = append([]Member(nil), f.members...)
@@ -525,8 +508,7 @@ func (f *Federation) selectSources(s, p, o rdf.Term) (targets, skipped []int, me
 		}
 	}
 	for _, idx := range candidates {
-		h := f.health[members[idx].Name]
-		if h != nil && h.demoted && now.Sub(h.demotedAt) < f.retryDemoted() {
+		if !f.health.Eligible(members[idx].Name, now) {
 			skipped = append(skipped, idx)
 			continue
 		}
@@ -749,7 +731,5 @@ func (f *Federation) ForgetCapabilities() {
 // ResetHealth clears demotion state and failure counters (e.g. after an
 // operator fixes a member).
 func (f *Federation) ResetHealth() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.health = map[string]*memberHealth{}
+	f.health.Reset()
 }

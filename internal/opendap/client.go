@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -61,8 +63,14 @@ type Client struct {
 	// it from a faults.Clock.
 	After func(time.Duration) <-chan time.Time
 	// Jitter maps a backoff duration to the actually slept duration;
-	// the default picks uniformly from [d/2, d].
+	// the default picks uniformly from [d/2, d] using a per-client PRNG
+	// seeded from the base URL, so a client's retry schedule is
+	// reproducible run to run and clients for different upstreams don't
+	// contend on (or perturb) the global rand source.
 	Jitter func(time.Duration) time.Duration
+
+	jitterMu   sync.Mutex
+	jitterRand *rand.Rand
 }
 
 // NewClient returns a client for the given base URL with the historic
@@ -140,7 +148,15 @@ func (c *Client) backoff(attempt int) time.Duration {
 	if c.Jitter != nil {
 		return c.Jitter(d)
 	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	c.jitterMu.Lock()
+	if c.jitterRand == nil {
+		h := fnv.New64a()
+		h.Write([]byte(c.Base))
+		c.jitterRand = rand.New(rand.NewSource(int64(h.Sum64())))
+	}
+	j := c.jitterRand.Int63n(int64(d/2) + 1)
+	c.jitterMu.Unlock()
+	return d/2 + time.Duration(j)
 }
 
 // buildURL joins the base URL with a request path and raw query. Using

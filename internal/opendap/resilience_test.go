@@ -104,6 +104,41 @@ func TestBackoffGrowsAndCaps(t *testing.T) {
 	}
 }
 
+// TestBackoffJitterDeterministicPerClient: the default jitter is drawn
+// from a per-client PRNG seeded by the base URL, so two clients for the
+// same upstream produce identical retry schedules (reproducible fault
+// investigations) while clients for different upstreams decorrelate.
+func TestBackoffJitterDeterministicPerClient(t *testing.T) {
+	schedule := func(base string) []time.Duration {
+		c := &Client{Base: base, BackoffBase: 100 * time.Millisecond, BackoffMax: 5 * time.Second}
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = c.backoff(i + 1)
+		}
+		return out
+	}
+	a, b := schedule("http://dap.example/a"), schedule("http://dap.example/a")
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if !same {
+		t.Fatalf("same-base clients diverged:\n%v\n%v", a, b)
+	}
+	other := schedule("http://dap.example/b")
+	diff := false
+	for i := range a {
+		if a[i] != other[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different-base clients share a jitter stream")
+	}
+}
+
 func TestBreakerOpensAndFailsFast(t *testing.T) {
 	clock := faults.NewClock(time.Date(2019, 3, 26, 9, 0, 0, 0, time.UTC))
 	script := faults.FailN(100, faults.Step{Kind: faults.ConnError})

@@ -52,6 +52,12 @@ func (c *Cache) setEntries(n int) {
 	}
 }
 
+func (c *Cache) setBytes(n int64) {
+	if c.Metrics != nil {
+		c.Metrics.Gauge("rescache_bytes").Set(float64(n))
+	}
+}
+
 func (p *Promoter) notePromotionStarted() {
 	if p.Metrics != nil {
 		p.Metrics.Counter("promotion_started_total").Inc()

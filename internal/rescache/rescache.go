@@ -96,6 +96,7 @@ type entry struct {
 	epoch    uint64
 	hasEpoch bool
 	filledAt time.Time
+	cost     int64
 	elem     *list.Element
 }
 
@@ -124,9 +125,11 @@ type Cache struct {
 	// Metrics, when set, records cache_* counters.
 	Metrics *telemetry.Registry
 
-	mu      sync.Mutex
-	entries map[string]*entry
-	lru     *list.List // front = most recent; values are keys
+	mu       sync.Mutex
+	entries  map[string]*entry
+	lru      *list.List // front = most recent; values are keys
+	maxBytes int64
+	bytes    int64
 }
 
 // New returns a cache holding at most capacity entries, each valid for
@@ -146,6 +149,87 @@ func New(capacity int, ttl time.Duration) *Cache {
 }
 
 const epochlessTTL = time.Minute
+
+// SetMaxBytes bounds the cache by total entry cost (the encoded answer
+// size, see EncodedSize) in addition to the entry-count capacity.
+// n <= 0 removes the byte bound. Shrinking below the current residency
+// evicts from the LRU tail immediately.
+func (c *Cache) SetMaxBytes(n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.maxBytes = n
+	c.evictLocked()
+	resident := len(c.entries)
+	bytes := c.bytes
+	c.mu.Unlock()
+	c.setEntries(resident)
+	c.setBytes(bytes)
+}
+
+// MaxBytes reports the current byte budget (0 = unbounded).
+func (c *Cache) MaxBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxBytes
+}
+
+// Bytes reports the summed cost of resident entries.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// evictLocked pops LRU-tail entries until both bounds hold. A single
+// entry costing more than the whole byte budget is evicted too: the
+// cache honors its budget rather than pinning one oversized answer.
+func (c *Cache) evictLocked() {
+	for len(c.entries) > c.capacity || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		k := back.Value.(string)
+		c.lru.Remove(back)
+		c.bytes -= c.entries[k].cost
+		delete(c.entries, k)
+		c.noteEviction()
+	}
+}
+
+// EncodedSize is the byte-budget cost of a result set: the size of its
+// answer encoded in the compact form `var=value` per cell plus row
+// framing — a stable, allocation-free stand-in for the serialized
+// response size.
+func EncodedSize(res *sparql.Results) int64 {
+	if res == nil {
+		return 0
+	}
+	const cellOverhead, rowOverhead = 4, 8
+	n := int64(rowOverhead) // Bool / head framing
+	for _, v := range res.Vars {
+		n += int64(len(v)) + cellOverhead
+	}
+	for _, b := range res.Bindings {
+		n += rowOverhead
+		for v, t := range b {
+			n += int64(len(v)+len(t.Value)+len(t.Datatype)+len(t.Lang)) + cellOverhead
+		}
+	}
+	for _, t := range res.Graph {
+		n += rowOverhead
+		n += int64(len(t.S.Value) + len(t.P.Value) + len(t.O.Value) + len(t.O.Datatype) + len(t.O.Lang))
+	}
+	return n
+}
 
 // key derives the cache key for a query against a source, or "" when
 // the pair is not cacheable (no fingerprint — identity unknown).
@@ -263,7 +347,7 @@ func (f Fill) Store(res *sparql.Results) {
 	if f.c == nil || res == nil {
 		return
 	}
-	e := &entry{res: res, varMap: f.vm, epoch: f.epoch, hasEpoch: f.has, filledAt: f.c.Now()}
+	e := &entry{res: res, varMap: f.vm, epoch: f.epoch, hasEpoch: f.has, filledAt: f.c.Now(), cost: EncodedSize(res)}
 	if f.eval {
 		if ep, ok := f.src.(Epocher); ok {
 			e.epoch = ep.DataEpoch()
@@ -274,23 +358,18 @@ func (f Fill) Store(res *sparql.Results) {
 	c.mu.Lock()
 	if old, ok := c.entries[f.key]; ok {
 		c.lru.Remove(old.elem)
+		c.bytes -= old.cost
 	}
 	e.elem = c.lru.PushFront(f.key)
 	c.entries[f.key] = e
-	for len(c.entries) > c.capacity {
-		back := c.lru.Back()
-		if back == nil {
-			break
-		}
-		k := back.Value.(string)
-		c.lru.Remove(back)
-		delete(c.entries, k)
-		c.noteEviction()
-	}
+	c.bytes += e.cost
+	c.evictLocked()
 	n := len(c.entries)
+	bytes := c.bytes
 	c.mu.Unlock()
 	c.noteFill()
 	c.setEntries(n)
+	c.setBytes(bytes)
 }
 
 // Len reports the number of resident entries.
@@ -311,8 +390,10 @@ func (c *Cache) Purge() {
 	c.mu.Lock()
 	c.entries = make(map[string]*entry)
 	c.lru.Init()
+	c.bytes = 0
 	c.mu.Unlock()
 	c.setEntries(0)
+	c.setBytes(0)
 }
 
 // remap rebuilds a cached result under the variable spelling of the

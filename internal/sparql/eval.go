@@ -109,6 +109,9 @@ func (q *Query) evalCtx(ctx context.Context, src Source, workers, threshold int)
 			ec.csrc = cs
 		}
 	}
+	if ex, ok := src.(ExchangeSource); ok {
+		ec.ex = ex
+	}
 	prog := compileQuery(q, src)
 	rows, err := runOps(ec, prog.ops, []row{make(row, prog.vt.size())})
 	if err != nil {

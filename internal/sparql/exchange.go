@@ -1,0 +1,143 @@
+package sparql
+
+import (
+	"context"
+	"sort"
+	"strconv"
+
+	"applab/internal/admission"
+	"applab/internal/rdf"
+)
+
+// ExchangeSource is implemented by partitioned sources — the cluster
+// coordinator — that can answer a pattern per data fragment (replica
+// group / shard). The compiled planner routes every BGP pattern scan
+// through the exchange operator for such a source: a pattern whose
+// placement is provable (bound subject under subject-hash placement)
+// goes to its single owning fragment, anything else fans out to every
+// fragment in parallel and the partial streams are merged back into
+// canonical (term-key) order with duplicates suppressed.
+//
+// Error semantics follow Source/ErrorSource: a fragment failure reads
+// as an empty contribution (the source itself tracks partiality — see
+// cluster.Coordinator), except cancellation/budget violations
+// (admission.Aborted), which abort the query.
+type ExchangeSource interface {
+	Source
+	// Fragments reports the fragment count (stable per evaluation).
+	Fragments() int
+	// Route returns the single fragment that holds every possible match
+	// of the pattern, when placement can prove one.
+	Route(s, p, o rdf.Term) (frag int, ok bool)
+	// FragmentMatch answers the pattern from one fragment.
+	FragmentMatch(ctx context.Context, frag int, s, p, o rdf.Term) ([]rdf.Triple, error)
+}
+
+// exchangeMatch is the exchange operator's scan: the pattern-level
+// fan-out/merge every scan strategy (cross, hash, nested_loop) drives
+// its probes through when the source is partitioned.
+func (ec *execCtx) exchangeMatch(s, p, o rdf.Term) ([]rdf.Triple, error) {
+	ex := ec.ex
+	if frag, ok := ex.Route(s, p, o); ok {
+		noteExchange("routed")
+		ts, err := ex.FragmentMatch(ec.ctx, frag, s, p, o)
+		return ts, ec.exchangeErr(err)
+	}
+	n := ex.Fragments()
+	noteExchange("fanout")
+	if n <= 1 {
+		ts, err := ex.FragmentMatch(ec.ctx, 0, s, p, o)
+		if err != nil {
+			return nil, ec.exchangeErr(err)
+		}
+		return mergeFragments([][]rdf.Triple{ts}), nil
+	}
+	parts := make([][]rdf.Triple, n)
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(frag int) {
+			parts[frag], errs[frag] = ex.FragmentMatch(ec.ctx, frag, s, p, o)
+			done <- frag
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			if aerr := ec.exchangeErr(err); aerr != nil {
+				return nil, aerr
+			}
+		}
+	}
+	return mergeFragments(parts), nil
+}
+
+// exchangeErr maps a fragment error onto the engine's abort rule: only
+// cancellation and budget violations abort (with the structured budget
+// error preferred); anything else degrades to an empty contribution.
+func (ec *execCtx) exchangeErr(err error) error {
+	if err == nil || !admission.Aborted(err) {
+		return nil
+	}
+	if ec.budget != nil {
+		if berr := ec.budget.Err(); berr != nil {
+			return berr
+		}
+	}
+	return err
+}
+
+// mergeFragments concatenates per-fragment streams into one canonically
+// ordered, duplicate-free stream. Placement sends each triple to one
+// fragment, so duplicates only appear when fragments overlap (replica
+// answers that raced a move); suppressing them here keeps the merged
+// stream set-identical to a single store's answer.
+func mergeFragments(parts [][]rdf.Triple) []rdf.Triple {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]rdf.Triple, 0, total)
+	seen := make(map[string]bool, total)
+	for _, p := range parts {
+		for _, t := range p {
+			k := exchangeTripleKey(t)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if k1, k2 := a.S.Key(), b.S.Key(); k1 != k2 {
+			return k1 < k2
+		}
+		if k1, k2 := a.P.Key(), b.P.Key(); k1 != k2 {
+			return k1 < k2
+		}
+		if k1, k2 := a.O.Key(), b.O.Key(); k1 != k2 {
+			return k1 < k2
+		}
+		if !a.ValidFrom.Equal(b.ValidFrom) {
+			return a.ValidFrom.Before(b.ValidFrom)
+		}
+		return a.ValidTo.Before(b.ValidTo)
+	})
+	return out
+}
+
+// exchangeTripleKey is the merge identity: terms plus valid time,
+// length-prefixed so concatenated keys cannot collide (the segment
+// engine's rule).
+func exchangeTripleKey(t rdf.Triple) string {
+	sk, pk, ok := t.S.Key(), t.P.Key(), t.O.Key()
+	return strconv.Itoa(len(sk)) + "," + strconv.Itoa(len(pk)) + "," + strconv.Itoa(len(ok)) + "," +
+		strconv.FormatInt(t.ValidFrom.UnixNano(), 10) + "," + strconv.FormatInt(t.ValidTo.UnixNano(), 10) + ";" +
+		sk + pk + ok
+}

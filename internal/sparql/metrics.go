@@ -61,6 +61,13 @@ func noteSpatialProbes(n int) {
 	metricsReg().Counter("spatial_index_probes_total").Add(int64(n))
 }
 
+// noteExchange counts one exchange-operator pattern scan by how it was
+// dispatched: "routed" (placement proved a single owning fragment) or
+// "fanout" (broadcast to every fragment and merged).
+func noteExchange(mode string) {
+	metricsReg().Counter("sparql_exchange_scans_total", "mode", mode).Inc()
+}
+
 // noteParallelStage tracks worker-pool occupancy around one parallel
 // stage: the chunk counter records fan-out volume, the busy gauge holds
 // the number of in-flight chunk goroutines.

@@ -87,7 +87,8 @@ func ParallelThreshold() int {
 // execCtx carries the per-evaluation runtime state.
 type execCtx struct {
 	src       Source
-	csrc      ContextSource // non-nil only when limited and src supports it
+	csrc      ContextSource  // non-nil only when limited and src supports it
+	ex        ExchangeSource // non-nil for partitioned sources: routes scans through the exchange operator
 	ctx       context.Context
 	budget    *admission.Budget
 	limited   bool // ctx can be cancelled or a budget is attached
@@ -164,6 +165,9 @@ func (ec *execCtx) checkpoint(rows int) error {
 // (they read as empty results — federation partial answers and the
 // error-report machinery depend on that).
 func (ec *execCtx) match(s, p, o rdf.Term) ([]rdf.Triple, error) {
+	if ec.ex != nil {
+		return ec.exchangeMatch(s, p, o)
+	}
 	if ec.csrc != nil {
 		ts, err := ec.csrc.MatchContext(ec.ctx, s, p, o)
 		if err != nil {
